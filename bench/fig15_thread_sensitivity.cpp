@@ -1,0 +1,53 @@
+//===- bench/fig15_thread_sensitivity.cpp - regenerate Figure 15 ------------===//
+//
+// Figure 15: ULCP impact vs thread count (canneal, bodytrack,
+// fluidanimate; 2..8 threads).  Expected shape: performance loss
+// grows with threads while CPU wasting per thread stays ~flat; canneal
+// stays at zero throughout.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "support/Format.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace perfplay;
+using namespace perfplay::bench;
+
+int main() {
+  std::printf("Figure 15: ULCP impact vs thread count.\n\n");
+  const char *Apps[] = {"canneal", "bodytrack", "fluidanimate"};
+
+  Table Loss;
+  Loss.addRow({"threads", "canneal", "bodytrack", "fluidanimate"});
+  Table Waste;
+  Waste.addRow({"threads", "canneal", "bodytrack", "fluidanimate"});
+
+  for (unsigned Threads : {2u, 4u, 6u, 8u}) {
+    std::vector<std::string> LossRow = {std::to_string(Threads)};
+    std::vector<std::string> WasteRow = {std::to_string(Threads)};
+    for (const char *Name : Apps) {
+      const AppModel *App = findApp(Name);
+      PipelineResult R = runAppPipeline(*App, Threads, 1.0,
+                                        PairModeKind::AllCrossThread);
+      if (!R.ok()) {
+        std::fprintf(stderr, "%s@%u: %s\n", Name, Threads,
+                     R.Error.c_str());
+        return 1;
+      }
+      LossRow.push_back(formatPercent(R.Report.normalizedDegradation()));
+      WasteRow.push_back(
+          formatPercent(R.Report.normalizedCpuWastePerThread()));
+    }
+    Loss.addRow(LossRow);
+    Waste.addRow(WasteRow);
+  }
+  std::printf("(a) performance loss vs threads\n%s\n",
+              Loss.render().c_str());
+  std::printf("(b) CPU wasting per thread vs threads\n%s",
+              Waste.render().c_str());
+  return 0;
+}

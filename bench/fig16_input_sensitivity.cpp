@@ -1,0 +1,58 @@
+//===- bench/fig16_input_sensitivity.cpp - regenerate Figure 16 -------------===//
+//
+// Figure 16: ULCP impact vs input size (simsmall / simmedium /
+// simlarge) for canneal, bodytrack, fluidanimate.  Expected shape:
+// both performance loss and CPU wasting grow with the input size
+// (threads reuse the same code; a larger input executes the ULCP
+// sites more often); canneal stays at zero.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "support/Format.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace perfplay;
+using namespace perfplay::bench;
+
+int main() {
+  std::printf("Figure 16: ULCP impact vs input size (2 threads).\n\n");
+  const char *Apps[] = {"canneal", "bodytrack", "fluidanimate"};
+  const struct {
+    const char *Name;
+    double Scale;
+  } Inputs[] = {{"simsmall", 0.25}, {"simmedium", 0.5}, {"simlarge", 1.0}};
+
+  Table Loss;
+  Loss.addRow({"input", "canneal", "bodytrack", "fluidanimate"});
+  Table Waste;
+  Waste.addRow({"input", "canneal", "bodytrack", "fluidanimate"});
+
+  for (const auto &Input : Inputs) {
+    std::vector<std::string> LossRow = {Input.Name};
+    std::vector<std::string> WasteRow = {Input.Name};
+    for (const char *Name : Apps) {
+      const AppModel *App = findApp(Name);
+      PipelineResult R = runAppPipeline(*App, 2, Input.Scale,
+                                        PairModeKind::AllCrossThread);
+      if (!R.ok()) {
+        std::fprintf(stderr, "%s/%s: %s\n", Name, Input.Name,
+                     R.Error.c_str());
+        return 1;
+      }
+      LossRow.push_back(formatPercent(R.Report.normalizedDegradation()));
+      WasteRow.push_back(
+          formatPercent(R.Report.normalizedCpuWastePerThread()));
+    }
+    Loss.addRow(LossRow);
+    Waste.addRow(WasteRow);
+  }
+  std::printf("(a) performance loss vs input size\n%s\n",
+              Loss.render().c_str());
+  std::printf("(b) CPU wasting per thread vs input size\n%s",
+              Waste.render().c_str());
+  return 0;
+}

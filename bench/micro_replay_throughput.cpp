@@ -1,0 +1,106 @@
+//===- bench/micro_replay_throughput.cpp - engine micro-benchmarks ----------===//
+//
+// Google-benchmark microbenchmarks of the replay engine and detector:
+// events replayed per second under each scheme, detection throughput,
+// and transformation cost.  Supports the Section 6.7 discussion of
+// replay-based analysis cost.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/CriticalSection.h"
+#include "detect/Detector.h"
+#include "sim/Replayer.h"
+#include "transform/Transform.h"
+#include "workloads/Apps.h"
+#include "workloads/WorkloadSpec.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace perfplay;
+
+namespace {
+
+Trace &benchTrace() {
+  static Trace Tr = [] {
+    Trace T = generateWorkload(makeDedup(4, 1.0));
+    recordGrantSchedule(T, 42);
+    return T;
+  }();
+  return Tr;
+}
+
+void replayScheme(benchmark::State &State, ScheduleKind Kind) {
+  Trace &Tr = benchTrace();
+  ReplayOptions Opts;
+  Opts.Schedule = Kind;
+  size_t Events = Tr.numEvents();
+  for (auto _ : State) {
+    ReplayResult R = replayTrace(Tr, Opts);
+    benchmark::DoNotOptimize(R.TotalTime);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Events));
+}
+
+} // namespace
+
+static void BM_ReplayOrigS(benchmark::State &State) {
+  replayScheme(State, ScheduleKind::OrigS);
+}
+BENCHMARK(BM_ReplayOrigS);
+
+static void BM_ReplayElscS(benchmark::State &State) {
+  replayScheme(State, ScheduleKind::ElscS);
+}
+BENCHMARK(BM_ReplayElscS);
+
+static void BM_ReplaySyncS(benchmark::State &State) {
+  replayScheme(State, ScheduleKind::SyncS);
+}
+BENCHMARK(BM_ReplaySyncS);
+
+static void BM_ReplayMemS(benchmark::State &State) {
+  replayScheme(State, ScheduleKind::MemS);
+}
+BENCHMARK(BM_ReplayMemS);
+
+static void BM_CsExtraction(benchmark::State &State) {
+  Trace &Tr = benchTrace();
+  for (auto _ : State) {
+    CsIndex Index = CsIndex::build(Tr);
+    benchmark::DoNotOptimize(Index.size());
+  }
+}
+BENCHMARK(BM_CsExtraction);
+
+static void BM_DetectAdjacent(benchmark::State &State) {
+  Trace &Tr = benchTrace();
+  CsIndex Index = CsIndex::build(Tr);
+  DetectOptions Opts;
+  Opts.PairMode = PairModeKind::AdjacentCrossThread;
+  for (auto _ : State) {
+    DetectResult R = detectUlcps(Tr, Index, Opts);
+    benchmark::DoNotOptimize(R.Counts.total());
+  }
+}
+BENCHMARK(BM_DetectAdjacent);
+
+static void BM_Transform(benchmark::State &State) {
+  Trace &Tr = benchTrace();
+  CsIndex Index = CsIndex::build(Tr);
+  for (auto _ : State) {
+    TransformResult R = transformTrace(Tr, Index);
+    benchmark::DoNotOptimize(R.NumAuxLocks);
+  }
+}
+BENCHMARK(BM_Transform);
+
+static void BM_GenerateWorkload(benchmark::State &State) {
+  for (auto _ : State) {
+    Trace Tr = generateWorkload(makeFerret(2, 1.0));
+    benchmark::DoNotOptimize(Tr.numEvents());
+  }
+}
+BENCHMARK(BM_GenerateWorkload);
+
+BENCHMARK_MAIN();

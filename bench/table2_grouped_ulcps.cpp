@@ -1,0 +1,48 @@
+//===- bench/table2_grouped_ulcps.cpp - regenerate Table 2 ------------------===//
+//
+// Table 2: number of fused (per-code-region) ULCP groups and the
+// relative optimization share P of the most beneficial one, for the
+// ten applications the paper lists.  Expected shape: apps with few
+// distinct sites concentrate benefit (pbzip2 ~59%, transmissionBT
+// ~54%); apps with many sites dilute it (mysql ~12%); the clean apps
+// have zero groups.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "support/Format.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace perfplay;
+using namespace perfplay::bench;
+
+int main() {
+  std::printf("Table 2: grouped ULCP code regions and the most "
+              "beneficial group's share.\n\n");
+
+  Table T;
+  T.addRow({"application", "#grouped", "ULCP1.P", "| paper:#grouped",
+            "ULCP1.P"});
+  for (const Table2Row &Ref : PaperTable2) {
+    const AppModel *App = findApp(Ref.Name);
+    if (!App) {
+      std::fprintf(stderr, "unknown app %s\n", Ref.Name);
+      return 1;
+    }
+    PipelineResult R = runAppPipeline(*App, 2, 1.0);
+    if (!R.ok()) {
+      std::fprintf(stderr, "%s: %s\n", Ref.Name, R.Error.c_str());
+      return 1;
+    }
+    double BestP =
+        R.Report.Groups.empty() ? 0.0 : R.Report.Groups.front().P;
+    T.addRow({Ref.Name, std::to_string(R.Report.Groups.size()),
+              formatPercent(BestP), "| " + std::to_string(Ref.GroupedUlcps),
+              formatPercent(Ref.BestP)});
+  }
+  std::printf("%s", T.render().c_str());
+  return 0;
+}

@@ -1,0 +1,57 @@
+//===- examples/mysql_query_cache.cpp - MySQL bug #68573 (Figure 17) --------===//
+//
+// Query_cache::try_lock holds structure_guard_mutex across a timed
+// condition-wait loop, so concurrent SELECT sessions serialize and the
+// designed 50ms timeout inflates with the thread count.  PerfPlay
+// quantifies the inflation and points at the try_lock code region.
+//
+// Run: ./mysql_query_cache [threads]
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PerfPlay.h"
+#include "support/Format.h"
+#include "workloads/CaseStudies.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace perfplay;
+
+int main(int Argc, char **Argv) {
+  unsigned MaxThreads =
+      Argc > 1 ? static_cast<unsigned>(std::atoi(Argv[1])) : 8;
+
+  std::printf("== MySQL #68573: query-cache timed lock ==\n");
+  std::printf("%-8s  %-14s  %-14s  %s\n", "threads", "buggy", "fixed",
+              "inflation");
+  for (unsigned Threads = 1; Threads <= MaxThreads; Threads *= 2) {
+    CaseStudyParams P;
+    P.NumThreads = Threads;
+    Trace Buggy = makeMysqlQueryCache(P);
+    Trace Fixed = makeMysqlQueryCacheFixed(P);
+    PipelineResult RBuggy = runPerfPlay(Buggy);
+    PipelineResult RFixed = runPerfPlay(Fixed);
+    if (!RBuggy.ok() || !RFixed.ok()) {
+      std::fprintf(stderr, "pipeline failed\n");
+      return 1;
+    }
+    double Inflation = RFixed.Original.TotalTime == 0
+                           ? 0.0
+                           : static_cast<double>(
+                                 RBuggy.Original.TotalTime) /
+                                 static_cast<double>(
+                                     RFixed.Original.TotalTime);
+    std::printf("%-8u  %-14s  %-14s  %.2fx\n", Threads,
+                formatNs(RBuggy.Original.TotalTime).c_str(),
+                formatNs(RFixed.Original.TotalTime).c_str(), Inflation);
+  }
+
+  // Show the recommendation for the largest configuration.
+  CaseStudyParams P;
+  P.NumThreads = MaxThreads;
+  PipelineResult R = runPerfPlay(makeMysqlQueryCache(P));
+  if (R.ok())
+    std::printf("\n%s", renderReport(R.Report).c_str());
+  return 0;
+}

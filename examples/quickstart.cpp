@@ -1,0 +1,73 @@
+//===- examples/quickstart.cpp - PerfPlay in 60 lines -----------------------===//
+//
+// Builds the paper's Figure 1 scenario (two mysql threads serializing
+// on fil_system->mutex although they never truly conflict), runs the
+// full PERFPLAY pipeline, and prints the per-code-region report.
+//
+// Run: ./quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PerfPlay.h"
+#include "support/Format.h"
+#include "trace/TraceBuilder.h"
+
+#include <cstdio>
+
+using namespace perfplay;
+
+int main() {
+  // 1. Build (or record) a trace.  Thread 1 reads the unflushed-spaces
+  //    list length; thread 2 looks up a space by id and, with
+  //    buffering disabled, returns without updating anything.  Both
+  //    hold fil_system->mutex: a read-read ULCP, repeated per call.
+  TraceBuilder B;
+  LockId Mu = B.addLock("fil_system->mutex");
+  CodeSiteId FlushSpaces = B.addSite("storage/innobase/fil/fil0fil.cc",
+                                     "fil_flush_file_spaces", 5609, 5614);
+  CodeSiteId FilFlush = B.addSite("storage/innobase/fil/fil0fil.cc",
+                                  "fil_flush", 5473, 5503);
+  ThreadId T1 = B.addThread();
+  ThreadId T2 = B.addThread();
+  for (int I = 0; I != 8; ++I) {
+    B.compute(T1, 300);
+    B.beginCs(T1, Mu, FlushSpaces);
+    B.read(T1, /*n_space_ids*/ 1, 3);
+    B.compute(T1, 1200); // UT_LIST_GET_LEN and bookkeeping.
+    B.endCs(T1);
+
+    B.compute(T2, 350);
+    B.beginCs(T2, Mu, FilFlush);
+    B.read(T2, /*space*/ 2, 9); // fil_buffering_disabled(space) = true.
+    B.compute(T2, 1200);        // Hash lookup + state checks.
+    B.endCs(T2);
+  }
+  Trace Tr = B.finish();
+
+  // 2-5. Record schedule, detect ULCPs, transform, replay both, rank.
+  PipelineResult Result = runPerfPlay(Tr);
+  if (!Result.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n", Result.Error.c_str());
+    return 1;
+  }
+
+  std::printf("ULCP pairs: %llu (RR=%llu NL=%llu DW=%llu benign=%llu), "
+              "true contention: %llu\n",
+              static_cast<unsigned long long>(
+                  Result.Detection.Counts.totalUnnecessary()),
+              static_cast<unsigned long long>(
+                  Result.Detection.Counts.ReadRead),
+              static_cast<unsigned long long>(
+                  Result.Detection.Counts.NullLock),
+              static_cast<unsigned long long>(
+                  Result.Detection.Counts.DisjointWrite),
+              static_cast<unsigned long long>(
+                  Result.Detection.Counts.Benign),
+              static_cast<unsigned long long>(
+                  Result.Detection.Counts.TrueContention));
+  std::printf("replayed time: original %s -> ULCP-free %s\n\n",
+              formatNs(Result.Original.TotalTime).c_str(),
+              formatNs(Result.UlcpFree.TotalTime).c_str());
+  std::printf("%s", renderReport(Result.Report).c_str());
+  return 0;
+}

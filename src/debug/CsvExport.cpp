@@ -1,0 +1,46 @@
+//===- debug/CsvExport.cpp - CSV export of analysis results ------------------===//
+
+#include "debug/CsvExport.h"
+
+#include "support/Format.h"
+
+#include <sstream>
+
+using namespace perfplay;
+
+std::string perfplay::csvEscape(const std::string &Field) {
+  bool Needs = Field.find_first_of(",\"\n") != std::string::npos;
+  if (!Needs)
+    return Field;
+  std::string Out = "\"";
+  for (char C : Field) {
+    if (C == '"')
+      Out += '"';
+    Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
+std::string perfplay::detectionToCsv(const DetectResult &Detection) {
+  std::ostringstream OS;
+  OS << "first,second,kind\n";
+  for (const UlcpPair &P : Detection.Pairs)
+    OS << P.First << "," << P.Second << "," << ulcpKindName(P.Kind)
+       << "\n";
+  return OS.str();
+}
+
+std::string perfplay::reportToCsv(const PerfDebugReport &Report) {
+  std::ostringstream OS;
+  OS << "rank,p,delta_ns,pairs,file1,begin1,end1,file2,begin2,end2\n";
+  unsigned Rank = 1;
+  for (const FusedUlcp &G : Report.Groups) {
+    OS << Rank++ << "," << formatDouble(G.P, 6) << "," << G.DeltaNs
+       << "," << G.PairCount << "," << csvEscape(G.CR1.File) << ","
+       << G.CR1.Lines.Begin << "," << G.CR1.Lines.End << ","
+       << csvEscape(G.CR2.File) << "," << G.CR2.Lines.Begin << ","
+       << G.CR2.Lines.End << "\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,36 @@
+//===- debug/CsvExport.h - CSV export of analysis results --------*- C++ -*-===//
+//
+// Part of the PerfPlay reproduction of "On Performance Debugging of
+// Unnecessary Lock Contentions on Multicore Processors" (CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CSV rendering of detection results and the final report, for
+/// plotting the paper's figures from this reproduction's outputs.
+/// Fields containing commas/quotes/newlines are quoted per RFC 4180.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERFPLAY_DEBUG_CSVEXPORT_H
+#define PERFPLAY_DEBUG_CSVEXPORT_H
+
+#include "debug/Report.h"
+#include "detect/Detector.h"
+
+#include <string>
+
+namespace perfplay {
+
+/// Escapes one CSV field per RFC 4180.
+std::string csvEscape(const std::string &Field);
+
+/// Detection pairs as CSV: first,second,kind.
+std::string detectionToCsv(const DetectResult &Detection);
+
+/// Report groups as CSV: rank,p,delta_ns,pairs,file1,lines1,file2,lines2.
+std::string reportToCsv(const PerfDebugReport &Report);
+
+} // namespace perfplay
+
+#endif // PERFPLAY_DEBUG_CSVEXPORT_H

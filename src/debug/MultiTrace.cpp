@@ -1,0 +1,103 @@
+//===- debug/MultiTrace.cpp - Multi-trace aggregation -----------------------===//
+
+#include "debug/MultiTrace.h"
+
+#include "support/Format.h"
+#include "support/Table.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace perfplay;
+
+AggregatedReport perfplay::aggregateReports(
+    const std::vector<PerfDebugReport> &Reports) {
+  AggregatedReport Out;
+  Out.NumRuns = static_cast<unsigned>(Reports.size());
+  if (Reports.empty())
+    return Out;
+
+  double SumDeg = 0.0, SumWaste = 0.0;
+  for (const PerfDebugReport &R : Reports) {
+    SumDeg += R.normalizedDegradation();
+    SumWaste += R.normalizedCpuWastePerThread();
+  }
+  SumDeg /= static_cast<double>(Reports.size());
+  SumWaste /= static_cast<double>(Reports.size());
+  Out.MeanDegradation = SumDeg;
+  Out.MeanCpuWastePerThread = SumWaste;
+
+  // Merge groups across runs with the same Algorithm-2 operators; a
+  // run contributes at most one sighting per aggregated group.
+  for (const PerfDebugReport &R : Reports) {
+    std::vector<bool> Counted(Out.Groups.size(), false);
+    for (const FusedUlcp &G : R.Groups) {
+      bool Absorbed = false;
+      for (size_t I = 0; I != Out.Groups.size(); ++I) {
+        FusedUlcp Candidate = G;
+        if (fuseUlcpGroups(Out.Groups[I].Group, Candidate)) {
+          if (!Counted[I]) {
+            ++Out.Groups[I].RunsSeen;
+            Counted[I] = true;
+          }
+          Absorbed = true;
+          break;
+        }
+      }
+      if (!Absorbed) {
+        AggregatedUlcp Fresh;
+        Fresh.Group = G;
+        Fresh.RunsSeen = 1;
+        Out.Groups.push_back(std::move(Fresh));
+        Counted.push_back(true);
+      }
+    }
+  }
+
+  // Re-normalize Equation 2 over the union and rank; stability (runs
+  // seen) breaks ties.
+  int64_t Total = 0;
+  for (const AggregatedUlcp &G : Out.Groups)
+    Total += G.Group.DeltaNs;
+  for (AggregatedUlcp &G : Out.Groups)
+    G.Group.P = Total > 0 ? static_cast<double>(G.Group.DeltaNs) /
+                                static_cast<double>(Total)
+                          : 0.0;
+  std::stable_sort(Out.Groups.begin(), Out.Groups.end(),
+                   [](const AggregatedUlcp &A, const AggregatedUlcp &B) {
+                     if (A.Group.P != B.Group.P)
+                       return A.Group.P > B.Group.P;
+                     if (A.RunsSeen != B.RunsSeen)
+                       return A.RunsSeen > B.RunsSeen;
+                     return A.Group.PairCount > B.Group.PairCount;
+                   });
+  return Out;
+}
+
+std::string perfplay::renderAggregatedReport(
+    const AggregatedReport &Report) {
+  std::ostringstream OS;
+  OS << "PerfPlay aggregated ULCP report (" << Report.NumRuns
+     << " runs)\n";
+  OS << "  mean degradation: " << formatPercent(Report.MeanDegradation)
+     << ", mean CPU waste/thread: "
+     << formatPercent(Report.MeanCpuWastePerThread) << "\n\n";
+  Table T;
+  T.addRow({"#", "P", "dT", "pairs", "runs", "region 1", "region 2"});
+  unsigned Rank = 1;
+  for (const AggregatedUlcp &G : Report.Groups) {
+    auto regionStr = [](const CodeRegion &R) {
+      return R.File + ":" + std::to_string(R.Lines.Begin) + "-" +
+             std::to_string(R.Lines.End);
+    };
+    T.addRow({std::to_string(Rank++), formatPercent(G.Group.P),
+              formatNs(static_cast<TimeNs>(
+                  G.Group.DeltaNs < 0 ? 0 : G.Group.DeltaNs)),
+              std::to_string(G.Group.PairCount),
+              std::to_string(G.RunsSeen) + "/" +
+                  std::to_string(Report.NumRuns),
+              regionStr(G.Group.CR1), regionStr(G.Group.CR2)});
+  }
+  OS << T.render();
+  return OS.str();
+}

@@ -1,0 +1,59 @@
+//===- debug/MultiTrace.h - Multi-trace aggregation -------------*- C++ -*-===//
+//
+// Part of the PerfPlay reproduction of "On Performance Debugging of
+// Unnecessary Lock Contentions on Multicore Processors" (CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 6.7 notes that PERFPLAY "can be extended to multiple
+/// traces": a single trace only witnesses one input/schedule, so a
+/// code region's opportunity should be judged across several recorded
+/// runs.  This module merges per-run reports: groups whose code
+/// regions coincide across runs are combined (accumulating their
+/// improvements), Equation 2 is re-normalized over the union, and a
+/// region is annotated with the number of runs that exhibited it —
+/// regions that appear in every run are safer recommendations than
+/// input-specific ones.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERFPLAY_DEBUG_MULTITRACE_H
+#define PERFPLAY_DEBUG_MULTITRACE_H
+
+#include "debug/Report.h"
+
+#include <vector>
+
+namespace perfplay {
+
+/// One fused group aggregated across runs.
+struct AggregatedUlcp {
+  FusedUlcp Group;
+  /// Number of runs in which this code-region pair appeared.
+  unsigned RunsSeen = 0;
+};
+
+/// Aggregate of several per-run reports.
+struct AggregatedReport {
+  unsigned NumRuns = 0;
+  /// Mean normalized degradation across runs.
+  double MeanDegradation = 0.0;
+  /// Mean normalized CPU waste per thread across runs.
+  double MeanCpuWastePerThread = 0.0;
+  /// Region groups merged across runs, ranked by Equation 2 over the
+  /// aggregated improvements (ties broken toward regions seen in more
+  /// runs — stable opportunities first).
+  std::vector<AggregatedUlcp> Groups;
+};
+
+/// Merges \p Reports (each from one recorded run of the same program).
+AggregatedReport aggregateReports(
+    const std::vector<PerfDebugReport> &Reports);
+
+/// Renders the aggregate as text.
+std::string renderAggregatedReport(const AggregatedReport &Report);
+
+} // namespace perfplay
+
+#endif // PERFPLAY_DEBUG_MULTITRACE_H

@@ -1,0 +1,66 @@
+//===- debug/UlcpDelta.cpp - Equation 1: per-ULCP improvement --------------===//
+
+#include "debug/UlcpDelta.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace perfplay;
+
+UlcpTimestamps perfplay::ulcpTimestamps(const ReplayResult &R,
+                                        const UlcpPair &P) {
+  assert(P.First < R.Sections.size() && P.Second < R.Sections.size() &&
+         "pair references unknown sections");
+  const CsTiming &A = R.Sections[P.First];
+  const CsTiming &B = R.Sections[P.Second];
+  UlcpTimestamps TS;
+  TS.Time1 = A.PrecursorStart == NeverNs ? 0 : A.PrecursorStart;
+  // A successor segment that never reached another sync point ends at
+  // the section's release.
+  TS.Time2 = A.SuccessorEnd != NeverNs ? A.SuccessorEnd : A.Released;
+  TS.Time3 = B.SuccessorEnd != NeverNs ? B.SuccessorEnd : B.Released;
+  if (TS.Time2 == NeverNs)
+    TS.Time2 = 0;
+  if (TS.Time3 == NeverNs)
+    TS.Time3 = 0;
+  return TS;
+}
+
+int64_t perfplay::ulcpImprovement(const ReplayResult &Original,
+                                  const ReplayResult &Free,
+                                  const UlcpPair &P) {
+  // Figure 10 measures the serialization the pair itself caused: the
+  // second section arrived while the first held the lock and received
+  // it directly at the first's release.  Pairs without that direct
+  // handoff contributed no contention of their own (any serialization
+  // they suffered is attributed to the pair that actually blocked
+  // them), keeping the per-pair sum linear instead of quadratic.
+  const CsTiming &A = Original.Sections[P.First];
+  const CsTiming &B = Original.Sections[P.Second];
+  bool Contended = B.Arrival != NeverNs && A.Released != NeverNs &&
+                   B.Arrival < A.Released && B.Granted != NeverNs &&
+                   B.Granted == A.Released;
+  if (!Contended)
+    return 0;
+
+  UlcpTimestamps Before = ulcpTimestamps(Original, P);
+  UlcpTimestamps After = ulcpTimestamps(Free, P);
+  int64_t DeltaMax =
+      static_cast<int64_t>(std::max(Before.Time2, Before.Time3)) -
+      static_cast<int64_t>(std::max(After.Time2, After.Time3));
+  int64_t DeltaTime1 = static_cast<int64_t>(Before.Time1) -
+                       static_cast<int64_t>(After.Time1);
+  int64_t Delta = DeltaMax - DeltaTime1;
+  return Delta < 0 ? 0 : Delta;
+}
+
+std::vector<int64_t>
+perfplay::ulcpImprovements(const ReplayResult &Original,
+                           const ReplayResult &Free,
+                           const std::vector<UlcpPair> &Pairs) {
+  std::vector<int64_t> Out;
+  Out.reserve(Pairs.size());
+  for (const UlcpPair &P : Pairs)
+    Out.push_back(ulcpImprovement(Original, Free, P));
+  return Out;
+}

@@ -1,0 +1,56 @@
+//===- debug/UlcpDelta.h - Equation 1: per-ULCP improvement -----*- C++ -*-===//
+//
+// Part of the PerfPlay reproduction of "On Performance Debugging of
+// Unnecessary Lock Contentions on Multicore Processors" (CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Equation 1 of Section 4.1: the performance improvement of one ULCP
+/// is
+///
+///   dT_ULCP = dMAX{Time2, Time3} - dTime1
+///
+/// where Time1 is the start of the first section's precursor segment,
+/// Time2/Time3 are the ends of the two sections' successor segments
+/// (Figure 10), and the d-operator is the before-minus-after difference
+/// between the original replay and the ULCP-free replay.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERFPLAY_DEBUG_ULCPDELTA_H
+#define PERFPLAY_DEBUG_ULCPDELTA_H
+
+#include "detect/Ulcp.h"
+#include "sim/ReplayResult.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace perfplay {
+
+/// The three labeled timestamps of a ULCP in one replay (Figure 10).
+struct UlcpTimestamps {
+  TimeNs Time1 = 0;
+  TimeNs Time2 = 0;
+  TimeNs Time3 = 0;
+};
+
+/// Extracts Time1/2/3 of pair \p P from replay \p R.
+UlcpTimestamps ulcpTimestamps(const ReplayResult &R, const UlcpPair &P);
+
+/// Equation 1: improvement of \p P between the original replay
+/// \p Original and the ULCP-free replay \p Free, in virtual ns.
+/// Negative values (transformation did not help this pair) are
+/// clamped to zero, matching the paper's accumulation of benefits.
+int64_t ulcpImprovement(const ReplayResult &Original,
+                        const ReplayResult &Free, const UlcpPair &P);
+
+/// Convenience: Equation 1 over a batch of pairs.
+std::vector<int64_t> ulcpImprovements(const ReplayResult &Original,
+                                      const ReplayResult &Free,
+                                      const std::vector<UlcpPair> &Pairs);
+
+} // namespace perfplay
+
+#endif // PERFPLAY_DEBUG_ULCPDELTA_H

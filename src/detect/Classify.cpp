@@ -1,0 +1,42 @@
+//===- detect/Classify.cpp - Algorithm 1: ULCP identification --------------===//
+
+#include "detect/Classify.h"
+
+#include "support/SetOps.h"
+
+using namespace perfplay;
+
+UlcpKind perfplay::classifyPairStatic(const CriticalSection &C1,
+                                      const CriticalSection &C2) {
+  // Line 1: a pair is a null-lock when either section touches no shared
+  // memory at all.
+  if ((C1.readsEmpty() && C1.writesEmpty()) ||
+      (C2.readsEmpty() && C2.writesEmpty()))
+    return UlcpKind::NullLock;
+
+  // Line 3: read-read when neither section writes.
+  if (C1.writesEmpty() && C2.writesEmpty())
+    return UlcpKind::ReadRead;
+
+  // Line 5: disjoint-write when no read-write, write-read or
+  // write-write intersection exists.
+  if (!sortedIntersects(C1.Reads, C2.Writes) &&
+      !sortedIntersects(C1.Writes, C2.Reads) &&
+      !sortedIntersects(C1.Writes, C2.Writes))
+    return UlcpKind::DisjointWrite;
+
+  // Line 8: statically conflicting; the reversed replay decides whether
+  // the conflict is benign.
+  return UlcpKind::TrueContention;
+}
+
+UlcpKind perfplay::classifyPair(const Trace &Tr, const MemoryImage &Initial,
+                                const CriticalSection &C1,
+                                const CriticalSection &C2) {
+  UlcpKind Static = classifyPairStatic(C1, C2);
+  if (Static != UlcpKind::TrueContention)
+    return Static;
+  if (isBenignPair(Tr, Initial, C1, C2))
+    return UlcpKind::Benign;
+  return UlcpKind::TrueContention;
+}

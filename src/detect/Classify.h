@@ -1,0 +1,39 @@
+//===- detect/Classify.h - Algorithm 1: ULCP identification -----*- C++ -*-===//
+//
+// Part of the PerfPlay reproduction of "On Performance Debugging of
+// Unnecessary Lock Contentions on Multicore Processors" (CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Algorithm 1: classify a pair of critical sections
+/// protected by the same lock by intersecting their shadow-memory
+/// read/write sets.  Pairs that conflict statically are refined by the
+/// reversed replay into Benign or TrueContention.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERFPLAY_DETECT_CLASSIFY_H
+#define PERFPLAY_DETECT_CLASSIFY_H
+
+#include "detect/CriticalSection.h"
+#include "detect/ReversedReplay.h"
+#include "detect/Ulcp.h"
+
+namespace perfplay {
+
+/// Algorithm 1, lines 1-8: classification by read/write set
+/// intersection only.  Returns TrueContention for statically
+/// conflicting pairs (which a caller may refine with isBenignPair).
+UlcpKind classifyPairStatic(const CriticalSection &C1,
+                            const CriticalSection &C2);
+
+/// Full classification: Algorithm 1 plus the reversed-replay
+/// refinement of conflicting pairs into Benign / TrueContention.
+UlcpKind classifyPair(const Trace &Tr, const MemoryImage &Initial,
+                      const CriticalSection &C1,
+                      const CriticalSection &C2);
+
+} // namespace perfplay
+
+#endif // PERFPLAY_DETECT_CLASSIFY_H

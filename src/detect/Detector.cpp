@@ -1,0 +1,45 @@
+//===- detect/Detector.cpp - Whole-trace ULCP detection --------------------===//
+
+#include "detect/Detector.h"
+
+using namespace perfplay;
+
+std::vector<UlcpPair> DetectResult::unnecessaryPairs() const {
+  std::vector<UlcpPair> Out;
+  for (const UlcpPair &P : Pairs)
+    if (isUnnecessary(P.Kind))
+      Out.push_back(P);
+  return Out;
+}
+
+DetectResult perfplay::detectUlcps(const Trace &Tr, const CsIndex &Index,
+                                   const DetectOptions &Opts) {
+  DetectResult Result;
+  MemoryImage Initial = MemoryImage::initialOf(Tr);
+
+  for (LockId L = 0; L != Index.numLocks(); ++L) {
+    const std::vector<uint32_t> &Order = Index.sectionsOfLock(L);
+    for (size_t I = 0; I != Order.size(); ++I) {
+      const CriticalSection &C1 = Index.byGlobalId(Order[I]);
+      size_t Limit = Order.size();
+      if (Opts.PairMode == PairModeKind::AdjacentCrossThread)
+        Limit = std::min(Limit, I + 2);
+      else if (Opts.MaxPairDistance != 0)
+        Limit = std::min(Limit, I + 1 + Opts.MaxPairDistance);
+      for (size_t J = I + 1; J < Limit; ++J) {
+        const CriticalSection &C2 = Index.byGlobalId(Order[J]);
+        if (C1.Ref.Thread == C2.Ref.Thread)
+          continue;
+        UlcpPair Pair;
+        Pair.First = C1.GlobalId;
+        Pair.Second = C2.GlobalId;
+        Pair.Kind = Opts.UseReversedReplay
+                        ? classifyPair(Tr, Initial, C1, C2)
+                        : classifyPairStatic(C1, C2);
+        Result.Counts.add(Pair.Kind);
+        Result.Pairs.push_back(Pair);
+      }
+    }
+  }
+  return Result;
+}

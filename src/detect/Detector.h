@@ -1,0 +1,68 @@
+//===- detect/Detector.h - Whole-trace ULCP detection -----------*- C++ -*-===//
+//
+// Part of the PerfPlay reproduction of "On Performance Debugging of
+// Unnecessary Lock Contentions on Multicore Processors" (CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-trace ULCP detection: enumerate pairs of critical sections
+/// protected by the same lock across threads, classify each (Algorithm
+/// 1 + reversed replay), and summarize per-category counts (the rows of
+/// Table 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERFPLAY_DETECT_DETECTOR_H
+#define PERFPLAY_DETECT_DETECTOR_H
+
+#include "detect/Classify.h"
+#include "detect/CriticalSection.h"
+#include "detect/Ulcp.h"
+#include "trace/Trace.h"
+
+#include <vector>
+
+namespace perfplay {
+
+/// Pair-enumeration strategy.
+enum class PairModeKind {
+  /// Every cross-thread pair of same-lock critical sections, in the
+  /// per-lock order.  This is the paper's counting mode: pairs are the
+  /// basic representation and complex combinations decompose into
+  /// pairs, so counts can exceed the number of dynamic acquisitions.
+  AllCrossThread,
+  /// Only pairs adjacent in the per-lock grant order whose sections are
+  /// on different threads — the contentions that actually serialized
+  /// the recorded execution.
+  AdjacentCrossThread,
+};
+
+/// Detection options.
+struct DetectOptions {
+  PairModeKind PairMode = PairModeKind::AllCrossThread;
+  /// Refine conflicting pairs via reversed replay.  When false, every
+  /// statically conflicting pair counts as TrueContention.
+  bool UseReversedReplay = true;
+  /// Pairs whose sections are farther apart than this in the per-lock
+  /// order are skipped in AllCrossThread mode (0 = unlimited).  Bounds
+  /// the quadratic blow-up on lock-intensive traces.
+  unsigned MaxPairDistance = 0;
+};
+
+/// Detection output: every classified pair plus totals.
+struct DetectResult {
+  std::vector<UlcpPair> Pairs;
+  UlcpCounts Counts;
+
+  /// Only the unnecessary pairs (everything but TrueContention).
+  std::vector<UlcpPair> unnecessaryPairs() const;
+};
+
+/// Runs detection over \p Index (built from \p Tr).
+DetectResult detectUlcps(const Trace &Tr, const CsIndex &Index,
+                         const DetectOptions &Opts = DetectOptions());
+
+} // namespace perfplay
+
+#endif // PERFPLAY_DETECT_DETECTOR_H

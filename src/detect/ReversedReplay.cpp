@@ -1,0 +1,91 @@
+//===- detect/ReversedReplay.cpp - Benign-vs-TLCP discrimination ----------===//
+
+#include "detect/ReversedReplay.h"
+
+#include <cassert>
+#include <set>
+
+using namespace perfplay;
+
+MemoryImage MemoryImage::initialOf(const Trace &Tr) {
+  MemoryImage Image;
+  std::set<AddrId> Decided;
+  // Scan threads in order; the first dynamic access per address decides
+  // its seed.  Only a read seed matters: if the first access is a write,
+  // the value before it is unobservable inside critical sections.
+  for (const auto &T : Tr.Threads)
+    for (const Event &E : T.Events) {
+      if (E.Kind == EventKind::Read) {
+        if (Decided.insert(E.Addr).second)
+          Image.Cells[E.Addr] = E.Value;
+      } else if (E.Kind == EventKind::Write) {
+        Decided.insert(E.Addr);
+      }
+    }
+  return Image;
+}
+
+uint64_t MemoryImage::load(AddrId Addr) const {
+  auto It = Cells.find(Addr);
+  return It == Cells.end() ? 0 : It->second;
+}
+
+void MemoryImage::apply(AddrId Addr, uint64_t Operand, WriteOpKind Op) {
+  uint64_t &Cell = Cells[Addr];
+  switch (Op) {
+  case WriteOpKind::Store:
+    Cell = Operand;
+    break;
+  case WriteOpKind::Add:
+    Cell += Operand;
+    break;
+  case WriteOpKind::Or:
+    Cell |= Operand;
+    break;
+  case WriteOpKind::And:
+    Cell &= Operand;
+    break;
+  case WriteOpKind::Xor:
+    Cell ^= Operand;
+    break;
+  }
+}
+
+ReplayOutcome perfplay::replaySections(
+    const Trace &Tr, MemoryImage Initial,
+    const std::vector<const CriticalSection *> &Sections) {
+  ReplayOutcome Out;
+  Out.Final = std::move(Initial);
+  for (const CriticalSection *Cs : Sections) {
+    const auto &Events = Tr.Threads[Cs->Ref.Thread].Events;
+    assert(Cs->ReleaseIdx > Cs->AcquireIdx && "section not closed");
+    for (size_t I = Cs->AcquireIdx + 1; I != Cs->ReleaseIdx; ++I) {
+      const Event &E = Events[I];
+      if (E.Kind == EventKind::Read)
+        Out.ReadValues.push_back(Out.Final.load(E.Addr));
+      else if (E.Kind == EventKind::Write)
+        Out.Final.apply(E.Addr, E.Value, E.Op);
+    }
+  }
+  return Out;
+}
+
+bool perfplay::isBenignPair(const Trace &Tr, const MemoryImage &Initial,
+                            const CriticalSection &A,
+                            const CriticalSection &B) {
+  // A pair is benign iff the two execution orders are observationally
+  // equivalent: the final memory agrees, and each section reads the
+  // same values whether it runs before or after the other.
+  ReplayOutcome Forward = replaySections(Tr, Initial, {&A, &B});
+  ReplayOutcome Reversed = replaySections(Tr, Initial, {&B, &A});
+  if (!(Forward.Final == Reversed.Final))
+    return false;
+
+  ReplayOutcome AFirst = replaySections(Tr, Initial, {&A});
+  ReplayOutcome BFirst = replaySections(Tr, Initial, {&B});
+  ReplayOutcome ASecond = replaySections(Tr, BFirst.Final, {&A});
+  if (AFirst.ReadValues != ASecond.ReadValues)
+    return false;
+  ReplayOutcome BSecond = replaySections(Tr, AFirst.Final, {&B});
+  return BFirst.ReadValues == BSecond.ReadValues;
+}

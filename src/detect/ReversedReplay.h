@@ -1,0 +1,78 @@
+//===- detect/ReversedReplay.h - Benign-vs-TLCP discrimination --*- C++ -*-===//
+//
+// Part of the PerfPlay reproduction of "On Performance Debugging of
+// Unnecessary Lock Contentions on Multicore Processors" (CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reversed-replay check of Section 3.1: a conflicting pair of
+/// critical sections is *benign* (redundant writes, disjoint bit
+/// manipulation, commutative updates) if replaying the two sections in
+/// both orders produces the same result.  "Result" is the final shared
+/// memory over the touched addresses plus the values every read
+/// observes, evaluated on an abstract memory machine seeded from the
+/// recorded trace.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERFPLAY_DETECT_REVERSEDREPLAY_H
+#define PERFPLAY_DETECT_REVERSEDREPLAY_H
+
+#include "detect/CriticalSection.h"
+#include "trace/Trace.h"
+
+#include <map>
+#include <vector>
+
+namespace perfplay {
+
+/// Abstract shared-memory image: address -> value.  Addresses absent
+/// from the map read as zero.
+class MemoryImage {
+public:
+  /// Builds the initial image of \p Tr: every address whose first
+  /// dynamic access in some thread is a read is seeded with that read's
+  /// recorded value.  (A write-before-read address needs no seed.)
+  static MemoryImage initialOf(const Trace &Tr);
+
+  uint64_t load(AddrId Addr) const;
+
+  /// Applies \p Op with \p Operand at \p Addr.
+  void apply(AddrId Addr, uint64_t Operand, WriteOpKind Op);
+
+  bool operator==(const MemoryImage &RHS) const {
+    return Cells == RHS.Cells;
+  }
+
+private:
+  std::map<AddrId, uint64_t> Cells;
+};
+
+/// Outcome of running memory events of critical sections in one order.
+struct ReplayOutcome {
+  MemoryImage Final;
+  /// Values observed by reads, in execution order.
+  std::vector<uint64_t> ReadValues;
+
+  bool operator==(const ReplayOutcome &RHS) const {
+    return Final == RHS.Final && ReadValues == RHS.ReadValues;
+  }
+};
+
+/// Executes the memory events (reads/writes) of \p Sections'
+/// event ranges, in the given order, starting from \p Initial.
+ReplayOutcome replaySections(const Trace &Tr, MemoryImage Initial,
+                             const std::vector<const CriticalSection *>
+                                 &Sections);
+
+/// Returns true if executing \p A then \p B produces the same outcome as
+/// \p B then \p A from the trace's initial memory image — i.e. the
+/// conflict is benign.  \p Initial is the image from
+/// MemoryImage::initialOf (hoisted by callers classifying many pairs).
+bool isBenignPair(const Trace &Tr, const MemoryImage &Initial,
+                  const CriticalSection &A, const CriticalSection &B);
+
+} // namespace perfplay
+
+#endif // PERFPLAY_DETECT_REVERSEDREPLAY_H

@@ -1,0 +1,10 @@
+//===- runtime/Instrument.cpp - Instrumented sync primitives ---------------===//
+
+#include "runtime/Instrument.h"
+
+using namespace perfplay;
+
+AddrId perfplay::allocateShadowAddr() {
+  static std::atomic<AddrId> Next{1};
+  return Next.fetch_add(1, std::memory_order_relaxed);
+}

@@ -1,0 +1,176 @@
+//===- runtime/Instrument.h - Instrumented sync primitives ------*- C++ -*-===//
+//
+// Part of the PerfPlay reproduction of "On Performance Debugging of
+// Unnecessary Lock Contentions on Multicore Processors" (CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drop-in synchronization primitives that record themselves: a mutex
+/// wrapper, an RAII critical-section guard carrying the code site, and
+/// a shared-variable wrapper that logs reads/writes with observed
+/// values.  Together with runtime/Recorder.h these replace the paper's
+/// Pin instrumentation for applications built against this library.
+///
+/// \code
+///   Recorder R;
+///   RecordingMutex Mu(R, "dbmp->mutex");
+///   SharedVar<uint64_t> Ref(R, "dbmfp->ref");
+///   // In each thread (Tid from R.registerThread()):
+///   {
+///     RecordedSection Guard(Mu, Tid,
+///                           PERFPLAY_CODE_SITE(R, 120, 131));
+///     if (Ref.load(Tid) == 1) { ... }
+///   }
+///   Trace Tr = R.finish();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERFPLAY_RUNTIME_INSTRUMENT_H
+#define PERFPLAY_RUNTIME_INSTRUMENT_H
+
+#include "runtime/Recorder.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+
+namespace perfplay {
+
+/// Registers (once) the code site spanning \p BeginLine-\p EndLine of
+/// the current function.
+#define PERFPLAY_CODE_SITE(RecorderRef, BeginLine, EndLine)                  \
+  (RecorderRef).registerSite(__FILE__, __func__, (BeginLine), (EndLine))
+
+/// A mutex that records its acquisitions and releases.
+class RecordingMutex {
+public:
+  RecordingMutex(Recorder &R, std::string Name, bool IsSpin = false)
+      : R(R), Id(R.registerLock(std::move(Name), IsSpin)) {}
+
+  RecordingMutex(const RecordingMutex &) = delete;
+  RecordingMutex &operator=(const RecordingMutex &) = delete;
+
+  /// Acquires, recording wait separately from computation.
+  void lock(ThreadId T, CodeSiteId Site = InvalidId) {
+    R.onAcquireStart(T);
+    Mu.lock();
+    R.onAcquired(T, Id, Site);
+  }
+
+  /// Releases.
+  void unlock(ThreadId T) {
+    Mu.unlock();
+    R.onRelease(T, Id);
+  }
+
+  LockId id() const { return Id; }
+
+private:
+  friend class RecordingCondition;
+  Recorder &R;
+  LockId Id;
+  std::mutex Mu;
+};
+
+/// RAII critical section over a RecordingMutex.
+class RecordedSection {
+public:
+  RecordedSection(RecordingMutex &Mu, ThreadId T,
+                  CodeSiteId Site = InvalidId)
+      : Mu(Mu), T(T) {
+    Mu.lock(T, Site);
+  }
+  ~RecordedSection() { Mu.unlock(T); }
+
+  RecordedSection(const RecordedSection &) = delete;
+  RecordedSection &operator=(const RecordedSection &) = delete;
+
+private:
+  RecordingMutex &Mu;
+  ThreadId T;
+};
+
+/// A condition variable that records the lock dance of
+/// pthread_cond_wait (Appendix Case 1): the wait releases the lock
+/// (closing the critical section), sleeps without charging
+/// computation, and re-acquires it (opening a fresh section — often a
+/// null-lock, which is exactly the ULCP the paper's Case 1 describes).
+class RecordingCondition {
+public:
+  /// Waits until \p Pred holds.  \p Mu must be held by \p T; on return
+  /// it is held again and the trace shows release / re-acquire events.
+  template <typename Pred>
+  void wait(RecordingMutex &Mu, ThreadId T, Pred P,
+            CodeSiteId ReacquireSite = InvalidId);
+
+  void notifyOne() { Cv.notify_one(); }
+  void notifyAll() { Cv.notify_all(); }
+
+private:
+  std::condition_variable_any Cv;
+};
+
+/// Allocates process-unique shadow addresses for shared variables.
+AddrId allocateShadowAddr();
+
+/// A shared variable whose accesses are recorded with observed values,
+/// feeding the reversed-replay benign analysis.  \p T must be an
+/// unsigned integral type convertible to uint64_t.
+template <typename T> class SharedVar {
+public:
+  SharedVar(Recorder &R, std::string Name, T Init = T())
+      : R(R), Name(std::move(Name)), Addr(allocateShadowAddr()),
+        Value(Init) {}
+
+  /// Recorded read.  Call with the protecting lock held.
+  T load(ThreadId Tid) {
+    T V = Value.load(std::memory_order_relaxed);
+    R.onRead(Tid, Addr, static_cast<uint64_t>(V));
+    return V;
+  }
+
+  /// Recorded store.  Call with the protecting lock held.
+  void store(ThreadId Tid, T V) {
+    Value.store(V, std::memory_order_relaxed);
+    R.onWrite(Tid, Addr, static_cast<uint64_t>(V), WriteOpKind::Store);
+  }
+
+  /// Recorded fetch-add (commutative; reversed replay classifies
+  /// add-add pairs as benign).
+  T fetchAdd(ThreadId Tid, T Delta) {
+    T Old = Value.fetch_add(Delta, std::memory_order_relaxed);
+    R.onWrite(Tid, Addr, static_cast<uint64_t>(Delta), WriteOpKind::Add);
+    return Old;
+  }
+
+  AddrId addr() const { return Addr; }
+  const std::string &name() const { return Name; }
+
+private:
+  Recorder &R;
+  std::string Name;
+  AddrId Addr;
+  std::atomic<T> Value;
+};
+
+template <typename Pred>
+void RecordingCondition::wait(RecordingMutex &Mu, ThreadId T, Pred P,
+                              CodeSiteId ReacquireSite) {
+  // Trace view: the current critical section closes here...
+  Mu.R.onRelease(T, Mu.Id);
+  Mu.R.onAcquireStart(T); // ...and the sleep is waiting, not compute.
+  {
+    std::unique_lock<std::mutex> Guard(Mu.Mu, std::adopt_lock);
+    Cv.wait(Guard, P);
+    Guard.release(); // Keep the native mutex held past this scope.
+  }
+  // ...and a fresh section opens at wake-up (Case 1's second pair).
+  Mu.R.onAcquired(T, Mu.Id, ReacquireSite);
+}
+
+} // namespace perfplay
+
+#endif // PERFPLAY_RUNTIME_INSTRUMENT_H

@@ -1,0 +1,142 @@
+//===- runtime/Recorder.cpp - Live execution recording ---------------------===//
+
+#include "runtime/Recorder.h"
+
+#include <cassert>
+
+using namespace perfplay;
+
+Recorder::Recorder() = default;
+
+LockId Recorder::registerLock(std::string Name, bool IsSpin) {
+  std::lock_guard<std::mutex> Guard(Registry);
+  assert(!Finished && "recorder already finished");
+  LockInfo Info;
+  Info.Name = std::move(Name);
+  Info.IsSpin = IsSpin;
+  Result.Locks.push_back(std::move(Info));
+  return static_cast<LockId>(Result.Locks.size() - 1);
+}
+
+CodeSiteId Recorder::registerSite(std::string File, std::string Function,
+                                  uint32_t BeginLine, uint32_t EndLine) {
+  std::lock_guard<std::mutex> Guard(Registry);
+  assert(!Finished && "recorder already finished");
+  for (size_t I = 0; I != Result.Sites.size(); ++I) {
+    const CodeSite &S = Result.Sites[I];
+    if (S.File == File && S.Function == Function &&
+        S.BeginLine == BeginLine && S.EndLine == EndLine)
+      return static_cast<CodeSiteId>(I);
+  }
+  CodeSite Site;
+  Site.File = std::move(File);
+  Site.Function = std::move(Function);
+  Site.BeginLine = BeginLine;
+  Site.EndLine = EndLine;
+  Result.Sites.push_back(std::move(Site));
+  return static_cast<CodeSiteId>(Result.Sites.size() - 1);
+}
+
+ThreadId Recorder::registerThread() {
+  std::lock_guard<std::mutex> Guard(Registry);
+  assert(!Finished && "recorder already finished");
+  auto *Log = new PerThread();
+  Log->Events.push_back(Event::threadStart());
+  Log->LastStamp = Clock::now();
+  ThreadLogs.push_back(Log);
+  Result.Threads.emplace_back();
+  return static_cast<ThreadId>(ThreadLogs.size() - 1);
+}
+
+void Recorder::flushCompute(ThreadId T, Clock::time_point Now) {
+  PerThread &Log = *ThreadLogs[T];
+  auto Elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     Now - Log.LastStamp)
+                     .count();
+  if (Elapsed > 0)
+    Log.Events.push_back(Event::compute(static_cast<TimeNs>(Elapsed)));
+  Log.LastStamp = Now;
+}
+
+void Recorder::onAcquireStart(ThreadId T) {
+  assert(T < ThreadLogs.size() && "unregistered thread");
+  PerThread &Log = *ThreadLogs[T];
+  auto Now = Clock::now();
+  flushCompute(T, Now);
+  Log.Waiting = true;
+  Log.WaitStart = Now;
+}
+
+void Recorder::onAcquired(ThreadId T, LockId Lock, CodeSiteId Site) {
+  assert(T < ThreadLogs.size() && "unregistered thread");
+  PerThread &Log = *ThreadLogs[T];
+  auto Now = Clock::now();
+  if (Log.Waiting) {
+    // Selective recording: the wait is contention, not computation;
+    // drop it so the replayer re-derives it from the schedule.
+    Log.LastStamp = Now;
+    Log.Waiting = false;
+  } else {
+    flushCompute(T, Now);
+  }
+  Log.Events.push_back(Event::lockAcquire(Lock, Site));
+  {
+    // We already hold the recorded lock here, so this registry lock
+    // cannot invert the observed grant order for a given lock.
+    std::lock_guard<std::mutex> Guard(Registry);
+    GrantLog.push_back({Lock, T});
+  }
+}
+
+void Recorder::onRelease(ThreadId T, LockId Lock) {
+  assert(T < ThreadLogs.size() && "unregistered thread");
+  auto Now = Clock::now();
+  flushCompute(T, Now);
+  ThreadLogs[T]->Events.push_back(Event::lockRelease(Lock));
+}
+
+void Recorder::onRead(ThreadId T, AddrId Addr, uint64_t Value) {
+  assert(T < ThreadLogs.size() && "unregistered thread");
+  auto Now = Clock::now();
+  flushCompute(T, Now);
+  ThreadLogs[T]->Events.push_back(Event::read(Addr, Value));
+}
+
+void Recorder::onWrite(ThreadId T, AddrId Addr, uint64_t Value,
+                       WriteOpKind Op) {
+  assert(T < ThreadLogs.size() && "unregistered thread");
+  auto Now = Clock::now();
+  flushCompute(T, Now);
+  ThreadLogs[T]->Events.push_back(Event::write(Addr, Value, Op));
+}
+
+void Recorder::checkpoint(ThreadId T, std::string Name) {
+  assert(T < ThreadLogs.size() && "unregistered thread");
+  std::lock_guard<std::mutex> Guard(Registry);
+  Marks.push_back(
+      Checkpoint{T, std::move(Name), ThreadLogs[T]->Events.size()});
+}
+
+Trace Recorder::finish() {
+  std::lock_guard<std::mutex> Guard(Registry);
+  assert(!Finished && "recorder already finished");
+  Finished = true;
+
+  for (ThreadId T = 0; T != ThreadLogs.size(); ++T) {
+    ThreadLogs[T]->Events.push_back(Event::threadEnd());
+    Result.Threads[T].Events = std::move(ThreadLogs[T]->Events);
+    delete ThreadLogs[T];
+  }
+  ThreadLogs.clear();
+
+  // Rebuild the per-lock grant schedule with per-thread CS indices.
+  std::vector<uint32_t> NextCsIndex(Result.Threads.size(), 0);
+  // GrantLog entries are in acquisition order per lock; the I-th grant
+  // of thread T corresponds to T's I-th critical section.
+  Result.LockSchedule.assign(Result.Locks.size(), {});
+  for (const auto &[Lock, T] : GrantLog)
+    Result.LockSchedule[Lock].push_back(CsRef{T, NextCsIndex[T]++});
+
+  Result.buildCsIndex();
+  return std::move(Result);
+}

@@ -1,0 +1,118 @@
+//===- runtime/Recorder.h - Live execution recording ------------*- C++ -*-===//
+//
+// Part of the PerfPlay reproduction of "On Performance Debugging of
+// Unnecessary Lock Contentions on Multicore Processors" (CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The recording substrate that stands in for the paper's Pin-based
+/// instrumentation: applications link against RecordingMutex /
+/// SharedVar (runtime/Instrument.h) and every synchronization operation
+/// and shared access is logged here, with the computation between
+/// events collapsed into Compute(cost) — the paper's selective
+/// recording (Section 5.1).  Lock-waiting time is excluded from the
+/// recorded computation (the replayer re-derives contention), and the
+/// global grant order of every lock is captured as the schedule ELSC
+/// enforces on replay.
+///
+/// Thread safety: per-thread event buffers are touched only by their
+/// owning thread; the grant-order log is serialized by an internal
+/// mutex (taken while the recorded lock is already held, so it adds no
+/// ordering of its own).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERFPLAY_RUNTIME_RECORDER_H
+#define PERFPLAY_RUNTIME_RECORDER_H
+
+#include "trace/Trace.h"
+
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace perfplay {
+
+/// Collects a Trace from a live multi-threaded execution.
+///
+/// Lifecycle: register locks/sites up front, register each thread from
+/// the thread itself, feed events through the on* hooks (normally via
+/// runtime/Instrument.h wrappers), then call finish() after all
+/// recorded threads have joined.
+class Recorder {
+public:
+  Recorder();
+
+  /// Registers a lock; thread-safe.
+  LockId registerLock(std::string Name, bool IsSpin = false);
+
+  /// Registers (or re-finds) a code site; thread-safe, deduplicated.
+  CodeSiteId registerSite(std::string File, std::string Function,
+                          uint32_t BeginLine, uint32_t EndLine);
+
+  /// Registers the calling thread and returns its id.
+  ThreadId registerThread();
+
+  /// Hook: the thread is about to contend for \p Lock.  Computation
+  /// since the previous event is captured; waiting starts now.
+  void onAcquireStart(ThreadId T);
+
+  /// Hook: the thread now holds \p Lock (call with the lock held).
+  /// The wait since onAcquireStart is *not* recorded as computation.
+  void onAcquired(ThreadId T, LockId Lock, CodeSiteId Site);
+
+  /// Hook: the thread released \p Lock (call right after unlocking).
+  void onRelease(ThreadId T, LockId Lock);
+
+  /// Hook: shared read of \p Addr observing \p Value.
+  void onRead(ThreadId T, AddrId Addr, uint64_t Value);
+
+  /// Hook: shared write.
+  void onWrite(ThreadId T, AddrId Addr, uint64_t Value, WriteOpKind Op);
+
+  /// Marks a named checkpoint for repeated local debugging
+  /// (Section 5.1); checkpoints live beside the trace, not in it.
+  void checkpoint(ThreadId T, std::string Name);
+
+  /// A recorded checkpoint.
+  struct Checkpoint {
+    ThreadId Thread;
+    std::string Name;
+    /// Index of the next event of that thread at checkpoint time.
+    size_t EventIndex;
+  };
+
+  const std::vector<Checkpoint> &checkpoints() const { return Marks; }
+
+  /// Finalizes and returns the trace.  All recorded threads must have
+  /// finished issuing events.  The recorder must not be reused.
+  Trace finish();
+
+private:
+  using Clock = std::chrono::steady_clock;
+
+  struct PerThread {
+    std::vector<Event> Events;
+    Clock::time_point LastStamp;
+    Clock::time_point WaitStart;
+    bool Waiting = false;
+  };
+
+  /// Emits the computation elapsed on \p T since its last event.
+  void flushCompute(ThreadId T, Clock::time_point Now);
+
+  std::mutex Registry;
+  Trace Result;
+  std::vector<PerThread *> ThreadLogs;
+  /// Global grant order: (lock, thread) in acquisition order; per-CS
+  /// indices are reconstructed in finish().
+  std::vector<std::pair<LockId, ThreadId>> GrantLog;
+  std::vector<Checkpoint> Marks;
+  bool Finished = false;
+};
+
+} // namespace perfplay
+
+#endif // PERFPLAY_RUNTIME_RECORDER_H

@@ -1,0 +1,165 @@
+//===- sim/LockElision.cpp - Speculative lock elision baseline --------------===//
+
+#include "sim/LockElision.h"
+
+#include "detect/Classify.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace perfplay;
+
+namespace {
+
+/// Per-section speculation bookkeeping.
+struct Speculation {
+  /// Tentative [start, end) interval under pure speculation with the
+  /// thread's current shift applied.
+  TimeNs Start = 0;
+  TimeNs End = 0;
+  unsigned Aborts = 0;
+  bool FellBack = false;
+};
+
+/// Body cost of a section (compute + memory between acquire/release).
+TimeNs bodyCost(const Trace &Tr, const CriticalSection &Cs,
+                const CostModel &Costs) {
+  TimeNs Total = 0;
+  const auto &Events = Tr.Threads[Cs.Ref.Thread].Events;
+  for (size_t I = Cs.AcquireIdx + 1; I != Cs.ReleaseIdx; ++I) {
+    const Event &E = Events[I];
+    if (E.Kind == EventKind::Compute)
+      Total += E.Cost;
+    else if (E.Kind == EventKind::Read || E.Kind == EventKind::Write)
+      Total += Costs.MemAccess;
+  }
+  return Total;
+}
+
+} // namespace
+
+LockElisionResult perfplay::simulateLockElision(
+    const Trace &Tr, const CsIndex &Index,
+    const LockElisionOptions &Opts) {
+  LockElisionResult Result;
+  Result.ThreadFinish.assign(Tr.numThreads(), 0);
+
+  // Pass 1: speculative solo execution — every acquire succeeds
+  // immediately, so each thread's timeline is contention-free.
+  std::vector<Speculation> Specs(Index.size());
+  for (ThreadId T = 0; T != Tr.Threads.size(); ++T) {
+    TimeNs Clock = 0;
+    uint32_t NextIndex = 0;
+    std::vector<uint32_t> Open;
+    for (const Event &E : Tr.Threads[T].Events) {
+      switch (E.Kind) {
+      case EventKind::Compute:
+        Clock += E.Cost;
+        break;
+      case EventKind::Read:
+      case EventKind::Write:
+        Clock += Opts.Costs.MemAccess;
+        break;
+      case EventKind::LockAcquire: {
+        uint32_t Cs = Tr.globalCsId(CsRef{T, NextIndex++});
+        Specs[Cs].Start = Clock;
+        Open.push_back(Cs);
+        break;
+      }
+      case EventKind::LockRelease:
+        assert(!Open.empty() && "unbalanced release");
+        Specs[Open.back()].End = Clock;
+        Open.pop_back();
+        break;
+      case EventKind::ThreadStart:
+      case EventKind::ThreadEnd:
+        break;
+      }
+    }
+    Result.ThreadFinish[T] = Clock;
+  }
+
+  // Pass 2: conflict resolution per lock in start order.  An abort
+  // re-executes the section (body + penalty), shifting everything
+  // later on its thread; retries exhausted -> take the real lock and
+  // serialize behind the lock's previous fallback.
+  MemoryImage Initial = MemoryImage::initialOf(Tr);
+  Rng R(Opts.Seed);
+  std::vector<TimeNs> Shift(Tr.numThreads(), 0);
+  std::vector<TimeNs> LockFreeAt(Tr.Locks.size(), 0);
+
+  for (LockId L = 0; L != Index.numLocks(); ++L) {
+    std::vector<uint32_t> Order = Index.sectionsOfLock(L);
+    std::stable_sort(Order.begin(), Order.end(),
+                     [&](uint32_t A, uint32_t B) {
+                       return Specs[A].Start < Specs[B].Start;
+                     });
+    for (size_t I = 0; I != Order.size(); ++I) {
+      uint32_t Cs = Order[I];
+      const CriticalSection &Section = Index.byGlobalId(Cs);
+      ThreadId T = Section.Ref.Thread;
+      TimeNs Start = Specs[Cs].Start + Shift[T];
+      TimeNs End = Specs[Cs].End + Shift[T];
+      TimeNs Body = bodyCost(Tr, Section, Opts.Costs);
+
+      for (unsigned Attempt = 0;; ++Attempt) {
+        // Find a conflicting earlier section still running at Start.
+        bool Conflict = false;
+        for (size_t J = 0; J != I && !Conflict; ++J) {
+          uint32_t Other = Order[J];
+          const CriticalSection &OtherSec = Index.byGlobalId(Other);
+          if (OtherSec.Ref.Thread == T)
+            continue;
+          TimeNs OtherEnd = Specs[Other].End + Shift[OtherSec.Ref.Thread];
+          if (OtherEnd <= Start)
+            continue; // Finished before we started.
+          // Hardware conflict detection is set-based: benign conflicts
+          // abort too (only truly disjoint sections co-exist).
+          Conflict = classifyPairStatic(OtherSec, Section) ==
+                     UlcpKind::TrueContention;
+        }
+        bool FalseAbort = !Conflict && R.nextBool(Opts.FalseAbortRate);
+        if (!Conflict && !FalseAbort)
+          break; // Commit.
+
+        if (Conflict)
+          ++Result.ConflictAborts;
+        else
+          ++Result.FalseAborts;
+        ++Specs[Cs].Aborts;
+        TimeNs Redo = Body + Opts.AbortPenalty;
+        Result.WastedNs += Redo;
+        Shift[T] += Redo;
+        Start += Redo;
+        End += Redo;
+
+        if (Attempt + 1 >= Opts.MaxRetries) {
+          // Fall back to the real lock: wait until the lock's previous
+          // fallback released it.
+          ++Result.Fallbacks;
+          Specs[Cs].FellBack = true;
+          TimeNs Grant = std::max(Start, LockFreeAt[L]);
+          TimeNs Wait = Grant - Start;
+          Shift[T] += Wait + Opts.Costs.LockAcquire +
+                      Opts.Costs.LockRelease;
+          Start = Grant;
+          End = Grant + Body + Opts.Costs.LockAcquire +
+                Opts.Costs.LockRelease;
+          LockFreeAt[L] = End;
+          break;
+        }
+      }
+      Specs[Cs].Start = Start - Shift[T];
+      Specs[Cs].End = End - Shift[T];
+    }
+  }
+  (void)Initial;
+
+  Result.TotalTime = 0;
+  for (ThreadId T = 0; T != Tr.Threads.size(); ++T) {
+    Result.ThreadFinish[T] += Shift[T];
+    Result.TotalTime = std::max(Result.TotalTime, Result.ThreadFinish[T]);
+  }
+  return Result;
+}

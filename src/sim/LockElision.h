@@ -1,0 +1,78 @@
+//===- sim/LockElision.h - Speculative lock elision baseline ----*- C++ -*-===//
+//
+// Part of the PerfPlay reproduction of "On Performance Debugging of
+// Unnecessary Lock Contentions on Multicore Processors" (CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The baseline the paper argues against (Sections 2.2 and 7.1):
+/// speculative lock elision (Rajwar/Goodman-style) executes critical
+/// sections without taking the lock and aborts on data conflicts.  It
+/// removes ULCP serialization *at runtime* — but pays aborts and
+/// rollbacks, suffers false aborts from hardware limitations, and
+/// gives the programmer no debugging information.
+///
+/// This simulator models that trade-off on our traces:
+///  - sections run speculatively (no lock-wait),
+///  - two temporally-overlapping same-lock sections abort the
+///    later-started one when their read/write sets truly conflict
+///    (the hardware cannot recognize benign conflicts: redundant
+///    writes abort too),
+///  - each section additionally suffers a seeded false abort with
+///    probability FalseAbortRate,
+///  - an abort rolls the section back (its body re-executes plus an
+///    abort penalty); after MaxRetries aborts the section falls back
+///    to the real lock, serializing behind the lock's other fallbacks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERFPLAY_SIM_LOCKELISION_H
+#define PERFPLAY_SIM_LOCKELISION_H
+
+#include "detect/CriticalSection.h"
+#include "sim/CostModel.h"
+#include "trace/Trace.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace perfplay {
+
+/// Lock-elision simulation parameters.
+struct LockElisionOptions {
+  /// Cycles lost per abort beyond re-executing the section body.
+  TimeNs AbortPenalty = 150;
+  /// Probability of a capacity/interrupt-style false abort per
+  /// speculative attempt (the paper cites these as a practical
+  /// limitation of hardware LE).
+  double FalseAbortRate = 0.02;
+  /// Aborts after which the section gives up and takes the real lock.
+  unsigned MaxRetries = 2;
+  uint64_t Seed = 1;
+  CostModel Costs;
+};
+
+/// Lock-elision simulation outcome.
+struct LockElisionResult {
+  TimeNs TotalTime = 0;
+  std::vector<TimeNs> ThreadFinish;
+  /// Conflict aborts (real data conflicts detected during speculation).
+  uint64_t ConflictAborts = 0;
+  /// False aborts (hardware limitations).
+  uint64_t FalseAborts = 0;
+  /// Sections that exhausted their retries and took the lock.
+  uint64_t Fallbacks = 0;
+  /// Virtual time burned re-executing aborted sections.
+  TimeNs WastedNs = 0;
+};
+
+/// Simulates lock elision over \p Tr.  \p Index must be built from
+/// \p Tr.  Deterministic for a fixed seed.
+LockElisionResult simulateLockElision(
+    const Trace &Tr, const CsIndex &Index,
+    const LockElisionOptions &Opts = LockElisionOptions());
+
+} // namespace perfplay
+
+#endif // PERFPLAY_SIM_LOCKELISION_H

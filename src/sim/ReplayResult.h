@@ -1,0 +1,87 @@
+//===- sim/ReplayResult.h - Replay outputs -----------------------*- C++ -*-===//
+//
+// Part of the PerfPlay reproduction of "On Performance Debugging of
+// Unnecessary Lock Contentions on Multicore Processors" (CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replay outputs: completion times, per-critical-section timestamps
+/// (the Time1/Time2/Time3 labels of Figure 10 that feed Equation 1),
+/// and the waiting/bookkeeping accounting behind the paper's resource
+/// wasting and lockset-overhead numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERFPLAY_SIM_REPLAYRESULT_H
+#define PERFPLAY_SIM_REPLAYRESULT_H
+
+#include "trace/Trace.h"
+
+#include <string>
+#include <vector>
+
+namespace perfplay {
+
+/// Sentinel for "never happened".
+inline constexpr TimeNs NeverNs = ~static_cast<TimeNs>(0);
+
+/// Virtual timestamps of one critical section in one replay.
+struct CsTiming {
+  /// Start of the precursor segment (previous sync point on the
+  /// thread); Figure 10's Time1 for a pair's first section.
+  TimeNs PrecursorStart = NeverNs;
+  /// Thread reached the acquire and began waiting.
+  TimeNs Arrival = NeverNs;
+  /// Lock(s) granted.
+  TimeNs Granted = NeverNs;
+  /// Lock(s) released.
+  TimeNs Released = NeverNs;
+  /// End of the successor segment (next sync point after the release);
+  /// Figure 10's Time2/Time3.
+  TimeNs SuccessorEnd = NeverNs;
+
+  /// Lock-waiting duration of this section.
+  TimeNs waitNs() const {
+    return Granted == NeverNs || Arrival == NeverNs ? 0 : Granted - Arrival;
+  }
+};
+
+/// Result of one replay.
+struct ReplayResult {
+  /// Empty on success; otherwise a diagnostic (e.g. enforced-order
+  /// deadlock) and the other fields are partial.
+  std::string Error;
+
+  /// Completion time: max over thread finish times.
+  TimeNs TotalTime = 0;
+  std::vector<TimeNs> ThreadFinish;
+
+  /// Per-critical-section timestamps, indexed by global CS id.
+  std::vector<CsTiming> Sections;
+
+  /// Total CPU burned in spin-waits (the paper's resource wasting).
+  TimeNs SpinWaitNs = 0;
+  /// Total blocked (idle) waiting.
+  TimeNs IdleWaitNs = 0;
+  /// Per-thread spin-wait totals.
+  std::vector<TimeNs> ThreadSpinWaitNs;
+  /// Virtual time charged to lockset bookkeeping (Table 3 numerator).
+  TimeNs LocksetOverheadNs = 0;
+  /// Locks actually acquired through locksets (DLS reduces this).
+  uint64_t LocksetLocksAcquired = 0;
+  /// Times the engine had to break an enforced-order stall to make
+  /// progress (only possible under SYNC-S order inversions).
+  uint64_t OrderBreaks = 0;
+
+  /// Per-lock grant order observed in this replay; installing this into
+  /// Trace::LockSchedule is the "recording" step ELSC-S replays later
+  /// enforce.
+  std::vector<std::vector<CsRef>> GrantSchedule;
+
+  bool ok() const { return Error.empty(); }
+};
+
+} // namespace perfplay
+
+#endif // PERFPLAY_SIM_REPLAYRESULT_H

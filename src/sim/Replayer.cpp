@@ -1,0 +1,589 @@
+//===- sim/Replayer.cpp - Deterministic trace replay -----------------------===//
+
+#include "sim/Replayer.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace perfplay;
+
+namespace {
+
+/// The discrete-event replay engine.  See Replayer.h for semantics.
+class Engine {
+public:
+  Engine(const Trace &Tr, const ReplayOptions &Opts);
+
+  /// When true, per-access completion times are captured into MemTimes
+  /// (used by the MEM-S pre-replay to derive the global access order).
+  bool CaptureMemTimes = false;
+  /// Per-thread, per-access completion times (filled when capturing).
+  std::vector<std::vector<TimeNs>> MemTimes;
+  /// Global access order to enforce: (thread, per-thread access index).
+  std::vector<std::pair<ThreadId, size_t>> MemOrder;
+
+  ReplayResult run();
+
+private:
+  enum class StatusKind { Running, WaitAcquire, WaitMem, Done };
+
+  struct ThreadState {
+    size_t PC = 0;
+    TimeNs Clock = 0;
+    StatusKind Status = StatusKind::Running;
+    uint32_t NextCsIndex = 0;
+    /// Open critical sections (global ids), innermost last.
+    std::vector<uint32_t> OpenCs;
+    /// Pending acquire (valid while WaitAcquire).
+    uint32_t PendingCs = InvalidId;
+    std::vector<LockId> PendingLocks;
+    bool PendingHasLockset = false;
+    /// Lockset id of the pending acquire (InvalidId = plain {Lock});
+    /// kept so the dynamic locking strategy can re-evaluate END flags
+    /// as other threads' releases become known.
+    LocksetId PendingLockset = InvalidId;
+    TimeNs Arrival = 0;
+    /// End of the last sync point; precursor-segment start of the next
+    /// critical section.
+    TimeNs LastSyncEnd = 0;
+    /// Next shared-access index on this thread.
+    size_t MemIdx = 0;
+    /// Released sections whose successor segment is still running.
+    std::vector<uint32_t> AwaitSuccessor;
+  };
+
+  struct LockState {
+    bool Held = false;
+    ThreadId Holder = InvalidId;
+    TimeNs FreeAt = 0;
+    size_t Cursor = 0; // Into EnforcedOrder (granted entries skipped).
+  };
+
+  /// A grant candidate found by the selection scan.
+  struct Candidate {
+    bool IsMem = false;
+    ThreadId Thread = InvalidId;
+    TimeNs Time = 0;
+    uint64_t TieBreak = 0;
+    bool Valid = false;
+  };
+
+  const Trace &Tr;
+  ReplayOptions Opts;
+  ReplayResult Result;
+
+  std::vector<ThreadState> Threads;
+  std::vector<LockState> Locks;
+  /// Per-lock enforced grant order (global CS ids); empty = none.
+  std::vector<std::vector<uint32_t>> EnforcedOrder;
+  /// Per-CS grant / release times (NeverNs until they happen).
+  std::vector<TimeNs> GrantTime;
+  std::vector<TimeNs> ReleaseTime;
+  /// Locks actually acquired by each granted CS (for its release).
+  std::vector<std::vector<LockId>> AcquiredLocks;
+  /// RULE 2 predecessors per CS.
+  std::vector<std::vector<uint32_t>> Preds;
+  /// MEM-S cursor state.
+  size_t MemCursor = 0;
+  TimeNs MemFreeAt = 0;
+
+  bool memSerialized() const {
+    return Opts.Schedule == ScheduleKind::MemS && !CaptureMemTimes;
+  }
+
+  bool lockOrderEnforced() const {
+    // Recorded per-lock order only applies to untransformed traces; in
+    // transformed traces ordering is carried by RULE 2 constraints.
+    if (!Tr.Locksets.empty())
+      return false;
+    return Opts.Schedule != ScheduleKind::OrigS;
+  }
+
+  TimeNs jitteredCost(ThreadId T, size_t PC, TimeNs Cost) const;
+  void resolvePendingLocks(ThreadState &TS, const Event &E, uint32_t Cs);
+  void refreshPendingLocks(ThreadState &TS);
+  void flushSuccessors(ThreadState &TS, TimeNs Now);
+  void advanceThread(ThreadId T);
+  Candidate scanAcquires(bool IgnoreOrder) const;
+  Candidate scanMem() const;
+  void grantAcquire(ThreadId T, TimeNs When);
+  void grantMem(ThreadId T, TimeNs When);
+  uint32_t orderHead(LockId L) const;
+};
+
+} // namespace
+
+Engine::Engine(const Trace &Tr, const ReplayOptions &Opts)
+    : Tr(Tr), Opts(Opts) {
+  size_t NumCs = Tr.numCriticalSections();
+  Threads.resize(Tr.numThreads());
+  Locks.resize(Tr.Locks.size());
+  GrantTime.assign(NumCs, NeverNs);
+  ReleaseTime.assign(NumCs, NeverNs);
+  AcquiredLocks.resize(NumCs);
+  Preds.resize(NumCs);
+  for (const OrderConstraint &C : Tr.Constraints)
+    Preds[C.After].push_back(C.Before);
+
+  Result.Sections.resize(NumCs);
+  Result.ThreadFinish.assign(Tr.numThreads(), 0);
+  Result.ThreadSpinWaitNs.assign(Tr.numThreads(), 0);
+  Result.GrantSchedule.assign(Tr.Locks.size(), {});
+  MemTimes.resize(Tr.numThreads());
+
+  // Build the enforced per-lock order for the chosen scheme.
+  EnforcedOrder.assign(Tr.Locks.size(), {});
+  if (lockOrderEnforced()) {
+    if (Opts.Schedule == ScheduleKind::ElscS ||
+        Opts.Schedule == ScheduleKind::MemS) {
+      // ELSC: exactly the recorded schedule.  MEM-S piggybacks on it so
+      // the enforced memory order (derived from an ELSC pre-replay)
+      // can never contradict the lock order.
+      for (LockId L = 0; L != Tr.LockSchedule.size(); ++L)
+        for (const CsRef &Ref : Tr.LockSchedule[L])
+          EnforcedOrder[L].push_back(Tr.globalCsId(Ref));
+    } else {
+      assert(Opts.Schedule == ScheduleKind::SyncS && "covered above");
+      // SYNC-S: input-derived deterministic order — sort each lock's
+      // sections by their no-contention (solo) arrival time.
+      std::vector<TimeNs> Solo = computeSoloArrivals(Tr, Opts.Costs);
+      std::vector<std::vector<uint32_t>> ByLock(Tr.Locks.size());
+      for (ThreadId T = 0; T != Tr.Threads.size(); ++T) {
+        uint32_t Index = 0;
+        for (const Event &E : Tr.Threads[T].Events)
+          if (E.Kind == EventKind::LockAcquire) {
+            uint32_t Id = Tr.globalCsId(CsRef{T, Index++});
+            ByLock[E.Lock].push_back(Id);
+          }
+      }
+      for (LockId L = 0; L != ByLock.size(); ++L) {
+        auto &Order = ByLock[L];
+        std::stable_sort(Order.begin(), Order.end(),
+                         [&](uint32_t A, uint32_t B) {
+                           if (Solo[A] != Solo[B])
+                             return Solo[A] < Solo[B];
+                           return A < B;
+                         });
+        EnforcedOrder[L] = std::move(Order);
+      }
+    }
+  }
+}
+
+TimeNs Engine::jitteredCost(ThreadId T, size_t PC, TimeNs Cost) const {
+  if (Opts.Schedule != ScheduleKind::OrigS || Opts.OrigJitter <= 0.0)
+    return Cost;
+  uint64_t H = splitMix64(Opts.Seed ^ (static_cast<uint64_t>(T) << 40) ^
+                          static_cast<uint64_t>(PC));
+  double U = static_cast<double>(H >> 11) * 0x1.0p-53; // [0, 1)
+  double Factor = 1.0 + Opts.OrigJitter * (2.0 * U - 1.0);
+  double Scaled = static_cast<double>(Cost) * Factor;
+  return Scaled <= 0.0 ? 0 : static_cast<TimeNs>(Scaled + 0.5);
+}
+
+void Engine::resolvePendingLocks(ThreadState &TS, const Event &E,
+                                 uint32_t Cs) {
+  TS.PendingHasLockset = E.Lockset != InvalidId;
+  TS.PendingLockset = E.Lockset;
+  TS.PendingCs = Cs;
+  if (E.Lockset == InvalidId) {
+    TS.PendingLocks.assign(1, E.Lock);
+    return;
+  }
+  refreshPendingLocks(TS);
+}
+
+void Engine::refreshPendingLocks(ThreadState &TS) {
+  if (TS.PendingLockset == InvalidId)
+    return;
+  TS.PendingLocks.clear();
+  for (const LocksetEntry &Entry : Tr.Locksets[TS.PendingLockset].Entries) {
+    // Dynamic locking strategy (Figure 9): a lock contributed by a
+    // source section that already finished (END flag set) by this
+    // thread's arrival is skipped.  Re-evaluated on every scheduler
+    // round: releases on other threads become known as the simulation
+    // commits grants in virtual-time order.
+    if (Opts.UseDynamicLocking && Entry.SourceCs != InvalidId &&
+        ReleaseTime[Entry.SourceCs] != NeverNs &&
+        ReleaseTime[Entry.SourceCs] <= TS.Arrival)
+      continue;
+    TS.PendingLocks.push_back(Entry.Lock);
+  }
+  std::sort(TS.PendingLocks.begin(), TS.PendingLocks.end());
+  TS.PendingLocks.erase(
+      std::unique(TS.PendingLocks.begin(), TS.PendingLocks.end()),
+      TS.PendingLocks.end());
+}
+
+void Engine::flushSuccessors(ThreadState &TS, TimeNs Now) {
+  for (uint32_t Cs : TS.AwaitSuccessor)
+    Result.Sections[Cs].SuccessorEnd = Now;
+  TS.AwaitSuccessor.clear();
+}
+
+void Engine::advanceThread(ThreadId T) {
+  ThreadState &TS = Threads[T];
+  const auto &Events = Tr.Threads[T].Events;
+  for (;;) {
+    assert(TS.PC < Events.size() && "ran past ThreadEnd");
+    const Event &E = Events[TS.PC];
+    switch (E.Kind) {
+    case EventKind::ThreadStart:
+      ++TS.PC;
+      continue;
+
+    case EventKind::Compute:
+      TS.Clock += jitteredCost(T, TS.PC, E.Cost);
+      ++TS.PC;
+      continue;
+
+    case EventKind::Read:
+    case EventKind::Write:
+      if (memSerialized()) {
+        TS.Status = StatusKind::WaitMem;
+        TS.Arrival = TS.Clock;
+        return;
+      }
+      TS.Clock += Opts.Costs.MemAccess;
+      if (CaptureMemTimes)
+        MemTimes[T].push_back(TS.Clock);
+      ++TS.MemIdx;
+      ++TS.PC;
+      continue;
+
+    case EventKind::LockAcquire: {
+      uint32_t Cs = Tr.globalCsId(CsRef{T, TS.NextCsIndex});
+      ++TS.NextCsIndex;
+      CsTiming &Timing = Result.Sections[Cs];
+      Timing.PrecursorStart = TS.LastSyncEnd;
+      TS.Arrival = TS.Clock;
+      resolvePendingLocks(TS, E, Cs);
+      if (TS.PendingLocks.empty()) {
+        // Removed lock/unlock pair (null-lock or standalone node): the
+        // section proceeds immediately.  It still bounds the
+        // surrounding segments so Equation 1's Time2/Time3 labels stay
+        // comparable between the original and ULCP-free replays.
+        flushSuccessors(TS, TS.Clock);
+        Timing.Arrival = TS.Clock;
+        Timing.Granted = TS.Clock;
+        GrantTime[Cs] = TS.Clock;
+        TS.OpenCs.push_back(Cs);
+        TS.LastSyncEnd = TS.Clock;
+        ++TS.PC;
+        continue;
+      }
+      Timing.Arrival = TS.Clock;
+      TS.Status = StatusKind::WaitAcquire;
+      flushSuccessors(TS, TS.Clock);
+      return;
+    }
+
+    case EventKind::LockRelease: {
+      assert(!TS.OpenCs.empty() && "release without acquire");
+      uint32_t Cs = TS.OpenCs.back();
+      TS.OpenCs.pop_back();
+      // A lockset is released as one operation: all locks become free
+      // at the same instant (the section's release time), so RULE 4
+      // mutual exclusion spans the full [Granted, Released] window.
+      if (!AcquiredLocks[Cs].empty())
+        TS.Clock += Opts.Costs.LockRelease;
+      for (LockId L : AcquiredLocks[Cs]) {
+        assert(Locks[L].Held && Locks[L].Holder == T &&
+               "releasing a lock this thread does not hold");
+        Locks[L].Held = false;
+        Locks[L].Holder = InvalidId;
+        Locks[L].FreeAt = TS.Clock;
+      }
+      ReleaseTime[Cs] = TS.Clock;
+      Result.Sections[Cs].Released = TS.Clock;
+      TS.LastSyncEnd = TS.Clock;
+      TS.AwaitSuccessor.push_back(Cs);
+      ++TS.PC;
+      continue;
+    }
+
+    case EventKind::ThreadEnd:
+      flushSuccessors(TS, TS.Clock);
+      TS.Status = StatusKind::Done;
+      Result.ThreadFinish[T] = TS.Clock;
+      return;
+    }
+  }
+}
+
+uint32_t Engine::orderHead(LockId L) const {
+  const auto &Order = EnforcedOrder[L];
+  size_t Cursor = Locks[L].Cursor;
+  while (Cursor < Order.size() && GrantTime[Order[Cursor]] != NeverNs)
+    ++Cursor;
+  // Mutation-free scan; the cursor is advanced for real in grantAcquire.
+  return Cursor < Order.size() ? Order[Cursor] : InvalidId;
+}
+
+Engine::Candidate Engine::scanAcquires(bool IgnoreOrder) const {
+  Candidate Best;
+  for (ThreadId T = 0; T != Threads.size(); ++T) {
+    const ThreadState &TS = Threads[T];
+    if (TS.Status != StatusKind::WaitAcquire)
+      continue;
+    TimeNs When = TS.Arrival;
+    bool Feasible = true;
+    for (LockId L : TS.PendingLocks) {
+      if (Locks[L].Held) {
+        Feasible = false;
+        break;
+      }
+      When = std::max(When, Locks[L].FreeAt);
+      if (!IgnoreOrder && !EnforcedOrder[L].empty()) {
+        uint32_t Head = orderHead(L);
+        if (Head != InvalidId && Head != TS.PendingCs) {
+          Feasible = false;
+          break;
+        }
+      }
+    }
+    if (!Feasible)
+      continue;
+    for (uint32_t Pre : Preds[TS.PendingCs]) {
+      if (GrantTime[Pre] == NeverNs) {
+        Feasible = false;
+        break;
+      }
+      When = std::max(When, GrantTime[Pre]);
+    }
+    if (!Feasible)
+      continue;
+    uint64_t Tie = Opts.Schedule == ScheduleKind::OrigS
+                       ? splitMix64(Opts.Seed ^ (uint64_t(T) << 32) ^
+                                    TS.PendingCs)
+                       : T;
+    if (!Best.Valid || When < Best.Time ||
+        (When == Best.Time && Tie < Best.TieBreak)) {
+      Best.Valid = true;
+      Best.IsMem = false;
+      Best.Thread = T;
+      Best.Time = When;
+      Best.TieBreak = Tie;
+    }
+  }
+  return Best;
+}
+
+Engine::Candidate Engine::scanMem() const {
+  Candidate Best;
+  if (!memSerialized() || MemCursor >= MemOrder.size())
+    return Best;
+  auto [T, Idx] = MemOrder[MemCursor];
+  const ThreadState &TS = Threads[T];
+  if (TS.Status != StatusKind::WaitMem || TS.MemIdx != Idx)
+    return Best;
+  Best.Valid = true;
+  Best.IsMem = true;
+  Best.Thread = T;
+  Best.Time = std::max(TS.Arrival, MemFreeAt);
+  return Best;
+}
+
+void Engine::grantAcquire(ThreadId T, TimeNs When) {
+  ThreadState &TS = Threads[T];
+  uint32_t Cs = TS.PendingCs;
+  TimeNs Waited = When - TS.Arrival;
+  bool Spin = false;
+  for (LockId L : TS.PendingLocks)
+    Spin |= Tr.Locks[L].IsSpin;
+  if (Spin) {
+    Result.SpinWaitNs += Waited;
+    Result.ThreadSpinWaitNs[T] += Waited;
+  } else {
+    Result.IdleWaitNs += Waited;
+  }
+
+  TS.Clock = When;
+  // The lockset is acquired as one synchronization operation; its
+  // per-lock bookkeeping is the lockset-maintenance cost below.
+  if (!TS.PendingLocks.empty())
+    TS.Clock += Opts.Costs.LockAcquire;
+  for (LockId L : TS.PendingLocks) {
+    LockState &LS = Locks[L];
+    assert(!LS.Held && "granting a held lock");
+    LS.Held = true;
+    LS.Holder = T;
+    // Advance the enforced-order cursor past this grant (and any
+    // entries granted earlier through other paths).
+    const auto &Order = EnforcedOrder[L];
+    Result.GrantSchedule[L].push_back(Tr.csRefOf(Cs));
+    while (LS.Cursor < Order.size() &&
+           (Order[LS.Cursor] == Cs || GrantTime[Order[LS.Cursor]] != NeverNs))
+      ++LS.Cursor;
+  }
+  if (TS.PendingHasLockset) {
+    TimeNs Overhead;
+    if (Opts.UseDynamicLocking) {
+      size_t Entries = Tr.Locksets[TS.PendingLockset].Entries.size();
+      Overhead = Opts.Costs.LocksetMaintainDls * TS.PendingLocks.size() +
+                 Opts.Costs.LocksetEndCheck * Entries;
+    } else {
+      Overhead = Opts.Costs.LocksetMaintain * TS.PendingLocks.size();
+    }
+    TS.Clock += Overhead;
+    Result.LocksetOverheadNs += Overhead;
+    Result.LocksetLocksAcquired += TS.PendingLocks.size();
+  }
+
+  GrantTime[Cs] = When;
+  Result.Sections[Cs].Granted = When;
+  AcquiredLocks[Cs] = TS.PendingLocks;
+  TS.OpenCs.push_back(Cs);
+  TS.LastSyncEnd = TS.Clock;
+  TS.Status = StatusKind::Running;
+  TS.PendingCs = InvalidId;
+  TS.PendingLocks.clear();
+  ++TS.PC;
+  advanceThread(T);
+}
+
+void Engine::grantMem(ThreadId T, TimeNs When) {
+  ThreadState &TS = Threads[T];
+  Result.IdleWaitNs += When - TS.Arrival;
+  TS.Clock = When + Opts.Costs.MemAccess + Opts.Costs.MemSerialize;
+  MemFreeAt = TS.Clock;
+  ++MemCursor;
+  ++TS.MemIdx;
+  ++TS.PC;
+  TS.Status = StatusKind::Running;
+  advanceThread(T);
+}
+
+ReplayResult Engine::run() {
+  for (ThreadId T = 0; T != Threads.size(); ++T)
+    advanceThread(T);
+
+  for (;;) {
+    bool AnyWaiting = false;
+    for (const ThreadState &TS : Threads)
+      AnyWaiting |= TS.Status != StatusKind::Done;
+    if (!AnyWaiting)
+      break;
+
+    // Re-evaluate DLS END flags now that more releases are known.
+    for (ThreadState &TS : Threads)
+      if (TS.Status == StatusKind::WaitAcquire)
+        refreshPendingLocks(TS);
+
+    Candidate Acq = scanAcquires(/*IgnoreOrder=*/false);
+    Candidate Mem = scanMem();
+    Candidate Pick;
+    if (Acq.Valid && Mem.Valid)
+      Pick = Mem.Time <= Acq.Time ? Mem : Acq;
+    else if (Acq.Valid)
+      Pick = Acq;
+    else if (Mem.Valid)
+      Pick = Mem;
+
+    if (!Pick.Valid) {
+      // Every waiter is stalled.  Under SYNC-S an input-derived order
+      // can be inconsistent with nested-lock arrival order; break the
+      // stall by ignoring order constraints once, as Kendo's runtime
+      // effectively does when it commits a lock to the next waiter.
+      if (Opts.Schedule == ScheduleKind::SyncS) {
+        Candidate Fallback = scanAcquires(/*IgnoreOrder=*/true);
+        if (Fallback.Valid) {
+          ++Result.OrderBreaks;
+          grantAcquire(Fallback.Thread, Fallback.Time);
+          continue;
+        }
+      }
+      Result.Error = "replay deadlock: no grantable waiter";
+      return Result;
+    }
+
+    if (Pick.IsMem)
+      grantMem(Pick.Thread, Pick.Time);
+    else
+      grantAcquire(Pick.Thread, Pick.Time);
+  }
+
+  Result.TotalTime = 0;
+  for (TimeNs Finish : Result.ThreadFinish)
+    Result.TotalTime = std::max(Result.TotalTime, Finish);
+  return Result;
+}
+
+std::vector<TimeNs> perfplay::computeSoloArrivals(const Trace &Tr,
+                                                  const CostModel &Costs) {
+  std::vector<TimeNs> Solo(Tr.numCriticalSections(), 0);
+  for (ThreadId T = 0; T != Tr.Threads.size(); ++T) {
+    TimeNs Clock = 0;
+    uint32_t Index = 0;
+    for (const Event &E : Tr.Threads[T].Events) {
+      switch (E.Kind) {
+      case EventKind::Compute:
+        Clock += E.Cost;
+        break;
+      case EventKind::Read:
+      case EventKind::Write:
+        Clock += Costs.MemAccess;
+        break;
+      case EventKind::LockAcquire:
+        Solo[Tr.globalCsId(CsRef{T, Index++})] = Clock;
+        Clock += Costs.LockAcquire;
+        break;
+      case EventKind::LockRelease:
+        Clock += Costs.LockRelease;
+        break;
+      case EventKind::ThreadStart:
+      case EventKind::ThreadEnd:
+        break;
+      }
+    }
+  }
+  return Solo;
+}
+
+ReplayResult perfplay::replayTrace(const Trace &Tr,
+                                   const ReplayOptions &Opts) {
+  if (Opts.Schedule != ScheduleKind::MemS) {
+    Engine E(Tr, Opts);
+    return E.run();
+  }
+  // MEM-S: derive the global shared-access order from a deterministic
+  // ELSC pre-replay, then enforce it.
+  ReplayOptions PreOpts = Opts;
+  PreOpts.Schedule = ScheduleKind::ElscS;
+  Engine Pre(Tr, PreOpts);
+  Pre.CaptureMemTimes = true;
+  ReplayResult PreResult = Pre.run();
+  if (!PreResult.ok())
+    return PreResult;
+
+  std::vector<std::pair<TimeNs, std::pair<ThreadId, size_t>>> Ordered;
+  for (ThreadId T = 0; T != Pre.MemTimes.size(); ++T)
+    for (size_t I = 0; I != Pre.MemTimes[T].size(); ++I)
+      Ordered.push_back({Pre.MemTimes[T][I], {T, I}});
+  std::sort(Ordered.begin(), Ordered.end(),
+            [](const auto &A, const auto &B) {
+              if (A.first != B.first)
+                return A.first < B.first;
+              return A.second < B.second;
+            });
+
+  Engine E(Tr, Opts);
+  E.MemOrder.reserve(Ordered.size());
+  for (const auto &Entry : Ordered)
+    E.MemOrder.push_back(Entry.second);
+  return E.run();
+}
+
+ReplayResult perfplay::recordGrantSchedule(Trace &Tr, uint64_t Seed,
+                                           const CostModel &Costs) {
+  ReplayOptions Opts;
+  Opts.Schedule = ScheduleKind::OrigS;
+  Opts.Seed = Seed;
+  Opts.Costs = Costs;
+  ReplayResult Result = replayTrace(Tr, Opts);
+  if (Result.ok())
+    Tr.LockSchedule = Result.GrantSchedule;
+  return Result;
+}

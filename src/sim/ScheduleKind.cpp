@@ -1,0 +1,19 @@
+//===- sim/ScheduleKind.cpp - Scheme names ----------------------------------===//
+
+#include "sim/ReplayOptions.h"
+
+using namespace perfplay;
+
+const char *perfplay::scheduleKindName(ScheduleKind Kind) {
+  switch (Kind) {
+  case ScheduleKind::OrigS:
+    return "ORIG-S";
+  case ScheduleKind::ElscS:
+    return "ELSC-S";
+  case ScheduleKind::SyncS:
+    return "SYNC-S";
+  case ScheduleKind::MemS:
+    return "MEM-S";
+  }
+  return "?";
+}

@@ -1,0 +1,38 @@
+//===- sim/Timeline.h - Textual replay timelines -----------------*- C++ -*-===//
+//
+// Part of the PerfPlay reproduction of "On Performance Debugging of
+// Unnecessary Lock Contentions on Multicore Processors" (CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a replay as one text lane per thread (a Gantt strip), the
+/// quickest way to *see* serialization disappear between the original
+/// and ULCP-free replays:
+///
+///   T0 |====####=====####............|
+///   T1 |===wwww####======####........|
+///
+///   '=' computing   '#' inside a critical section
+///   'w' spin-waiting  '-' blocked (idle)   '.' finished
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERFPLAY_SIM_TIMELINE_H
+#define PERFPLAY_SIM_TIMELINE_H
+
+#include "sim/ReplayResult.h"
+#include "trace/Trace.h"
+
+#include <string>
+
+namespace perfplay {
+
+/// Renders \p R (a replay of \p Tr) as per-thread lanes of \p Width
+/// buckets.  Each bucket shows the dominant activity of its time span.
+std::string renderTimeline(const Trace &Tr, const ReplayResult &R,
+                           unsigned Width = 72);
+
+} // namespace perfplay
+
+#endif // PERFPLAY_SIM_TIMELINE_H

@@ -1,0 +1,32 @@
+//===- support/Format.cpp - Small value formatting helpers ----------------===//
+
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace perfplay;
+
+std::string perfplay::formatDouble(double Value, unsigned Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, Value);
+  return Buf;
+}
+
+std::string perfplay::formatPercent(double Fraction, unsigned Decimals) {
+  return formatDouble(Fraction * 100.0, Decimals) + "%";
+}
+
+std::string perfplay::formatNs(uint64_t Ns) {
+  char Buf[64];
+  if (Ns < 1000) {
+    std::snprintf(Buf, sizeof(Buf), "%lluns",
+                  static_cast<unsigned long long>(Ns));
+  } else if (Ns < 1000ULL * 1000) {
+    std::snprintf(Buf, sizeof(Buf), "%.2fus", Ns / 1e3);
+  } else if (Ns < 1000ULL * 1000 * 1000) {
+    std::snprintf(Buf, sizeof(Buf), "%.2fms", Ns / 1e6);
+  } else {
+    std::snprintf(Buf, sizeof(Buf), "%.2fs", Ns / 1e9);
+  }
+  return Buf;
+}

@@ -1,0 +1,34 @@
+//===- support/Format.h - Small value formatting helpers --------*- C++ -*-===//
+//
+// Part of the PerfPlay reproduction of "On Performance Debugging of
+// Unnecessary Lock Contentions on Multicore Processors" (CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Formatting helpers shared by reports and benches: durations in
+/// virtual nanoseconds, percentages, and fixed-precision doubles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERFPLAY_SUPPORT_FORMAT_H
+#define PERFPLAY_SUPPORT_FORMAT_H
+
+#include <cstdint>
+#include <string>
+
+namespace perfplay {
+
+/// Formats \p Ns as a human-readable duration ("312ns", "4.25us",
+/// "1.50ms", "2.00s").
+std::string formatNs(uint64_t Ns);
+
+/// Formats \p Fraction (0.051) as a percentage string ("5.1%").
+std::string formatPercent(double Fraction, unsigned Decimals = 1);
+
+/// Formats \p Value with a fixed number of decimals.
+std::string formatDouble(double Value, unsigned Decimals = 2);
+
+} // namespace perfplay
+
+#endif // PERFPLAY_SUPPORT_FORMAT_H

@@ -1,0 +1,30 @@
+//===- support/Interval.cpp - Source line-range arithmetic ----------------===//
+
+#include "support/Interval.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace perfplay;
+
+bool perfplay::overlaps(const LineInterval &A, const LineInterval &B) {
+  if (A.empty() || B.empty())
+    return false;
+  return A.Begin <= B.End && B.Begin <= A.End;
+}
+
+LineInterval perfplay::intersect(const LineInterval &A,
+                                 const LineInterval &B) {
+  if (!overlaps(A, B))
+    return LineInterval();
+  return LineInterval(std::max(A.Begin, B.Begin), std::min(A.End, B.End));
+}
+
+LineInterval perfplay::unite(const LineInterval &A, const LineInterval &B) {
+  assert(!(A.empty() && B.empty()) && "uniting two empty intervals");
+  if (A.empty())
+    return B;
+  if (B.empty())
+    return A;
+  return LineInterval(std::min(A.Begin, B.Begin), std::max(A.End, B.End));
+}

@@ -1,0 +1,59 @@
+//===- support/Interval.h - Source line-range arithmetic --------*- C++ -*-===//
+//
+// Part of the PerfPlay reproduction of "On Performance Debugging of
+// Unnecessary Lock Contentions on Multicore Processors" (CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Closed integer intervals over source line numbers.  Algorithm 2 (ULCP
+/// fusion) asks whether two code regions share code (the paper's binary
+/// operator "sqcap") and conflates them when they do ("sqcup"); both are
+/// interval operations once a code region is reduced to a file id plus a
+/// line range.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERFPLAY_SUPPORT_INTERVAL_H
+#define PERFPLAY_SUPPORT_INTERVAL_H
+
+#include <cstdint>
+
+namespace perfplay {
+
+/// A closed interval [Begin, End] of source lines.  Begin > End encodes
+/// the empty interval.
+struct LineInterval {
+  uint32_t Begin = 1;
+  uint32_t End = 0;
+
+  LineInterval() = default;
+  LineInterval(uint32_t Begin, uint32_t End) : Begin(Begin), End(End) {}
+
+  bool empty() const { return Begin > End; }
+
+  /// Number of lines covered; 0 when empty.
+  uint32_t size() const { return empty() ? 0 : End - Begin + 1; }
+
+  bool contains(uint32_t Line) const { return Begin <= Line && Line <= End; }
+
+  bool operator==(const LineInterval &RHS) const {
+    return (empty() && RHS.empty()) ||
+           (Begin == RHS.Begin && End == RHS.End);
+  }
+};
+
+/// Returns true if the intervals share at least one line (the paper's
+/// "involve the shared region of the code").
+bool overlaps(const LineInterval &A, const LineInterval &B);
+
+/// Intersection; empty when disjoint.
+LineInterval intersect(const LineInterval &A, const LineInterval &B);
+
+/// Smallest interval covering both inputs (the paper's conflation).
+/// Requires at least one input to be non-empty.
+LineInterval unite(const LineInterval &A, const LineInterval &B);
+
+} // namespace perfplay
+
+#endif // PERFPLAY_SUPPORT_INTERVAL_H

@@ -1,0 +1,86 @@
+//===- support/Rng.cpp - Deterministic pseudo-random generation ----------===//
+
+#include "support/Rng.h"
+
+#include <cassert>
+
+using namespace perfplay;
+
+uint64_t perfplay::splitMix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+Rng::Rng(uint64_t Seed) {
+  // Expand the single seed into four nonzero state words.
+  uint64_t S = Seed;
+  for (auto &Word : State) {
+    S = splitMix64(S);
+    Word = S | 1; // Guarantee the all-zero state is unreachable.
+  }
+}
+
+static uint64_t rotl(uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+uint64_t Rng::next() {
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t Rng::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "nextBelow(0) is meaningless");
+  // Rejection sampling to avoid modulo bias.
+  uint64_t Threshold = -Bound % Bound;
+  for (;;) {
+    uint64_t Sample = next();
+    if (Sample >= Threshold)
+      return Sample % Bound;
+  }
+}
+
+uint64_t Rng::nextInRange(uint64_t Lo, uint64_t Hi) {
+  assert(Lo <= Hi && "empty range");
+  return Lo + nextBelow(Hi - Lo + 1);
+}
+
+double Rng::nextDouble() {
+  // 53 high-quality bits into the double mantissa.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::nextBool(double P) {
+  if (P <= 0.0)
+    return false;
+  if (P >= 1.0)
+    return true;
+  return nextDouble() < P;
+}
+
+unsigned Rng::nextWeighted(const double *Weights, unsigned N) {
+  assert(N > 0 && "need at least one weight");
+  double Total = 0.0;
+  for (unsigned I = 0; I != N; ++I) {
+    assert(Weights[I] >= 0.0 && "negative weight");
+    Total += Weights[I];
+  }
+  assert(Total > 0.0 && "weights must not all be zero");
+  double Pick = nextDouble() * Total;
+  double Acc = 0.0;
+  for (unsigned I = 0; I != N; ++I) {
+    Acc += Weights[I];
+    if (Pick < Acc)
+      return I;
+  }
+  return N - 1; // Floating-point slack: attribute to the last bucket.
+}

@@ -1,0 +1,63 @@
+//===- support/Rng.h - Deterministic pseudo-random generation ---*- C++ -*-===//
+//
+// Part of the PerfPlay reproduction of "On Performance Debugging of
+// Unnecessary Lock Contentions on Multicore Processors" (CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seedable pseudo-random number generation used by the
+/// workload generators and the ORIG-S replay scheduler.  Every consumer of
+/// randomness in PerfPlay takes an explicit seed so that traces, replays
+/// and benchmarks are reproducible run-to-run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERFPLAY_SUPPORT_RNG_H
+#define PERFPLAY_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace perfplay {
+
+/// Mixes a 64-bit value through the SplitMix64 finalizer.
+///
+/// Useful as a stateless hash for deterministic tie-breaking (e.g. the
+/// ORIG-S scheduler hashes (seed, lock, arrival) to break grant ties).
+uint64_t splitMix64(uint64_t X);
+
+/// Small, fast, deterministic PRNG (xoshiro256** 1.0).
+///
+/// Not cryptographic; chosen for speed, quality and a tiny state that can
+/// be seeded from a single 64-bit value via SplitMix64 expansion.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed);
+
+  /// Returns the next raw 64-bit sample.
+  uint64_t next();
+
+  /// Returns a uniform integer in [0, Bound).  \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a uniform integer in [Lo, Hi] inclusive.  Requires Lo <= Hi.
+  uint64_t nextInRange(uint64_t Lo, uint64_t Hi);
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble();
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P);
+
+  /// Samples an index in [0, N) according to non-negative weights.
+  ///
+  /// \p Weights points at \p N weights; their sum must be positive.
+  unsigned nextWeighted(const double *Weights, unsigned N);
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace perfplay
+
+#endif // PERFPLAY_SUPPORT_RNG_H

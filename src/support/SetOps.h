@@ -1,0 +1,59 @@
+//===- support/SetOps.h - Sorted-vector set operations ----------*- C++ -*-===//
+//
+// Part of the PerfPlay reproduction of "On Performance Debugging of
+// Unnecessary Lock Contentions on Multicore Processors" (CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Set operations over sorted, de-duplicated vectors.  PerfPlay keeps
+/// read/write sets and locksets as sorted vectors (cache-friendly, cheap
+/// intersection), the representation Algorithm 1 and RULE 4 need.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERFPLAY_SUPPORT_SETOPS_H
+#define PERFPLAY_SUPPORT_SETOPS_H
+
+#include <vector>
+
+namespace perfplay {
+
+/// Returns true if the sorted ranges \p A and \p B share an element.
+template <typename T>
+bool sortedIntersects(const std::vector<T> &A, const std::vector<T> &B) {
+  auto I = A.begin(), J = B.begin();
+  while (I != A.end() && J != B.end()) {
+    if (*I < *J)
+      ++I;
+    else if (*J < *I)
+      ++J;
+    else
+      return true;
+  }
+  return false;
+}
+
+/// Returns the intersection of the sorted ranges \p A and \p B.
+template <typename T>
+std::vector<T> sortedIntersection(const std::vector<T> &A,
+                                  const std::vector<T> &B) {
+  std::vector<T> Out;
+  auto I = A.begin(), J = B.begin();
+  while (I != A.end() && J != B.end()) {
+    if (*I < *J) {
+      ++I;
+    } else if (*J < *I) {
+      ++J;
+    } else {
+      Out.push_back(*I);
+      ++I;
+      ++J;
+    }
+  }
+  return Out;
+}
+
+} // namespace perfplay
+
+#endif // PERFPLAY_SUPPORT_SETOPS_H

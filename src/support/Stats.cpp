@@ -1,0 +1,30 @@
+//===- support/Stats.cpp - Running sample statistics ---------------------===//
+
+#include "support/Stats.h"
+
+#include <cmath>
+
+using namespace perfplay;
+
+void RunningStats::add(double Sample) {
+  if (Count == 0) {
+    Min = Max = Sample;
+  } else {
+    if (Sample < Min)
+      Min = Sample;
+    if (Sample > Max)
+      Max = Sample;
+  }
+  ++Count;
+  double Delta = Sample - Mean;
+  Mean += Delta / static_cast<double>(Count);
+  M2 += Delta * (Sample - Mean);
+}
+
+double RunningStats::variance() const {
+  if (Count < 2)
+    return 0.0;
+  return M2 / static_cast<double>(Count - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }

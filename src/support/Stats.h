@@ -1,0 +1,59 @@
+//===- support/Stats.h - Running sample statistics --------------*- C++ -*-===//
+//
+// Part of the PerfPlay reproduction of "On Performance Debugging of
+// Unnecessary Lock Contentions on Multicore Processors" (CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming sample statistics (Welford accumulation) used to summarize
+/// repeated replays: Figure 13's error bars are the stddev over ten
+/// replays of the same trace under each enforcement scheme.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERFPLAY_SUPPORT_STATS_H
+#define PERFPLAY_SUPPORT_STATS_H
+
+#include <cstdint>
+
+namespace perfplay {
+
+/// Accumulates mean / variance / min / max over a stream of samples.
+class RunningStats {
+public:
+  /// Folds one sample into the accumulator.
+  void add(double Sample);
+
+  /// Number of samples seen so far.
+  uint64_t count() const { return Count; }
+
+  /// Arithmetic mean; 0 when empty.
+  double mean() const { return Count ? Mean : 0.0; }
+
+  /// Unbiased sample variance; 0 with fewer than two samples.
+  double variance() const;
+
+  /// Sample standard deviation.
+  double stddev() const;
+
+  /// Smallest sample; 0 when empty.
+  double min() const { return Count ? Min : 0.0; }
+
+  /// Largest sample; 0 when empty.
+  double max() const { return Count ? Max : 0.0; }
+
+  /// Max - min, the spread drawn as the error bar in Figure 13.
+  double range() const { return Count ? Max - Min : 0.0; }
+
+private:
+  uint64_t Count = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+} // namespace perfplay
+
+#endif // PERFPLAY_SUPPORT_STATS_H

@@ -1,0 +1,49 @@
+//===- support/Table.cpp - Plain-text table rendering ---------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+
+using namespace perfplay;
+
+void Table::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+std::string Table::render() const {
+  if (Rows.empty())
+    return "";
+
+  size_t NumCols = 0;
+  for (const auto &Row : Rows)
+    NumCols = std::max(NumCols, Row.size());
+
+  std::vector<size_t> Widths(NumCols, 0);
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C != Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto renderRow = [&](const std::vector<std::string> &Row) {
+    std::string Line;
+    for (size_t C = 0; C != NumCols; ++C) {
+      const std::string Cell = C < Row.size() ? Row[C] : "";
+      Line += Cell;
+      if (C + 1 != NumCols)
+        Line += std::string(Widths[C] - Cell.size() + 2, ' ');
+    }
+    // Trim trailing padding.
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    Line += '\n';
+    return Line;
+  };
+
+  std::string Out = renderRow(Rows.front());
+  size_t RuleWidth = 0;
+  for (size_t C = 0; C != NumCols; ++C)
+    RuleWidth += Widths[C] + (C + 1 != NumCols ? 2 : 0);
+  Out += std::string(RuleWidth, '-') + "\n";
+  for (size_t R = 1; R < Rows.size(); ++R)
+    Out += renderRow(Rows[R]);
+  return Out;
+}

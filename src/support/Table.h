@@ -1,0 +1,44 @@
+//===- support/Table.h - Plain-text table rendering -------------*- C++ -*-===//
+//
+// Part of the PerfPlay reproduction of "On Performance Debugging of
+// Unnecessary Lock Contentions on Multicore Processors" (CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Column-aligned plain-text table rendering.  Every bench binary
+/// regenerates one of the paper's tables or figure series as rows; this
+/// helper keeps their output uniform and diffable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERFPLAY_SUPPORT_TABLE_H
+#define PERFPLAY_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace perfplay {
+
+/// Accumulates rows of string cells and renders them with columns padded
+/// to the widest cell.  The first added row is treated as the header and
+/// is separated from the body by a dashed rule.
+class Table {
+public:
+  /// Appends one row.  Rows may have differing cell counts; rendering
+  /// pads to the widest row.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table; each line ends with '\n'.
+  std::string render() const;
+
+  /// Number of rows added so far (header included).
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace perfplay
+
+#endif // PERFPLAY_SUPPORT_TABLE_H

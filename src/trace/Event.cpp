@@ -1,0 +1,93 @@
+//===- trace/Event.cpp - Trace event model --------------------------------===//
+
+#include "trace/Event.h"
+
+using namespace perfplay;
+
+Event Event::threadStart() {
+  Event E;
+  E.Kind = EventKind::ThreadStart;
+  return E;
+}
+
+Event Event::threadEnd() {
+  Event E;
+  E.Kind = EventKind::ThreadEnd;
+  return E;
+}
+
+Event Event::lockAcquire(LockId Lock, CodeSiteId Site, LocksetId Lockset) {
+  Event E;
+  E.Kind = EventKind::LockAcquire;
+  E.Lock = Lock;
+  E.Site = Site;
+  E.Lockset = Lockset;
+  return E;
+}
+
+Event Event::lockRelease(LockId Lock) {
+  Event E;
+  E.Kind = EventKind::LockRelease;
+  E.Lock = Lock;
+  return E;
+}
+
+Event Event::read(AddrId Addr, uint64_t Value) {
+  Event E;
+  E.Kind = EventKind::Read;
+  E.Addr = Addr;
+  E.Value = Value;
+  return E;
+}
+
+Event Event::write(AddrId Addr, uint64_t Value, WriteOpKind Op) {
+  Event E;
+  E.Kind = EventKind::Write;
+  E.Addr = Addr;
+  E.Value = Value;
+  E.Op = Op;
+  return E;
+}
+
+Event Event::compute(TimeNs Cost) {
+  Event E;
+  E.Kind = EventKind::Compute;
+  E.Cost = Cost;
+  return E;
+}
+
+const char *perfplay::eventKindName(EventKind Kind) {
+  switch (Kind) {
+  case EventKind::ThreadStart:
+    return "start";
+  case EventKind::ThreadEnd:
+    return "end";
+  case EventKind::LockAcquire:
+    return "acq";
+  case EventKind::LockRelease:
+    return "rel";
+  case EventKind::Read:
+    return "rd";
+  case EventKind::Write:
+    return "wr";
+  case EventKind::Compute:
+    return "comp";
+  }
+  return "?";
+}
+
+const char *perfplay::writeOpName(WriteOpKind Op) {
+  switch (Op) {
+  case WriteOpKind::Store:
+    return "store";
+  case WriteOpKind::Add:
+    return "add";
+  case WriteOpKind::Or:
+    return "or";
+  case WriteOpKind::And:
+    return "and";
+  case WriteOpKind::Xor:
+    return "xor";
+  }
+  return "?";
+}

@@ -1,0 +1,118 @@
+//===- trace/Event.h - Trace event model ------------------------*- C++ -*-===//
+//
+// Part of the PerfPlay reproduction of "On Performance Debugging of
+// Unnecessary Lock Contentions on Multicore Processors" (CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The recorded event vocabulary.  A PerfPlay trace stores, per thread,
+/// the sequence of synchronization operations (lock acquire/release),
+/// shared-memory accesses inside critical sections, and the computation
+/// between them collapsed into Compute(cost) events — the paper's
+/// "selective recording" (Section 5.1): everything that is not needed to
+/// re-evaluate ULCP timing is recorded only as its observed duration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERFPLAY_TRACE_EVENT_H
+#define PERFPLAY_TRACE_EVENT_H
+
+#include <cstdint>
+#include <limits>
+
+namespace perfplay {
+
+using ThreadId = uint32_t;
+using LockId = uint32_t;
+using AddrId = uint64_t;
+using CodeSiteId = uint32_t;
+using LocksetId = uint32_t;
+using TimeNs = uint64_t;
+
+/// Sentinel for "no value" across the 32-bit id types.
+inline constexpr uint32_t InvalidId = std::numeric_limits<uint32_t>::max();
+
+/// Kinds of recorded events.
+enum class EventKind : uint8_t {
+  /// Thread became runnable.  Always the first event of a thread.
+  ThreadStart,
+  /// Thread finished.  Always the last event of a thread.
+  ThreadEnd,
+  /// Lock acquisition.  Carries the lock, the code site of the critical
+  /// section it opens and, in transformed traces, a lockset id.
+  LockAcquire,
+  /// Lock release, closing the innermost critical section on this lock.
+  LockRelease,
+  /// Shared-memory read inside a critical section.  Carries the address
+  /// and the value observed in the recorded run (used by the reversed
+  /// replay that separates benign ULCPs from true contention).
+  Read,
+  /// Shared-memory write inside a critical section.  Carries the
+  /// address, the operand and the write operator.
+  Write,
+  /// Computation of the given duration with no shared interaction.
+  Compute,
+};
+
+/// Write operators for the abstract memory machine.
+///
+/// The reversed replay (Section 3.1) distinguishes benign ULCPs (e.g.
+/// redundant writes or disjoint bit manipulation) from true conflicts by
+/// re-executing two critical sections in swapped order and comparing the
+/// resulting memory.  Modeling writes as operators rather than opaque
+/// stores makes commutativity observable.
+enum class WriteOpKind : uint8_t {
+  /// *Addr = Value.
+  Store,
+  /// *Addr += Value.
+  Add,
+  /// *Addr |= Value.
+  Or,
+  /// *Addr &= Value.
+  And,
+  /// *Addr ^= Value.
+  Xor,
+};
+
+/// Returns a short mnemonic ("store", "add", ...) for \p Op.
+const char *writeOpName(WriteOpKind Op);
+
+/// One recorded event.  Fields beyond Kind are meaningful only for the
+/// kinds documented on each member.
+struct Event {
+  EventKind Kind = EventKind::Compute;
+  /// Write operator (Write only).
+  WriteOpKind Op = WriteOpKind::Store;
+  /// Code site opening the critical section (LockAcquire only).
+  CodeSiteId Site = InvalidId;
+  /// Lock operated on (LockAcquire / LockRelease).
+  LockId Lock = InvalidId;
+  /// Lockset id in transformed traces (LockAcquire only); InvalidId in
+  /// recorded traces, meaning "acquire exactly {Lock}".
+  LocksetId Lockset = InvalidId;
+  /// Accessed address (Read / Write).
+  AddrId Addr = 0;
+  /// Write operand, or value observed by a Read in the recorded run.
+  uint64_t Value = 0;
+  /// Duration in virtual nanoseconds (Compute only).
+  TimeNs Cost = 0;
+
+  /// Convenience constructors for each kind.
+  static Event threadStart();
+  static Event threadEnd();
+  static Event lockAcquire(LockId Lock, CodeSiteId Site,
+                           LocksetId Lockset = InvalidId);
+  static Event lockRelease(LockId Lock);
+  static Event read(AddrId Addr, uint64_t Value = 0);
+  static Event write(AddrId Addr, uint64_t Value,
+                     WriteOpKind Op = WriteOpKind::Store);
+  static Event compute(TimeNs Cost);
+};
+
+/// Returns a short mnemonic for \p Kind ("acq", "rel", "rd", "wr", ...).
+const char *eventKindName(EventKind Kind);
+
+} // namespace perfplay
+
+#endif // PERFPLAY_TRACE_EVENT_H

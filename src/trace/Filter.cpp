@@ -1,0 +1,134 @@
+//===- trace/Filter.cpp - Trace projection for focused debugging -----------===//
+
+#include "trace/Filter.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace perfplay;
+
+Trace perfplay::filterTraceByLocks(const Trace &Tr,
+                                   const std::vector<LockId> &KeepLocks) {
+  std::vector<bool> Keep(Tr.Locks.size(), false);
+  for (LockId L : KeepLocks) {
+    assert(L < Tr.Locks.size() && "unknown lock");
+    Keep[L] = true;
+  }
+
+  Trace Out;
+  Out.Locks = Tr.Locks;
+  Out.Sites = Tr.Sites;
+
+  // Per-thread surviving CS index (for the schedule rewrite): maps the
+  // original per-thread CS index to the new one, or InvalidId.
+  std::vector<std::vector<uint32_t>> IndexMap(Tr.Threads.size());
+
+  for (ThreadId T = 0; T != Tr.Threads.size(); ++T) {
+    ThreadTrace Thread;
+    uint32_t NewIndex = 0;
+    for (const Event &E : Tr.Threads[T].Events) {
+      switch (E.Kind) {
+      case EventKind::LockAcquire:
+        if (Keep[E.Lock]) {
+          IndexMap[T].push_back(NewIndex++);
+          Thread.Events.push_back(E);
+        } else {
+          IndexMap[T].push_back(InvalidId);
+        }
+        break;
+      case EventKind::LockRelease:
+        if (Keep[E.Lock])
+          Thread.Events.push_back(E);
+        break;
+      default:
+        Thread.Events.push_back(E);
+        break;
+      }
+    }
+    Out.Threads.push_back(std::move(Thread));
+  }
+
+  // Filter the recorded schedule onto surviving sections.
+  if (!Tr.LockSchedule.empty()) {
+    Out.LockSchedule.assign(Out.Locks.size(), {});
+    for (LockId L = 0; L != Tr.LockSchedule.size(); ++L) {
+      if (!Keep[L])
+        continue;
+      for (const CsRef &Ref : Tr.LockSchedule[L]) {
+        uint32_t NewIndex = IndexMap[Ref.Thread][Ref.Index];
+        if (NewIndex != InvalidId)
+          Out.LockSchedule[L].push_back(CsRef{Ref.Thread, NewIndex});
+      }
+    }
+  }
+
+  Out.buildCsIndex();
+  return Out;
+}
+
+Trace perfplay::sliceTraceByEvents(const Trace &Tr,
+                                   const std::vector<size_t> &EventBound) {
+  assert(EventBound.size() == Tr.Threads.size() &&
+         "one bound per thread expected");
+
+  Trace Out;
+  Out.Locks = Tr.Locks;
+  Out.Sites = Tr.Sites;
+
+  std::vector<std::vector<uint32_t>> IndexMap(Tr.Threads.size());
+
+  for (ThreadId T = 0; T != Tr.Threads.size(); ++T) {
+    const auto &Events = Tr.Threads[T].Events;
+    size_t Bound = std::min(EventBound[T], Events.size());
+    ThreadTrace Thread;
+    std::vector<LockId> Open;
+    uint32_t NewIndex = 0;
+    for (size_t I = 0; I != Bound; ++I) {
+      const Event &E = Events[I];
+      switch (E.Kind) {
+      case EventKind::ThreadEnd:
+        continue; // Re-appended below.
+      case EventKind::LockAcquire:
+        Open.push_back(E.Lock);
+        IndexMap[T].push_back(NewIndex++);
+        break;
+      case EventKind::LockRelease:
+        assert(!Open.empty() && "unbalanced release in slice source");
+        Open.pop_back();
+        break;
+      default:
+        break;
+      }
+      Thread.Events.push_back(E);
+    }
+    // Map any unsurveyed sections of this thread to "dropped".
+    for (size_t I = Bound; I != Events.size(); ++I)
+      if (Events[I].Kind == EventKind::LockAcquire)
+        IndexMap[T].push_back(InvalidId);
+    // Close still-open sections (innermost first) and end the thread.
+    while (!Open.empty()) {
+      Thread.Events.push_back(Event::lockRelease(Open.back()));
+      Open.pop_back();
+    }
+    if (Thread.Events.empty() ||
+        Thread.Events.front().Kind != EventKind::ThreadStart)
+      Thread.Events.insert(Thread.Events.begin(), Event::threadStart());
+    Thread.Events.push_back(Event::threadEnd());
+    Out.Threads.push_back(std::move(Thread));
+  }
+
+  if (!Tr.LockSchedule.empty()) {
+    Out.LockSchedule.assign(Out.Locks.size(), {});
+    for (LockId L = 0; L != Tr.LockSchedule.size(); ++L)
+      for (const CsRef &Ref : Tr.LockSchedule[L]) {
+        if (Ref.Index >= IndexMap[Ref.Thread].size())
+          continue;
+        uint32_t NewIndex = IndexMap[Ref.Thread][Ref.Index];
+        if (NewIndex != InvalidId)
+          Out.LockSchedule[L].push_back(CsRef{Ref.Thread, NewIndex});
+      }
+  }
+
+  Out.buildCsIndex();
+  return Out;
+}

@@ -1,0 +1,47 @@
+//===- trace/Filter.h - Trace projection for focused debugging --*- C++ -*-===//
+//
+// Part of the PerfPlay reproduction of "On Performance Debugging of
+// Unnecessary Lock Contentions on Multicore Processors" (CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 5.1's checkpoint support exists "for programmers to focus on
+/// a smaller code region".  These projections produce a focused
+/// sub-trace while keeping it well-formed for replay:
+///
+///  - filterTraceByLocks: keep only the critical sections of a set of
+///    locks; other sections' lock operations become plain computation
+///    (their bodies are preserved so timing stays realistic).
+///  - sliceTraceByEvents: keep each thread's prefix up to a per-thread
+///    event bound (a checkpoint), closing still-open sections.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERFPLAY_TRACE_FILTER_H
+#define PERFPLAY_TRACE_FILTER_H
+
+#include "trace/Trace.h"
+
+#include <vector>
+
+namespace perfplay {
+
+/// Projects \p Tr onto \p KeepLocks (sorted not required): acquires and
+/// releases of other locks are dropped, their shared accesses kept
+/// (they execute outside critical sections afterwards), computation is
+/// untouched.  The grant schedule is filtered accordingly.  Lockset
+/// side tables are not carried over (filter before transforming).
+Trace filterTraceByLocks(const Trace &Tr,
+                         const std::vector<LockId> &KeepLocks);
+
+/// Truncates each thread to its first \p EventBound[thread] events
+/// (ThreadStart included; pass the recorder's checkpoint EventIndex).
+/// Sections still open at the bound are closed immediately; the grant
+/// schedule is filtered to surviving critical sections.
+Trace sliceTraceByEvents(const Trace &Tr,
+                         const std::vector<size_t> &EventBound);
+
+} // namespace perfplay
+
+#endif // PERFPLAY_TRACE_FILTER_H

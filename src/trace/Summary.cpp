@@ -1,0 +1,93 @@
+//===- trace/Summary.cpp - Trace statistics ----------------------------------===//
+
+#include "trace/Summary.h"
+
+#include "support/Format.h"
+#include "support/Table.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+using namespace perfplay;
+
+TraceSummary perfplay::summarizeTrace(const Trace &Tr) {
+  TraceSummary S;
+  S.NumThreads = Tr.numThreads();
+
+  std::vector<uint64_t> Acquisitions(Tr.Locks.size(), 0);
+  std::vector<std::set<ThreadId>> Users(Tr.Locks.size());
+
+  for (ThreadId T = 0; T != Tr.Threads.size(); ++T) {
+    unsigned Depth = 0;
+    for (const Event &E : Tr.Threads[T].Events) {
+      ++S.NumEvents;
+      switch (E.Kind) {
+      case EventKind::LockAcquire:
+        ++S.NumCriticalSections;
+        ++Acquisitions[E.Lock];
+        Users[E.Lock].insert(T);
+        ++Depth;
+        S.MaxNesting = std::max(S.MaxNesting, Depth);
+        break;
+      case EventKind::LockRelease:
+        --Depth;
+        break;
+      case EventKind::Read:
+        ++S.NumReads;
+        break;
+      case EventKind::Write:
+        ++S.NumWrites;
+        break;
+      case EventKind::Compute:
+        ++S.NumComputeEvents;
+        S.TotalComputeNs += E.Cost;
+        if (Depth > 0)
+          S.InCsComputeNs += E.Cost;
+        break;
+      case EventKind::ThreadStart:
+      case EventKind::ThreadEnd:
+        break;
+      }
+    }
+  }
+
+  for (LockId L = 0; L != Tr.Locks.size(); ++L) {
+    LockSummary Row;
+    Row.Lock = L;
+    Row.Acquisitions = Acquisitions[L];
+    Row.Threads = static_cast<unsigned>(Users[L].size());
+    Row.IsSpin = Tr.Locks[L].IsSpin;
+    S.Locks.push_back(Row);
+  }
+  std::stable_sort(S.Locks.begin(), S.Locks.end(),
+                   [](const LockSummary &A, const LockSummary &B) {
+                     return A.Acquisitions > B.Acquisitions;
+                   });
+  return S;
+}
+
+std::string perfplay::renderSummary(const Trace &Tr,
+                                    const TraceSummary &S,
+                                    unsigned MaxLocks) {
+  std::ostringstream OS;
+  OS << "threads: " << S.NumThreads << ", events: " << S.NumEvents
+     << ", critical sections: " << S.NumCriticalSections << "\n";
+  OS << "reads: " << S.NumReads << ", writes: " << S.NumWrites
+     << ", max nesting: " << S.MaxNesting << "\n";
+  OS << "computation: " << formatNs(S.TotalComputeNs) << " total, "
+     << formatPercent(S.inCsFraction()) << " inside critical sections\n";
+
+  Table T;
+  T.addRow({"lock", "acquisitions", "threads", "spin"});
+  unsigned Shown = 0;
+  for (const LockSummary &Row : S.Locks) {
+    if (Row.Acquisitions == 0 || Shown++ == MaxLocks)
+      break;
+    T.addRow({Tr.Locks[Row.Lock].Name, std::to_string(Row.Acquisitions),
+              std::to_string(Row.Threads), Row.IsSpin ? "yes" : "no"});
+  }
+  if (T.numRows() > 1)
+    OS << "\nhottest locks:\n" << T.render();
+  return OS.str();
+}

@@ -1,0 +1,71 @@
+//===- trace/Summary.h - Trace statistics -------------------------*- C++ -*-===//
+//
+// Part of the PerfPlay reproduction of "On Performance Debugging of
+// Unnecessary Lock Contentions on Multicore Processors" (CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Descriptive statistics over a trace: event breakdown, per-lock
+/// acquisition counts, and critical-section size distribution.  Used
+/// by the CLI's `stats` subcommand and handy when calibrating workload
+/// models against Table 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERFPLAY_TRACE_SUMMARY_H
+#define PERFPLAY_TRACE_SUMMARY_H
+
+#include "trace/Trace.h"
+
+#include <string>
+#include <vector>
+
+namespace perfplay {
+
+/// Per-lock usage numbers.
+struct LockSummary {
+  LockId Lock = InvalidId;
+  uint64_t Acquisitions = 0;
+  /// Distinct threads that acquired the lock.
+  unsigned Threads = 0;
+  bool IsSpin = false;
+};
+
+/// Whole-trace statistics.
+struct TraceSummary {
+  unsigned NumThreads = 0;
+  size_t NumEvents = 0;
+  size_t NumCriticalSections = 0;
+  uint64_t NumReads = 0;
+  uint64_t NumWrites = 0;
+  uint64_t NumComputeEvents = 0;
+  /// Total recorded computation (virtual ns).
+  TimeNs TotalComputeNs = 0;
+  /// Computation inside critical sections (by innermost containment).
+  TimeNs InCsComputeNs = 0;
+  /// Maximum lock-nesting depth observed.
+  unsigned MaxNesting = 0;
+  /// Per-lock rows, sorted by acquisitions descending.
+  std::vector<LockSummary> Locks;
+
+  /// Fraction of computation spent inside critical sections.
+  double inCsFraction() const {
+    return TotalComputeNs == 0
+               ? 0.0
+               : static_cast<double>(InCsComputeNs) /
+                     static_cast<double>(TotalComputeNs);
+  }
+};
+
+/// Computes the summary of \p Tr.
+TraceSummary summarizeTrace(const Trace &Tr);
+
+/// Renders \p Summary as text (lock table truncated to \p MaxLocks
+/// rows).
+std::string renderSummary(const Trace &Tr, const TraceSummary &Summary,
+                          unsigned MaxLocks = 10);
+
+} // namespace perfplay
+
+#endif // PERFPLAY_TRACE_SUMMARY_H

@@ -1,0 +1,146 @@
+//===- trace/Trace.cpp - Recorded execution trace --------------------------===//
+
+#include "trace/Trace.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+using namespace perfplay;
+
+size_t Trace::numEvents() const {
+  size_t N = 0;
+  for (const auto &T : Threads)
+    N += T.Events.size();
+  return N;
+}
+
+size_t Trace::numCriticalSections() const {
+  size_t N = 0;
+  for (const auto &T : Threads)
+    for (const auto &E : T.Events)
+      if (E.Kind == EventKind::LockAcquire)
+        ++N;
+  return N;
+}
+
+uint32_t Trace::numCriticalSections(ThreadId T) const {
+  assert(T < Threads.size() && "thread out of range");
+  uint32_t N = 0;
+  for (const auto &E : Threads[T].Events)
+    if (E.Kind == EventKind::LockAcquire)
+      ++N;
+  return N;
+}
+
+void Trace::buildCsIndex() {
+  CsCount.assign(Threads.size(), 0);
+  for (size_t T = 0; T != Threads.size(); ++T)
+    CsCount[T] = numCriticalSections(static_cast<ThreadId>(T));
+  CsPrefix.assign(Threads.size() + 1, 0);
+  for (size_t T = 0; T != Threads.size(); ++T)
+    CsPrefix[T + 1] = CsPrefix[T] + CsCount[T];
+}
+
+uint32_t Trace::globalCsId(CsRef Ref) const {
+  assert(!CsPrefix.empty() && "buildCsIndex() not called");
+  assert(Ref.Thread < Threads.size() && "thread out of range");
+  assert(Ref.Index < CsCount[Ref.Thread] && "CS index out of range");
+  return CsPrefix[Ref.Thread] + Ref.Index;
+}
+
+CsRef Trace::csRefOf(uint32_t GlobalId) const {
+  assert(!CsPrefix.empty() && "buildCsIndex() not called");
+  assert(GlobalId < CsPrefix.back() && "global CS id out of range");
+  // Threads are few; a linear scan is fine and avoids binary-search
+  // subtleties with empty threads.
+  for (size_t T = 0; T + 1 != CsPrefix.size(); ++T)
+    if (GlobalId < CsPrefix[T + 1])
+      return CsRef{static_cast<ThreadId>(T), GlobalId - CsPrefix[T]};
+  assert(false && "unreachable: id covered by assert above");
+  return CsRef();
+}
+
+std::string Trace::validate() const {
+  auto err = [](const std::string &Msg) { return Msg; };
+
+  size_t TotalCs = 0;
+  std::vector<uint32_t> CsPerThread(Threads.size(), 0);
+  for (size_t T = 0; T != Threads.size(); ++T) {
+    const auto &Events = Threads[T].Events;
+    const std::string Where = "thread " + std::to_string(T) + ": ";
+    if (Events.empty())
+      return err(Where + "empty event stream");
+    if (Events.front().Kind != EventKind::ThreadStart)
+      return err(Where + "does not begin with ThreadStart");
+    if (Events.back().Kind != EventKind::ThreadEnd)
+      return err(Where + "does not end with ThreadEnd");
+
+    std::vector<LockId> HeldStack;
+    for (size_t I = 0; I != Events.size(); ++I) {
+      const Event &E = Events[I];
+      const std::string At = Where + "event " + std::to_string(I) + ": ";
+      switch (E.Kind) {
+      case EventKind::ThreadStart:
+        if (I != 0)
+          return err(At + "ThreadStart not first");
+        break;
+      case EventKind::ThreadEnd:
+        if (I + 1 != Events.size())
+          return err(At + "ThreadEnd not last");
+        if (!HeldStack.empty())
+          return err(At + "thread ends holding a lock");
+        break;
+      case EventKind::LockAcquire:
+        if (E.Lock >= Locks.size())
+          return err(At + "acquire of unknown lock");
+        if (E.Site != InvalidId && E.Site >= Sites.size())
+          return err(At + "unknown code site");
+        if (E.Lockset != InvalidId && E.Lockset >= Locksets.size())
+          return err(At + "unknown lockset");
+        HeldStack.push_back(E.Lock);
+        ++CsPerThread[T];
+        ++TotalCs;
+        break;
+      case EventKind::LockRelease:
+        if (E.Lock >= Locks.size())
+          return err(At + "release of unknown lock");
+        if (HeldStack.empty() || HeldStack.back() != E.Lock)
+          return err(At + "release does not match innermost held lock");
+        HeldStack.pop_back();
+        break;
+      case EventKind::Read:
+      case EventKind::Write:
+      case EventKind::Compute:
+        break;
+      }
+    }
+  }
+
+  for (const auto &LS : Locksets)
+    for (const auto &Entry : LS.Entries) {
+      if (Entry.Lock >= Locks.size())
+        return err("lockset references unknown lock");
+      if (Entry.SourceCs != InvalidId && Entry.SourceCs >= TotalCs)
+        return err("lockset references unknown source critical section");
+    }
+
+  for (const auto &C : Constraints) {
+    if (C.Before >= TotalCs || C.After >= TotalCs)
+      return err("constraint references unknown critical section");
+    if (C.Before == C.After)
+      return err("constraint orders a critical section against itself");
+  }
+
+  if (!LockSchedule.empty() && LockSchedule.size() != Locks.size())
+    return err("lock schedule size does not match lock table");
+  for (size_t L = 0; L != LockSchedule.size(); ++L)
+    for (const CsRef &Ref : LockSchedule[L]) {
+      if (Ref.Thread >= Threads.size())
+        return err("lock schedule references unknown thread");
+      if (Ref.Index >= CsPerThread[Ref.Thread])
+        return err("lock schedule references unknown critical section");
+    }
+
+  return std::string();
+}

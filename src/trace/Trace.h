@@ -1,0 +1,149 @@
+//===- trace/Trace.h - Recorded execution trace ------------------*- C++ -*-===//
+//
+// Part of the PerfPlay reproduction of "On Performance Debugging of
+// Unnecessary Lock Contentions on Multicore Processors" (CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Trace container: per-thread event streams plus the side tables a
+/// replay needs — code sites, lock metadata, the recorded per-lock grant
+/// schedule that ELSC enforces (Section 5.2), and, for transformed
+/// traces, lockset definitions (RULE 3) and partial-order constraints
+/// (RULE 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERFPLAY_TRACE_TRACE_H
+#define PERFPLAY_TRACE_TRACE_H
+
+#include "trace/Event.h"
+
+#include <string>
+#include <vector>
+
+namespace perfplay {
+
+/// Static source location of a critical section's code region.
+struct CodeSite {
+  std::string File;
+  std::string Function;
+  uint32_t BeginLine = 0;
+  uint32_t EndLine = 0;
+};
+
+/// Metadata of one lock.  Spin locks burn CPU while waiting (the paper's
+/// "resource wasting"); blocking locks idle.
+struct LockInfo {
+  std::string Name;
+  bool IsSpin = false;
+};
+
+/// Reference to the \p Index-th critical section (in program order) of
+/// thread \p Thread.  Nested critical sections are numbered by their
+/// opening LockAcquire.
+struct CsRef {
+  ThreadId Thread = InvalidId;
+  uint32_t Index = InvalidId;
+
+  bool valid() const { return Thread != InvalidId; }
+  bool operator==(const CsRef &RHS) const {
+    return Thread == RHS.Thread && Index == RHS.Index;
+  }
+};
+
+/// One lock inside a lockset, remembering which critical section the
+/// lock protects against.  The dynamic locking strategy (Figure 9) skips
+/// acquiring Lock once SourceCs has finished at replay time.
+struct LocksetEntry {
+  LockId Lock = InvalidId;
+  /// Global id of the source critical section contributing this lock,
+  /// or InvalidId for the node's own auxiliary lock.
+  uint32_t SourceCs = InvalidId;
+};
+
+/// RULE 3 lockset: the set of locks a transformed critical section must
+/// hold.  Two transformed critical sections are mutually exclusive iff
+/// their locksets intersect (RULE 4).  An empty lockset encodes a
+/// removed lock/unlock pair (null-locks and standalone nodes).
+struct Lockset {
+  std::vector<LocksetEntry> Entries;
+};
+
+/// RULE 2 constraint: the critical section \p Before must be granted its
+/// lock(s) no later than \p After, preserving the original partial order
+/// of causal-edge nodes.  Ids are global critical-section ids (see
+/// Trace::globalCsId).
+struct OrderConstraint {
+  uint32_t Before = InvalidId;
+  uint32_t After = InvalidId;
+};
+
+/// Event stream of one thread.
+struct ThreadTrace {
+  std::vector<Event> Events;
+};
+
+/// A recorded (or transformed) execution trace.
+///
+/// Thread ids are dense indices into Threads.  Global critical-section
+/// ids enumerate critical sections thread-major: all of thread 0's
+/// critical sections first (in program order), then thread 1's, etc.
+class Trace {
+public:
+  std::vector<ThreadTrace> Threads;
+  std::vector<CodeSite> Sites;
+  std::vector<LockInfo> Locks;
+
+  /// Transformed-trace side tables (empty in freshly recorded traces).
+  std::vector<Lockset> Locksets;
+  std::vector<OrderConstraint> Constraints;
+
+  /// Recorded grant schedule: for each lock, the order in which critical
+  /// sections were granted that lock in the recorded run.  This is the
+  /// total order ELSC re-enforces on every replay.
+  std::vector<std::vector<CsRef>> LockSchedule;
+
+  /// Number of threads.
+  unsigned numThreads() const {
+    return static_cast<unsigned>(Threads.size());
+  }
+
+  /// Total number of events across all threads.
+  size_t numEvents() const;
+
+  /// Total number of critical sections (LockAcquire events).
+  size_t numCriticalSections() const;
+
+  /// Number of critical sections in thread \p T.
+  uint32_t numCriticalSections(ThreadId T) const;
+
+  /// Maps (thread, per-thread CS index) to a dense global CS id.
+  /// Requires buildCsIndex() to have been called after the last
+  /// mutation of Threads.
+  uint32_t globalCsId(CsRef Ref) const;
+
+  /// Inverse of globalCsId().
+  CsRef csRefOf(uint32_t GlobalId) const;
+
+  /// (Re)computes the per-thread CS counts backing globalCsId().
+  void buildCsIndex();
+
+  /// Structural validation: every thread stream starts with ThreadStart,
+  /// ends with ThreadEnd, lock acquire/release nest properly (LIFO per
+  /// thread), released locks were held, referenced sites/locks/locksets
+  /// exist, and constraints reference existing critical sections.
+  ///
+  /// \returns an empty string when valid, otherwise a diagnostic.
+  std::string validate() const;
+
+private:
+  /// Prefix sums of per-thread CS counts; CsPrefix[T] is the global id
+  /// of thread T's first critical section.
+  std::vector<uint32_t> CsPrefix;
+  std::vector<uint32_t> CsCount;
+};
+
+} // namespace perfplay
+
+#endif // PERFPLAY_TRACE_TRACE_H

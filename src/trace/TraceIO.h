@@ -1,0 +1,52 @@
+//===- trace/TraceIO.h - Trace (de)serialization -----------------*- C++ -*-===//
+//
+// Part of the PerfPlay reproduction of "On Performance Debugging of
+// Unnecessary Lock Contentions on Multicore Processors" (CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trace persistence in two formats: a line-oriented text format for
+/// human inspection and goldens, and a compact binary format for large
+/// recordings.  Both round-trip every field including transformed-trace
+/// side tables (locksets, constraints, lock schedule).
+///
+/// The paper separates trace loading and format conversion from the
+/// measured replay time (Section 6.1); keeping I/O in its own module
+/// mirrors that separation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERFPLAY_TRACE_TRACEIO_H
+#define PERFPLAY_TRACE_TRACEIO_H
+
+#include "trace/Trace.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace perfplay {
+
+/// Serializes \p Tr into the text format.
+std::string writeTraceText(const Trace &Tr);
+
+/// Parses the text format.  On failure returns false and sets \p Err.
+bool parseTraceText(const std::string &Text, Trace &Out, std::string &Err);
+
+/// Serializes \p Tr into the binary format.
+std::vector<uint8_t> writeTraceBinary(const Trace &Tr);
+
+/// Parses the binary format.  On failure returns false and sets \p Err.
+bool parseTraceBinary(const std::vector<uint8_t> &Bytes, Trace &Out,
+                      std::string &Err);
+
+/// Writes \p Tr to \p Path (text format).  Returns false on I/O error.
+bool saveTrace(const Trace &Tr, const std::string &Path, std::string &Err);
+
+/// Reads a text-format trace from \p Path.
+bool loadTrace(const std::string &Path, Trace &Out, std::string &Err);
+
+} // namespace perfplay
+
+#endif // PERFPLAY_TRACE_TRACEIO_H

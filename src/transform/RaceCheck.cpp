@@ -1,0 +1,177 @@
+//===- transform/RaceCheck.cpp - Theorem 1 race reporting ------------------===//
+
+#include "transform/RaceCheck.h"
+
+#include "detect/Classify.h"
+#include "support/SetOps.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <tuple>
+
+using namespace perfplay;
+
+namespace {
+
+/// One shared access with its protection context.
+struct AccessRecord {
+  ThreadId Thread;
+  AddrId Addr;
+  bool IsWrite;
+  /// Enclosing critical sections, outermost first (empty if unlocked).
+  std::vector<uint32_t> Enclosing;
+};
+
+} // namespace
+
+/// Reachability over program order + causal edges + constraints,
+/// computed as a simple transitive closure (bit matrix).  Trace sizes
+/// fed through the race check are pipeline-bounded.
+static std::vector<std::vector<bool>>
+computeHappensBefore(const Trace &Tr, const TopologyGraph &Topo) {
+  size_t N = Tr.numCriticalSections();
+  std::vector<std::vector<bool>> Reach(N, std::vector<bool>(N, false));
+  auto addEdge = [&](uint32_t A, uint32_t B) { Reach[A][B] = true; };
+
+  // Program order within each thread.
+  for (ThreadId T = 0; T != Tr.Threads.size(); ++T) {
+    uint32_t Count = Tr.numCriticalSections(T);
+    for (uint32_t I = 0; I + 1 < Count; ++I)
+      addEdge(Tr.globalCsId(CsRef{T, I}), Tr.globalCsId(CsRef{T, I + 1}));
+  }
+  for (const TopologyEdge &E : Topo.edges())
+    addEdge(E.From, E.To);
+  for (const OrderConstraint &C : Tr.Constraints)
+    addEdge(C.Before, C.After);
+
+  // Floyd-Warshall style closure.
+  for (size_t K = 0; K != N; ++K)
+    for (size_t I = 0; I != N; ++I) {
+      if (!Reach[I][K])
+        continue;
+      for (size_t J = 0; J != N; ++J)
+        if (Reach[K][J])
+          Reach[I][J] = true;
+    }
+  return Reach;
+}
+
+/// Sorted lock ids of a section's lockset in the transformed trace.
+static std::vector<LockId> locksetLocks(const Trace &Tr, uint32_t Cs) {
+  std::vector<LockId> Out;
+  CsRef Ref = Tr.csRefOf(Cs);
+  uint32_t Index = 0;
+  for (const Event &E : Tr.Threads[Ref.Thread].Events)
+    if (E.Kind == EventKind::LockAcquire) {
+      if (Index++ != Ref.Index)
+        continue;
+      if (E.Lockset == InvalidId) {
+        Out.push_back(E.Lock);
+      } else {
+        for (const LocksetEntry &Entry : Tr.Locksets[E.Lockset].Entries)
+          Out.push_back(Entry.Lock);
+      }
+      break;
+    }
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}
+
+std::vector<RaceReport> perfplay::checkRaces(const Trace &Transformed,
+                                             const CsIndex &Index,
+                                             const TopologyGraph &Topology) {
+  const Trace &Tr = Transformed;
+
+  // Collect every shared access with its enclosing sections.
+  std::vector<AccessRecord> Accesses;
+  for (ThreadId T = 0; T != Tr.Threads.size(); ++T) {
+    std::vector<uint32_t> Open;
+    uint32_t NextIndex = 0;
+    for (const Event &E : Tr.Threads[T].Events) {
+      switch (E.Kind) {
+      case EventKind::LockAcquire:
+        Open.push_back(Tr.globalCsId(CsRef{T, NextIndex++}));
+        break;
+      case EventKind::LockRelease:
+        assert(!Open.empty() && "unbalanced release");
+        Open.pop_back();
+        break;
+      case EventKind::Read:
+      case EventKind::Write:
+        Accesses.push_back(
+            AccessRecord{T, E.Addr, E.Kind == EventKind::Write, Open});
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+  std::vector<std::vector<bool>> Reach =
+      computeHappensBefore(Tr, Topology);
+
+  // Lockset cache per section.
+  size_t NumCs = Tr.numCriticalSections();
+  std::vector<std::vector<LockId>> Locksets(NumCs);
+  std::vector<bool> LocksetKnown(NumCs, false);
+  auto locksOf = [&](uint32_t Cs) -> const std::vector<LockId> & {
+    if (!LocksetKnown[Cs]) {
+      Locksets[Cs] = locksetLocks(Tr, Cs);
+      LocksetKnown[Cs] = true;
+    }
+    return Locksets[Cs];
+  };
+
+  auto ordered = [&](const AccessRecord &A, const AccessRecord &B) {
+    for (uint32_t CsA : A.Enclosing)
+      for (uint32_t CsB : B.Enclosing)
+        if (Reach[CsA][CsB] || Reach[CsB][CsA])
+          return true;
+    return false;
+  };
+
+  auto protectedPair = [&](const AccessRecord &A, const AccessRecord &B) {
+    for (uint32_t CsA : A.Enclosing)
+      for (uint32_t CsB : B.Enclosing)
+        if (sortedIntersects(locksOf(CsA), locksOf(CsB)))
+          return true;
+    return false;
+  };
+
+  // Theorem 1 tolerates *benign* interleavings (redundant writes,
+  // commutative updates): a conflicting but order-insensitive pair of
+  // sections was parallelized on purpose and is not a race.
+  MemoryImage Initial = MemoryImage::initialOf(Tr);
+  auto benignSections = [&](uint32_t CsA, uint32_t CsB) {
+    if (CsA == InvalidId || CsB == InvalidId)
+      return false;
+    return classifyPair(Tr, Initial, Index.byGlobalId(CsA),
+                        Index.byGlobalId(CsB)) != UlcpKind::TrueContention;
+  };
+
+  std::vector<RaceReport> Races;
+  std::set<std::tuple<uint32_t, uint32_t, AddrId>> Seen;
+  for (size_t I = 0; I != Accesses.size(); ++I) {
+    const AccessRecord &A = Accesses[I];
+    for (size_t J = I + 1; J != Accesses.size(); ++J) {
+      const AccessRecord &B = Accesses[J];
+      if (A.Thread == B.Thread || A.Addr != B.Addr)
+        continue;
+      if (!A.IsWrite && !B.IsWrite)
+        continue;
+      if (protectedPair(A, B) || ordered(A, B))
+        continue;
+      uint32_t CsA = A.Enclosing.empty() ? InvalidId : A.Enclosing.back();
+      uint32_t CsB = B.Enclosing.empty() ? InvalidId : B.Enclosing.back();
+      uint32_t Lo = std::min(CsA, CsB), Hi = std::max(CsA, CsB);
+      if (!Seen.insert({Lo, Hi, A.Addr}).second)
+        continue;
+      if (benignSections(CsA, CsB))
+        continue;
+      Races.push_back(RaceReport{A.Addr, A.Thread, B.Thread, CsA, CsB});
+    }
+  }
+  return Races;
+}

@@ -1,0 +1,47 @@
+//===- transform/Topology.cpp - Causal-order topology (RULE 1) -------------===//
+
+#include "transform/Topology.h"
+
+#include "detect/Classify.h"
+
+#include <cassert>
+#include <set>
+
+using namespace perfplay;
+
+void TopologyGraph::addEdge(uint32_t From, uint32_t To) {
+  assert(From < NumNodes && To < NumNodes && "edge endpoint out of range");
+  assert(From != To && "self edge");
+  Edges.push_back(TopologyEdge{From, To});
+  OutEdges[From].push_back(To);
+  InEdges[To].push_back(From);
+}
+
+TopologyGraph perfplay::buildTopology(const Trace &Tr,
+                                      const CsIndex &Index) {
+  TopologyGraph Graph(Index.size());
+  MemoryImage Initial = MemoryImage::initialOf(Tr);
+
+  for (LockId L = 0; L != Index.numLocks(); ++L) {
+    const std::vector<uint32_t> &Order = Index.sectionsOfLock(L);
+    for (size_t I = 0; I != Order.size(); ++I) {
+      const CriticalSection &A = Index.byGlobalId(Order[I]);
+      // Sequential searching: in every other thread, the first later
+      // same-lock section that truly contends with A gets a causal
+      // edge; matching stops for that thread.
+      std::set<ThreadId> Matched;
+      for (size_t J = I + 1; J != Order.size(); ++J) {
+        const CriticalSection &B = Index.byGlobalId(Order[J]);
+        if (B.Ref.Thread == A.Ref.Thread)
+          continue;
+        if (Matched.count(B.Ref.Thread))
+          continue;
+        if (classifyPair(Tr, Initial, A, B) == UlcpKind::TrueContention) {
+          Graph.addEdge(A.GlobalId, B.GlobalId);
+          Matched.insert(B.Ref.Thread);
+        }
+      }
+    }
+  }
+  return Graph;
+}

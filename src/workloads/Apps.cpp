@@ -1,0 +1,387 @@
+//===- workloads/Apps.cpp - The paper's application models -----------------===//
+//
+// Calibration notes: per-lock all-cross-thread pairs with two threads
+// and S sessions/thread are ~S^2, so a group of L locks contributes
+// ~L*S^2 pairs of its pattern and 2*S*L dynamic acquisitions.  Targets
+// below are Table 1 rows divided by ~8.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Apps.h"
+
+using namespace perfplay;
+
+namespace {
+
+/// Shorthand builder for one group.
+LockGroup group(const char *Name, GroupPatternKind Pattern,
+                unsigned NumLocks, unsigned Sessions, TimeNs CsLo,
+                TimeNs CsHi, TimeNs GapLo, TimeNs GapHi,
+                double ConflictFrac = 0.0, bool IsSpin = false,
+                unsigned Sites = 2) {
+  LockGroup G;
+  G.Name = Name;
+  G.Pattern = Pattern;
+  G.NumLocks = NumLocks;
+  G.SessionsPerThread = Sessions;
+  G.CsCostMin = CsLo;
+  G.CsCostMax = CsHi;
+  G.GapCostMin = GapLo;
+  G.GapCostMax = GapHi;
+  G.ConflictFrac = ConflictFrac;
+  G.IsSpin = IsSpin;
+  G.SitesPerGroup = Sites;
+  return G;
+}
+
+WorkloadSpec spec(const char *Name, unsigned Threads, double Scale,
+                  uint64_t Seed, std::vector<LockGroup> Groups,
+                  bool FixedInput = false, TimeNs Startup = 0) {
+  WorkloadSpec S;
+  S.Name = Name;
+  S.NumThreads = Threads;
+  S.InputScale = Scale;
+  S.Seed = Seed;
+  S.Groups = std::move(Groups);
+  // Fixed-input applications (PARSEC) divide their data-parallel work
+  // across threads; the synchronization code (the ULCP pattern groups)
+  // still runs per thread.
+  if (FixedInput)
+    for (LockGroup &G : S.Groups)
+      if (G.Pattern == GroupPatternKind::Private ||
+          G.Pattern == GroupPatternKind::TrueConflict)
+        G.DivideAcrossThreads = true;
+  // Serial initialization (input loading, structure setup) that does
+  // not scale with the input size.
+  S.StartupCost = Startup;
+  return S;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Real-world programs
+//===----------------------------------------------------------------------===//
+
+// Table 1 row (scaled /8): 231 locks; NL 9, RR 177, DW 59, Benign 2.
+// The dbmfp->ref spin-wait of Figure 4 dominates: read-read sections
+// on spin locks with short bodies and short gaps (heavy overlap).
+WorkloadSpec perfplay::makeOpenldap(unsigned Threads, double Scale) {
+  return spec("openldap", Threads, Scale, 1001, {
+      group("ref_spinwait", GroupPatternKind::ReadRead, 1, 13, 300, 700,
+            80, 240, 0.06, /*IsSpin=*/true),
+      group("cache_update", GroupPatternKind::DisjointWrite, 1, 8, 300,
+            900, 400, 1200, 0.05),
+      group("cfg_nulllock", GroupPatternKind::NullLock, 1, 3, 80, 200,
+            1000, 3000),
+      group("stat_counter", GroupPatternKind::Benign, 2, 1, 100, 300,
+            1500, 4000),
+      group("conn_table", GroupPatternKind::TrueConflict, 2, 4, 400,
+            1000, 1200, 3500),
+      group("worker_local", GroupPatternKind::Private, 12, 4, 200, 600,
+            900, 2500),
+  });
+}
+
+// Table 1 row (scaled /8): 264 locks; NL 16, RR 1228, DW 366, Benign
+// 24.  The query-cache / fil_system mutexes of the case studies: many
+// read-read lookups per lock (Case 2/8 shapes).
+WorkloadSpec perfplay::makeMysql(unsigned Threads, double Scale) {
+  return spec("mysql", Threads, Scale, 1002, {
+      group("fil_space_lookup", GroupPatternKind::ReadRead, 2, 25, 250,
+            700, 100, 300, 0.04, /*IsSpin=*/true),
+      group("thd_data", GroupPatternKind::DisjointWrite, 1, 19, 300, 800,
+            400, 1100, 0.05),
+      group("query_cache_null", GroupPatternKind::NullLock, 1, 4, 100,
+            250, 900, 2500),
+      group("status_counter", GroupPatternKind::Benign, 1, 5, 150, 400,
+            1200, 3000),
+      group("trx_sys", GroupPatternKind::TrueConflict, 3, 4, 500, 1400,
+            1000, 3000),
+      group("session_local", GroupPatternKind::Private, 10, 4, 250, 700,
+            900, 2400),
+  });
+}
+
+// Table 1 row (scaled /8): 160 locks; NL 0, RR 131, DW 105, Benign 6.
+// The consumer queue checks of Figure 18 (fifo->empty/producerDone):
+// read-read on the queue mutexes, disjoint writes on block slots.
+WorkloadSpec perfplay::makePbzip2(unsigned Threads, double Scale) {
+  return spec("pbzip2", Threads, Scale, 1003, {
+      group("fifo_check", GroupPatternKind::ReadRead, 1, 11, 200, 600,
+            60, 200, 0.08, /*IsSpin=*/true),
+      group("block_slot", GroupPatternKind::DisjointWrite, 1, 10, 400,
+            1200, 400, 1200, 0.05),
+      group("progress", GroupPatternKind::Benign, 1, 2, 100, 300, 1500,
+            3500),
+      group("queue_head", GroupPatternKind::TrueConflict, 1, 6, 300, 900,
+            600, 1800),
+      group("worker_local", GroupPatternKind::Private, 6, 4, 300, 800,
+            800, 2000),
+  });
+}
+
+// Table 1 row (scaled /8): 44 locks; NL 2, RR 14, DW 15, Benign 4.
+WorkloadSpec perfplay::makeTransmissionBT(unsigned Threads, double Scale) {
+  return spec("transmissionBT", Threads, Scale, 1004, {
+      group("peer_list", GroupPatternKind::ReadRead, 1, 4, 300, 900,
+            1500, 4000, 0.05),
+      group("piece_state", GroupPatternKind::DisjointWrite, 1, 4, 350,
+            1000, 1400, 3800, 0.05),
+      group("cfg_nulllock", GroupPatternKind::NullLock, 2, 1, 100, 250,
+            2000, 5000),
+      group("rate_counter", GroupPatternKind::Benign, 1, 2, 150, 400,
+            1800, 4200),
+      group("session_local", GroupPatternKind::Private, 4, 3, 250, 700,
+            1200, 3000),
+  });
+}
+
+// Table 1 row (scaled /8): 2290 locks; NL 1, RR 192, DW 143, Benign 24.
+// A transcoder: very lock-intensive but mostly thread-local buffers.
+WorkloadSpec perfplay::makeHandbrake(unsigned Threads, double Scale) {
+  return spec("handbrake", Threads, Scale, 1005, {
+      group("frame_meta", GroupPatternKind::ReadRead, 2, 10, 200, 600,
+            300, 900, 0.04),
+      group("fifo_slot", GroupPatternKind::DisjointWrite, 1, 12, 250, 750,
+            350, 1000, 0.04),
+      group("eof_flag", GroupPatternKind::NullLock, 1, 1, 80, 200, 2000,
+            5000),
+      group("fps_counter", GroupPatternKind::Benign, 1, 5, 120, 350,
+            1200, 3000),
+      group("codec_state", GroupPatternKind::TrueConflict, 3, 4, 400,
+            1100, 900, 2600),
+      group("work_object", GroupPatternKind::Private, 450, 4, 200, 600,
+            500, 1500),
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// PARSEC benchmarks
+//===----------------------------------------------------------------------===//
+
+// Table 1 row: 0 locks, 0 ULCPs — pure data-parallel computation.
+WorkloadSpec perfplay::makeBlackscholes(unsigned Threads, double Scale) {
+  return spec("blackscholes", Threads, Scale, 0xb1a5606, {},
+              /*FixedInput=*/true, /*Startup=*/100000);
+}
+
+// Table 1 row (scaled /8): 4080 locks; NL 0, RR 165, DW 40, Benign 5.
+WorkloadSpec perfplay::makeBodytrack(unsigned Threads, double Scale) {
+  return spec("bodytrack", Threads, Scale, 0xb0d7707, {
+      group("pool_state", GroupPatternKind::ReadRead, 2, 9, 180, 550,
+            250, 800, 0.05),
+      group("particle_slot", GroupPatternKind::DisjointWrite, 1, 6, 220,
+            650, 300, 900, 0.04),
+      group("step_counter", GroupPatternKind::Benign, 1, 2, 100, 300,
+            1500, 3500),
+      group("tick_queue", GroupPatternKind::TrueConflict, 4, 4, 350, 950,
+            800, 2200),
+      group("pose_buffer", GroupPatternKind::TrueConflict, 150, 4, 120,
+            260, 100, 240),
+      group("worker_local", GroupPatternKind::Private, 250, 4, 150, 450,
+            400, 1200),
+  },
+              /*FixedInput=*/true, /*Startup=*/200000);
+}
+
+// Table 1 row (scaled /8): 4 locks; no ULCPs — correct exclusive use.
+WorkloadSpec perfplay::makeCanneal(unsigned Threads, double Scale) {
+  return spec("canneal", Threads, Scale, 0xca9e808, {
+      group("element_swap", GroupPatternKind::TrueConflict, 1, 2, 500,
+            1400, 2000, 5000),
+  },
+              /*FixedInput=*/true, /*Startup=*/100000);
+}
+
+// Table 1 row (scaled /8): 2419 locks; NL 29, RR 303, DW 244, Benign 21.
+WorkloadSpec perfplay::makeDedup(unsigned Threads, double Scale) {
+  return spec("dedup", Threads, Scale, 0xdedb909, {
+      group("hash_bucket_rd", GroupPatternKind::ReadRead, 2, 12, 200,
+            600, 90, 280, 0.05),
+      group("chunk_slot", GroupPatternKind::DisjointWrite, 2, 11, 250,
+            750, 300, 900, 0.05),
+      group("queue_empty", GroupPatternKind::NullLock, 2, 4, 80, 200,
+            800, 2200),
+      group("dedupe_counter", GroupPatternKind::Benign, 1, 5, 120, 350,
+            1000, 2600),
+      group("anchor_state", GroupPatternKind::TrueConflict, 4, 4, 350,
+            950, 700, 2000),
+      group("refcount", GroupPatternKind::TrueConflict, 200, 4, 120,
+            260, 100, 240),
+      group("stage_local", GroupPatternKind::Private, 200, 4, 180, 550,
+            400, 1300),
+  },
+              /*FixedInput=*/true, /*Startup=*/250000);
+}
+
+// Table 1 row (scaled /8): 1818 locks; NL 13, RR 109, DW 102, Benign 2.
+// Facesim's ULCPs wrap *large* critical sections (Section 6.3 explains
+// its speedup exceeds fluidanimate's despite fewer ULCPs).
+WorkloadSpec perfplay::makeFacesim(unsigned Threads, double Scale) {
+  return spec("facesim", Threads, Scale, 0xface010, {
+      group("mesh_read", GroupPatternKind::ReadRead, 1, 10, 3000, 9000,
+            1500, 4500, 0.05),
+      group("node_update", GroupPatternKind::DisjointWrite, 1, 10, 2500,
+            8000, 1800, 5000, 0.04),
+      group("frame_flag", GroupPatternKind::NullLock, 1, 4, 150, 400,
+            3000, 8000),
+      group("solver_counter", GroupPatternKind::Benign, 2, 1, 300, 800,
+            4000, 9000),
+      group("boundary_state", GroupPatternKind::TrueConflict, 3, 4, 2000,
+            6000, 2500, 7000),
+      group("mesh_lock", GroupPatternKind::TrueConflict, 200, 4, 150,
+            300, 120, 280),
+      group("partition_local", GroupPatternKind::Private, 150, 4, 400,
+            1200, 1000, 3000),
+  },
+              /*FixedInput=*/true, /*Startup=*/350000);
+}
+
+// Table 1 row (scaled /8): 779 locks; NL 1, RR 13, DW 29, Benign 43.
+// Ferret is the one application where benign pairs dominate.
+WorkloadSpec perfplay::makeFerret(unsigned Threads, double Scale) {
+  return spec("ferret", Threads, Scale, 0xfe77e011, {
+      group("index_read", GroupPatternKind::ReadRead, 1, 4, 250, 700,
+            900, 2400, 0.05),
+      group("rank_slot", GroupPatternKind::DisjointWrite, 2, 4, 300, 850,
+            800, 2200, 0.05),
+      group("eof_flag", GroupPatternKind::NullLock, 1, 1, 80, 200, 2000,
+            5000),
+      group("cand_counter", GroupPatternKind::Benign, 3, 4, 200, 550,
+            700, 1900),
+      group("queue_state", GroupPatternKind::TrueConflict, 3, 4, 350,
+            950, 700, 2000),
+      group("queue_lock", GroupPatternKind::TrueConflict, 120, 4, 120,
+            260, 100, 240),
+      group("stage_local", GroupPatternKind::Private, 50, 4, 200, 600,
+            500, 1500),
+  },
+              /*FixedInput=*/true, /*Startup=*/120000);
+}
+
+// Table 1 row (scaled /8): 10268 locks; NL 0, RR 1313, DW 837, Benign
+// 25.  The most lock-intensive PARSEC app: tiny per-cell spin locks.
+WorkloadSpec perfplay::makeFluidanimate(unsigned Threads, double Scale) {
+  return spec("fluidanimate", Threads, Scale, 0xf1d1a012, {
+      group("cell_read", GroupPatternKind::ReadRead, 2, 26, 80, 250, 30,
+            110, 0.04, /*IsSpin=*/true),
+      group("cell_force", GroupPatternKind::DisjointWrite, 2, 20, 90,
+            280, 35, 120, 0.04, /*IsSpin=*/true),
+      group("density_acc", GroupPatternKind::Benign, 1, 5, 70, 200, 200,
+            700, 0.0, /*IsSpin=*/true),
+      group("border_cell", GroupPatternKind::TrueConflict, 6, 6, 120,
+            350, 200, 800, 0.0, /*IsSpin=*/true),
+      group("cell_lock", GroupPatternKind::TrueConflict, 300, 4, 80,
+            180, 60, 160, 0.0, /*IsSpin=*/true),
+      group("grid_local", GroupPatternKind::Private, 400, 4, 60, 180,
+            120, 400),
+  },
+              /*FixedInput=*/true, /*Startup=*/200000);
+}
+
+// Table 1 row (scaled /8): 24 locks; no ULCPs.
+WorkloadSpec perfplay::makeStreamcluster(unsigned Threads, double Scale) {
+  return spec("streamcluster", Threads, Scale, 0x57c1013, {
+      group("center_update", GroupPatternKind::TrueConflict, 2, 3, 600,
+            1600, 2500, 6000),
+      group("bar_lock", GroupPatternKind::TrueConflict, 8, 2, 200,
+            500, 300, 900),
+      group("thread_local", GroupPatternKind::Private, 4, 2, 300, 800,
+            1500, 4000),
+  },
+              /*FixedInput=*/true, /*Startup=*/30000);
+}
+
+// Table 1 row (scaled /8): 3 locks; no ULCPs.
+WorkloadSpec perfplay::makeSwaptions(unsigned Threads, double Scale) {
+  return spec("swaptions", Threads, Scale, 0x5a9014, {
+      group("result_slot", GroupPatternKind::TrueConflict, 1, 1, 800,
+            2000, 4000, 9000),
+  },
+              /*FixedInput=*/true, /*Startup=*/10000);
+}
+
+// Table 1 row (scaled /8): 4198 locks; NL 18, RR 564, DW 143, Benign 3.
+WorkloadSpec perfplay::makeVips(unsigned Threads, double Scale) {
+  return spec("vips", Threads, Scale, 1015, {
+      group("region_read", GroupPatternKind::ReadRead, 2, 17, 180, 550,
+            90, 280, 0.04),
+      group("tile_slot", GroupPatternKind::DisjointWrite, 1, 12, 220, 650,
+            300, 900, 0.04),
+      group("eval_flag", GroupPatternKind::NullLock, 1, 4, 80, 200, 900,
+            2500),
+      group("progress_counter", GroupPatternKind::Benign, 3, 1, 120, 350,
+            1500, 3800),
+      group("cache_entry", GroupPatternKind::TrueConflict, 4, 4, 300,
+            850, 600, 1800),
+      group("buf_lock", GroupPatternKind::TrueConflict, 350, 4, 120,
+            260, 100, 240),
+      group("pipeline_local", GroupPatternKind::Private, 400, 4, 150,
+            450, 300, 1000),
+  },
+              /*FixedInput=*/true, /*Startup=*/400000);
+}
+
+// Table 1 row (scaled /8): 2096 locks; NL 118, RR 480, DW 52, Benign
+// 10.  x264 has by far the most null-locks (frame-availability checks).
+WorkloadSpec perfplay::makeX264(unsigned Threads, double Scale) {
+  return spec("x264", Threads, Scale, 0x264016, {
+      group("frame_avail", GroupPatternKind::NullLock, 7, 4, 90, 250,
+            400, 1300),
+      group("ref_row_read", GroupPatternKind::ReadRead, 2, 16, 200, 600,
+            90, 280, 0.05),
+      group("mb_slot", GroupPatternKind::DisjointWrite, 1, 7, 250, 700,
+            300, 900, 0.05),
+      group("bitrate_counter", GroupPatternKind::Benign, 2, 2, 120, 350,
+            1000, 2600),
+      group("dpb_state", GroupPatternKind::TrueConflict, 4, 4, 350, 950,
+            700, 2000),
+      group("row_lock", GroupPatternKind::TrueConflict, 180, 4, 120,
+            260, 100, 240),
+      group("slice_local", GroupPatternKind::Private, 200, 4, 180, 550,
+            400, 1300),
+  },
+              /*FixedInput=*/true, /*Startup=*/250000);
+}
+
+//===----------------------------------------------------------------------===//
+// Registries
+//===----------------------------------------------------------------------===//
+
+const std::vector<AppModel> &perfplay::realWorldApps() {
+  static const std::vector<AppModel> Apps = {
+      {"openldap", makeOpenldap},       {"mysql", makeMysql},
+      {"pbzip2", makePbzip2},           {"transmissionBT",
+                                         makeTransmissionBT},
+      {"handbrake", makeHandbrake},
+  };
+  return Apps;
+}
+
+const std::vector<AppModel> &perfplay::parsecApps() {
+  static const std::vector<AppModel> Apps = {
+      {"blackscholes", makeBlackscholes},
+      {"bodytrack", makeBodytrack},
+      {"canneal", makeCanneal},
+      {"dedup", makeDedup},
+      {"facesim", makeFacesim},
+      {"ferret", makeFerret},
+      {"fluidanimate", makeFluidanimate},
+      {"streamcluster", makeStreamcluster},
+      {"swaptions", makeSwaptions},
+      {"vips", makeVips},
+      {"x264", makeX264},
+  };
+  return Apps;
+}
+
+const std::vector<AppModel> &perfplay::allApps() {
+  static const std::vector<AppModel> Apps = [] {
+    std::vector<AppModel> All = realWorldApps();
+    const auto &Parsec = parsecApps();
+    All.insert(All.end(), Parsec.begin(), Parsec.end());
+    return All;
+  }();
+  return Apps;
+}

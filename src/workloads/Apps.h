@@ -1,0 +1,70 @@
+//===- workloads/Apps.h - The paper's application models --------*- C++ -*-===//
+//
+// Part of the PerfPlay reproduction of "On Performance Debugging of
+// Unnecessary Lock Contentions on Multicore Processors" (CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Workload models for the sixteen applications of the paper's
+/// evaluation: five real-world programs (openldap, mysql, pbzip2,
+/// transmissionBT, handbrake) and eleven PARSEC benchmarks (freqmine is
+/// excluded as in the paper, which cannot instrument OpenMP).
+///
+/// Each model's lock-group mix is calibrated against Table 1 at ~1/8
+/// dynamic scale (documented per factory); the *shape* — which pattern
+/// dominates, which applications have no ULCPs at all, relative
+/// critical-section sizes — follows the paper's characterization.
+/// Factories take the thread count and an input-scale factor (PARSEC:
+/// simsmall 0.25, simmedium 0.5, simlarge 1.0).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERFPLAY_WORKLOADS_APPS_H
+#define PERFPLAY_WORKLOADS_APPS_H
+
+#include "workloads/WorkloadSpec.h"
+
+#include <string>
+#include <vector>
+
+namespace perfplay {
+
+// Real-world programs (Section 6.1 test configuration).
+WorkloadSpec makeOpenldap(unsigned Threads = 2, double Scale = 1.0);
+WorkloadSpec makeMysql(unsigned Threads = 2, double Scale = 1.0);
+WorkloadSpec makePbzip2(unsigned Threads = 2, double Scale = 1.0);
+WorkloadSpec makeTransmissionBT(unsigned Threads = 2, double Scale = 1.0);
+WorkloadSpec makeHandbrake(unsigned Threads = 2, double Scale = 1.0);
+
+// PARSEC benchmarks.
+WorkloadSpec makeBlackscholes(unsigned Threads = 2, double Scale = 1.0);
+WorkloadSpec makeBodytrack(unsigned Threads = 2, double Scale = 1.0);
+WorkloadSpec makeCanneal(unsigned Threads = 2, double Scale = 1.0);
+WorkloadSpec makeDedup(unsigned Threads = 2, double Scale = 1.0);
+WorkloadSpec makeFacesim(unsigned Threads = 2, double Scale = 1.0);
+WorkloadSpec makeFerret(unsigned Threads = 2, double Scale = 1.0);
+WorkloadSpec makeFluidanimate(unsigned Threads = 2, double Scale = 1.0);
+WorkloadSpec makeStreamcluster(unsigned Threads = 2, double Scale = 1.0);
+WorkloadSpec makeSwaptions(unsigned Threads = 2, double Scale = 1.0);
+WorkloadSpec makeVips(unsigned Threads = 2, double Scale = 1.0);
+WorkloadSpec makeX264(unsigned Threads = 2, double Scale = 1.0);
+
+/// A named application model.
+struct AppModel {
+  std::string Name;
+  WorkloadSpec (*Factory)(unsigned Threads, double Scale);
+};
+
+/// The five real-world programs, in Table 1 order.
+const std::vector<AppModel> &realWorldApps();
+
+/// The eleven PARSEC benchmarks, in Table 1 order.
+const std::vector<AppModel> &parsecApps();
+
+/// All sixteen applications, in Table 1 order.
+const std::vector<AppModel> &allApps();
+
+} // namespace perfplay
+
+#endif // PERFPLAY_WORKLOADS_APPS_H

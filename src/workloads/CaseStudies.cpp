@@ -1,0 +1,332 @@
+//===- workloads/CaseStudies.cpp - Section 6.6 case studies ----------------===//
+
+#include "workloads/CaseStudies.h"
+
+#include "support/Rng.h"
+#include "trace/TraceBuilder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace perfplay;
+
+static unsigned scaledCount(unsigned Base, double Scale) {
+  unsigned N =
+      static_cast<unsigned>(std::llround(static_cast<double>(Base) * Scale));
+  return std::max(N, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// #BUG1: openldap spin-wait (Figure 4)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Shared shadow addresses of the openldap model.
+enum OpenldapAddr : AddrId { RefAddr = 11 };
+
+} // namespace
+
+Trace perfplay::makeOpenldapSpinWait(const CaseStudyParams &P) {
+  assert(P.NumThreads >= 2 && "need workers plus the critical thread");
+  TraceBuilder B;
+  LockId Mu = B.addLock("dbmp->mutex", /*IsSpin=*/true);
+  CodeSiteId SpinSite =
+      B.addSite("mp/mp_fopen.c", "mpf_close_busyloop", 120, 131);
+  CodeSiteId ReleaseSite =
+      B.addSite("mp/mp_fopen.c", "mpf_close_release", 140, 148);
+
+  // The critical thread's slow section is a fixed duration; workers
+  // spin roughly that long regardless of thread count, which is why
+  // Figure 19(a) shows flat per-thread waste for this bug.
+  const TimeNs CriticalWork = 50000;
+  const unsigned SpinIters = 24;
+  const TimeNs PreWork = static_cast<TimeNs>(20000 * P.InputScale);
+
+  std::vector<ThreadId> Threads;
+  for (unsigned T = 0; T != P.NumThreads; ++T)
+    Threads.push_back(B.addThread());
+
+  // Workers 0..N-2 spin-poll dbmfp->ref; thread N-1 is the critical
+  // reference holder.  The poll holds the mutex only for the check
+  // (test-and-test style), so the waste is the polling itself, which
+  // is a fixed amount per thread regardless of the thread count.
+  for (unsigned T = 0; T + 1 != P.NumThreads; ++T) {
+    Rng R(P.Seed ^ (T * 7919));
+    B.compute(Threads[T], PreWork + R.nextInRange(0, 400));
+    for (unsigned I = 0; I != SpinIters; ++I) {
+      B.beginCs(Threads[T], Mu, SpinSite);
+      B.read(Threads[T], RefAddr, /*Value=*/0); // ref not yet released
+      B.compute(Threads[T], R.nextInRange(30, 60));
+      B.endCs(Threads[T]);
+      B.compute(Threads[T], R.nextInRange(1800, 2400));
+    }
+    // Final poll observes the released reference and exits the loop.
+    B.beginCs(Threads[T], Mu, SpinSite);
+    B.read(Threads[T], RefAddr, /*Value=*/1);
+    B.compute(Threads[T], 45);
+    B.endCs(Threads[T]);
+    B.compute(Threads[T], 500);
+  }
+
+  ThreadId Critical = Threads[P.NumThreads - 1];
+  B.compute(Critical, PreWork + CriticalWork);
+  B.beginCs(Critical, Mu, ReleaseSite);
+  B.write(Critical, RefAddr, 1, WriteOpKind::Store);
+  B.compute(Critical, 200);
+  B.endCs(Critical);
+  B.compute(Critical, 500);
+  return B.finish();
+}
+
+Trace perfplay::makeOpenldapSpinWaitFixed(const CaseStudyParams &P) {
+  assert(P.NumThreads >= 2 && "need workers plus the critical thread");
+  TraceBuilder B;
+  // The fix replaces the polling loop with a barrier-style single
+  // blocking wait: modeled as one (non-spin) lock the critical thread
+  // holds for the duration of its work, so workers idle instead of
+  // burning CPU.
+  LockId Barrier = B.addLock("dbmp->barrier", /*IsSpin=*/false);
+  CodeSiteId WaitSite =
+      B.addSite("mp/mp_fopen.c", "mpf_close_barrier_wait", 120, 126);
+  CodeSiteId ReleaseSite =
+      B.addSite("mp/mp_fopen.c", "mpf_close_release", 140, 148);
+
+  const TimeNs CriticalWork = 50000;
+  const TimeNs PreWork = static_cast<TimeNs>(20000 * P.InputScale);
+
+  std::vector<ThreadId> Threads;
+  for (unsigned T = 0; T != P.NumThreads; ++T)
+    Threads.push_back(B.addThread());
+
+  // The critical thread grabs the barrier immediately (empty arrival
+  // gap) and releases the reference at the end of its work.
+  ThreadId Critical = Threads[P.NumThreads - 1];
+  B.beginCs(Critical, Barrier, ReleaseSite);
+  B.compute(Critical, PreWork + CriticalWork);
+  B.write(Critical, RefAddr, 1, WriteOpKind::Store);
+  B.endCs(Critical);
+  B.compute(Critical, 500);
+
+  for (unsigned T = 0; T + 1 != P.NumThreads; ++T) {
+    Rng R(P.Seed ^ (T * 7919));
+    B.compute(Threads[T], PreWork + R.nextInRange(100, 400));
+    B.beginCs(Threads[T], Barrier, WaitSite);
+    B.read(Threads[T], RefAddr, /*Value=*/1);
+    B.compute(Threads[T], 180);
+    B.endCs(Threads[T]);
+    B.compute(Threads[T], 500);
+  }
+  return B.finish();
+}
+
+//===----------------------------------------------------------------------===//
+// #BUG2: pbzip2 consumer shutdown polling (Figure 18)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+enum Pbzip2Addr : AddrId {
+  FifoEmptyAddr = 21,
+  ProducerDoneAddr = 22,
+  QueueHeadAddr = 23,
+};
+
+} // namespace
+
+Trace perfplay::makePbzip2Consumer(const CaseStudyParams &P) {
+  assert(P.NumThreads >= 2 && "need a producer plus consumers");
+  TraceBuilder B;
+  LockId Mu = B.addLock("mu");
+  LockId MuDone = B.addLock("muDone");
+  CodeSiteId ConsumerSite = B.addSite("pbzip2.cpp", "consumer", 2109, 2124);
+  CodeSiteId SyncSite =
+      B.addSite("pbzip2.cpp", "syncGetProducerDone", 533, 538);
+  CodeSiteId DequeueSite = B.addSite("pbzip2.cpp", "consumer", 2130, 2140);
+  CodeSiteId ProducerSite = B.addSite("pbzip2.cpp", "producer", 1980, 1995);
+
+  const unsigned Blocks = scaledCount(16, P.InputScale);
+  const unsigned PollIters = 10; // Fixed shutdown-poll frequency.
+  unsigned NumConsumers = P.NumThreads - 1;
+  unsigned BlocksPerConsumer = std::max(Blocks / NumConsumers, 1u);
+
+  std::vector<ThreadId> Threads;
+  for (unsigned T = 0; T != P.NumThreads; ++T)
+    Threads.push_back(B.addThread());
+
+  // Producer: reads the file and enqueues blocks, then flags done.
+  ThreadId Producer = Threads[0];
+  Rng PR(P.Seed);
+  for (unsigned I = 0; I != Blocks; ++I) {
+    B.compute(Producer, PR.nextInRange(400, 800)); // Read a block.
+    B.beginCs(Producer, Mu, ProducerSite);
+    B.write(Producer, FifoEmptyAddr, 0, WriteOpKind::Store);
+    B.write(Producer, QueueHeadAddr, I + 1, WriteOpKind::Store);
+    B.compute(Producer, 150);
+    B.endCs(Producer);
+  }
+  B.beginCs(Producer, MuDone, ProducerSite);
+  B.write(Producer, ProducerDoneAddr, 1, WriteOpKind::Store);
+  B.endCs(Producer);
+  B.compute(Producer, 500);
+
+  // Consumers: dequeue + compress, then the buggy shutdown poll with
+  // nested mu/muDone read-read sections.
+  for (unsigned C = 0; C != NumConsumers; ++C) {
+    ThreadId T = Threads[C + 1];
+    Rng R(P.Seed ^ ((C + 1) * 104729));
+    for (unsigned I = 0; I != BlocksPerConsumer; ++I) {
+      B.beginCs(T, Mu, DequeueSite);
+      B.read(T, QueueHeadAddr, I + 1);
+      B.write(T, QueueHeadAddr, I, WriteOpKind::Store);
+      B.compute(T, 150);
+      B.endCs(T);
+      B.compute(T, R.nextInRange(2000, 4000)); // Compress the block.
+    }
+    for (unsigned I = 0; I != PollIters; ++I) {
+      B.beginCs(T, Mu, ConsumerSite);
+      B.read(T, FifoEmptyAddr, 1);
+      B.beginCs(T, MuDone, SyncSite);
+      B.read(T, ProducerDoneAddr, 0);
+      B.endCs(T);
+      B.compute(T, 120);
+      B.endCs(T);
+      B.compute(T, R.nextInRange(100, 250));
+    }
+    // Final poll sees producerDone and joins.
+    B.beginCs(T, Mu, ConsumerSite);
+    B.read(T, FifoEmptyAddr, 1);
+    B.beginCs(T, MuDone, SyncSite);
+    B.read(T, ProducerDoneAddr, 1);
+    B.endCs(T);
+    B.endCs(T);
+    B.compute(T, 400);
+  }
+  return B.finish();
+}
+
+Trace perfplay::makePbzip2ConsumerFixed(const CaseStudyParams &P) {
+  assert(P.NumThreads >= 2 && "need a producer plus consumers");
+  TraceBuilder B;
+  LockId Mu = B.addLock("mu");
+  LockId MuDone = B.addLock("muDone");
+  CodeSiteId WaitSite =
+      B.addSite("pbzip2.cpp", "consumer_wait_signal", 2109, 2115);
+  CodeSiteId DequeueSite = B.addSite("pbzip2.cpp", "consumer", 2130, 2140);
+  CodeSiteId ProducerSite = B.addSite("pbzip2.cpp", "producer", 1980, 1995);
+
+  const unsigned Blocks = scaledCount(16, P.InputScale);
+  unsigned NumConsumers = P.NumThreads - 1;
+  unsigned BlocksPerConsumer = std::max(Blocks / NumConsumers, 1u);
+
+  std::vector<ThreadId> Threads;
+  for (unsigned T = 0; T != P.NumThreads; ++T)
+    Threads.push_back(B.addThread());
+
+  ThreadId Producer = Threads[0];
+  Rng PR(P.Seed);
+  for (unsigned I = 0; I != Blocks; ++I) {
+    B.compute(Producer, PR.nextInRange(400, 800));
+    B.beginCs(Producer, Mu, ProducerSite);
+    B.write(Producer, FifoEmptyAddr, 0, WriteOpKind::Store);
+    B.write(Producer, QueueHeadAddr, I + 1, WriteOpKind::Store);
+    B.compute(Producer, 150);
+    B.endCs(Producer);
+  }
+  // With the signal/wait fix the producer flags completion once; the
+  // consumers never poll.
+  B.beginCs(Producer, MuDone, ProducerSite);
+  B.write(Producer, ProducerDoneAddr, 1, WriteOpKind::Store);
+  B.endCs(Producer);
+  B.compute(Producer, 500);
+
+  for (unsigned C = 0; C != NumConsumers; ++C) {
+    ThreadId T = Threads[C + 1];
+    Rng R(P.Seed ^ ((C + 1) * 104729));
+    for (unsigned I = 0; I != BlocksPerConsumer; ++I) {
+      B.beginCs(T, Mu, DequeueSite);
+      B.read(T, QueueHeadAddr, I + 1);
+      B.write(T, QueueHeadAddr, I, WriteOpKind::Store);
+      B.compute(T, 150);
+      B.endCs(T);
+      B.compute(T, R.nextInRange(2000, 4000));
+    }
+    // One signaled wake-up instead of the polling loop.
+    B.beginCs(T, MuDone, WaitSite);
+    B.read(T, ProducerDoneAddr, 1);
+    B.endCs(T);
+    B.compute(T, 400);
+  }
+  return B.finish();
+}
+
+//===----------------------------------------------------------------------===//
+// MySQL bug #68573: query-cache timed lock (Figure 17)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+enum MysqlAddr : AddrId { CacheStatusAddr = 31 };
+
+} // namespace
+
+Trace perfplay::makeMysqlQueryCache(const CaseStudyParams &P) {
+  assert(P.NumThreads >= 1 && "need at least one session thread");
+  TraceBuilder B;
+  LockId Guard = B.addLock("structure_guard_mutex");
+  CodeSiteId TryLockSite =
+      B.addSite("sql_cache.cc", "Query_cache::try_lock", 458, 476);
+
+  // The designed 50ms SELECT timeout, scaled into model units; each
+  // session holds the guard across its wait slices, so concurrent
+  // sessions serialize and the effective timeout inflates.
+  const TimeNs TimeoutSlice = 5000;
+  const unsigned Slices = 10;
+  const unsigned Sessions = scaledCount(6, P.InputScale);
+
+  for (unsigned T = 0; T != P.NumThreads; ++T) {
+    ThreadId Tid = B.addThread();
+    Rng R(P.Seed ^ (T * 31337));
+    for (unsigned S = 0; S != Sessions; ++S) {
+      B.compute(Tid, R.nextInRange(1000, 3000)); // Parse the SELECT.
+      B.beginCs(Tid, Guard, TryLockSite);
+      for (unsigned I = 0; I != Slices; ++I) {
+        B.read(Tid, CacheStatusAddr, 0);
+        B.compute(Tid, TimeoutSlice);
+      }
+      B.endCs(Tid);
+      B.compute(Tid, R.nextInRange(2000, 5000)); // Run uncached.
+    }
+  }
+  return B.finish();
+}
+
+Trace perfplay::makeMysqlQueryCacheFixed(const CaseStudyParams &P) {
+  assert(P.NumThreads >= 1 && "need at least one session thread");
+  TraceBuilder B;
+  LockId Guard = B.addLock("structure_guard_mutex");
+  CodeSiteId TryLockSite =
+      B.addSite("sql_cache.cc", "Query_cache::try_lock_fixed", 458, 470);
+
+  const TimeNs TimeoutSlice = 5000;
+  const unsigned Slices = 10;
+  const unsigned Sessions = scaledCount(6, P.InputScale);
+
+  for (unsigned T = 0; T != P.NumThreads; ++T) {
+    ThreadId Tid = B.addThread();
+    Rng R(P.Seed ^ (T * 31337));
+    for (unsigned S = 0; S != Sessions; ++S) {
+      B.compute(Tid, R.nextInRange(1000, 3000));
+      // The fixed code waits out the timeout without the guard and
+      // takes it only for the status check.
+      B.compute(Tid, TimeoutSlice * Slices);
+      B.beginCs(Tid, Guard, TryLockSite);
+      B.read(Tid, CacheStatusAddr, 0);
+      B.compute(Tid, 200);
+      B.endCs(Tid);
+      B.compute(Tid, R.nextInRange(2000, 5000));
+    }
+  }
+  return B.finish();
+}

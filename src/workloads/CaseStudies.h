@@ -1,0 +1,74 @@
+//===- workloads/CaseStudies.h - Section 6.6 case studies -------*- C++ -*-===//
+//
+// Part of the PerfPlay reproduction of "On Performance Debugging of
+// Unnecessary Lock Contentions on Multicore Processors" (CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trace models of the paper's verified ULCP bugs, each with the fixed
+/// variant the paper re-implements and re-quantifies (Section 6.6):
+///
+///  - #BUG1 (openldap, Figure 4): worker threads spin-poll dbmfp->ref
+///    under dbmp->mutex until a slow critical thread drops its
+///    reference.  Fix: a barrier-style single blocking wait.
+///  - #BUG2 (pbzip2, Figure 18): consumers re-check fifo->empty and
+///    producerDone under nested mu/muDone locks at shutdown, creating
+///    read-read ULCPs with nested-lock overhead.  Fix: the producer
+///    signals consumers once, removing the polling sections.
+///  - MySQL bug #68573 (Figure 17): Query_cache::try_lock holds
+///    structure_guard_mutex across a timed condition loop; concurrent
+///    SELECTs inflate the intended 50ms timeout.
+///
+/// The buggy/fixed pairs let benches compare PerfPlay's predicted gain
+/// (replay of transformed trace) against the measured gain of the real
+/// fix (trace of the fixed program), per Figure 19.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERFPLAY_WORKLOADS_CASESTUDIES_H
+#define PERFPLAY_WORKLOADS_CASESTUDIES_H
+
+#include "trace/Trace.h"
+
+namespace perfplay {
+
+/// Parameters shared by the case-study models.
+struct CaseStudyParams {
+  /// Worker/consumer thread count (the critical thread or producer is
+  /// one of them).
+  unsigned NumThreads = 4;
+  /// Input-size proxy: spin iterations (#BUG1), blocks to compress
+  /// (#BUG2), or SELECT statements (#68573) scale with it.
+  double InputScale = 1.0;
+  uint64_t Seed = 99;
+};
+
+/// #BUG1 (Figure 4), buggy variant: NumThreads-1 workers spin-poll
+/// dbmfp->ref; the last thread holds the reference for a long critical
+/// computation before dropping it.
+Trace makeOpenldapSpinWait(const CaseStudyParams &P);
+
+/// #BUG1 fixed with a barrier: each worker checks once, blocks
+/// (idle, not spinning) until the reference drops, then proceeds.
+Trace makeOpenldapSpinWaitFixed(const CaseStudyParams &P);
+
+/// #BUG2 (Figure 18), buggy variant: consumers poll fifo->empty and
+/// (nested) producerDone while draining the queue.
+Trace makePbzip2Consumer(const CaseStudyParams &P);
+
+/// #BUG2 fixed with signal/wait: the producer tracks completion and
+/// signals consumers, whose drain loop carries no check sections.
+Trace makePbzip2ConsumerFixed(const CaseStudyParams &P);
+
+/// MySQL #68573 (Figure 17), buggy variant: each SELECT session takes
+/// structure_guard_mutex and holds it across timed-wait slices.
+Trace makeMysqlQueryCache(const CaseStudyParams &P);
+
+/// MySQL #68573 fixed: the timeout check runs without holding the
+/// guard across the wait slices.
+Trace makeMysqlQueryCacheFixed(const CaseStudyParams &P);
+
+} // namespace perfplay
+
+#endif // PERFPLAY_WORKLOADS_CASESTUDIES_H

@@ -1,0 +1,180 @@
+//===- workloads/Generator.cpp - Synthetic workload generation -------------===//
+
+#include "workloads/WorkloadSpec.h"
+
+#include "support/Rng.h"
+#include "trace/TraceBuilder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace perfplay;
+
+namespace {
+
+/// Per-lock shadow address layout: each lock owns a 1 KiB-style block
+/// of abstract addresses partitioned by role.
+struct AddrLayout {
+  static AddrId base(LockId L) { return (static_cast<AddrId>(L) + 1) << 10; }
+  static AddrId readPool(LockId L, unsigned I) { return base(L) + I; }
+  static AddrId disjointSlot(LockId L, ThreadId T) {
+    return base(L) + 64 + T;
+  }
+  static AddrId benignCounter(LockId L) { return base(L) + 128; }
+  static AddrId conflictCell(LockId L) { return base(L) + 192; }
+  static AddrId privateCell(LockId L, ThreadId T) {
+    return base(L) + 256 + T;
+  }
+};
+
+/// One planned critical section.
+struct Session {
+  const LockGroup *Group = nullptr;
+  LockId Lock = InvalidId;
+  CodeSiteId Site = InvalidId;
+  bool Conflicting = false;
+};
+
+} // namespace
+
+static unsigned scaledSessions(const LockGroup &G, double Scale,
+                               unsigned NumThreads) {
+  if (G.SessionsPerThread == 0 || Scale <= 0.0)
+    return 0;
+  double Scaled = static_cast<double>(G.SessionsPerThread) * Scale;
+  if (G.DivideAcrossThreads && NumThreads > 0)
+    Scaled = Scaled * 2.0 / static_cast<double>(NumThreads);
+  unsigned N = static_cast<unsigned>(std::llround(Scaled));
+  return std::max(N, 1u);
+}
+
+static TimeNs uniformCost(Rng &R, TimeNs Min, TimeNs Max) {
+  if (Min >= Max)
+    return Min;
+  return R.nextInRange(Min, Max);
+}
+
+static void emitBody(TraceBuilder &B, Rng &R, ThreadId T,
+                     const Session &S) {
+  const LockGroup &G = *S.Group;
+  unsigned Accesses = std::max(G.AccessesPerCs, 1u);
+  if (S.Conflicting) {
+    // Read-modify-write of the lock's conflict cell with a
+    // thread-dependent value: a real data conflict in any pairing.
+    B.read(T, AddrLayout::conflictCell(S.Lock), 7);
+    B.write(T, AddrLayout::conflictCell(S.Lock), R.next() % 1000 + T,
+            WriteOpKind::Store);
+    return;
+  }
+  switch (G.Pattern) {
+  case GroupPatternKind::NullLock:
+    break; // No shared access at all.
+  case GroupPatternKind::ReadRead:
+    for (unsigned I = 0; I != Accesses; ++I)
+      B.read(T, AddrLayout::readPool(S.Lock, I % 8), 7);
+    break;
+  case GroupPatternKind::DisjointWrite:
+    // Each thread updates its own slot (and re-reads it), so any
+    // cross-thread pairing touches disjoint locations.
+    B.read(T, AddrLayout::disjointSlot(S.Lock, T), 0);
+    for (unsigned I = 1; I != Accesses; ++I)
+      B.write(T, AddrLayout::disjointSlot(S.Lock, T), R.next() % 1000,
+              WriteOpKind::Store);
+    if (Accesses == 1)
+      B.write(T, AddrLayout::disjointSlot(S.Lock, T), R.next() % 1000,
+              WriteOpKind::Store);
+    break;
+  case GroupPatternKind::Benign:
+    // Commutative accumulation: conflicting by the set test, identical
+    // outcome in either order — the reversed replay marks it benign.
+    for (unsigned I = 0; I != Accesses; ++I)
+      B.write(T, AddrLayout::benignCounter(S.Lock), 1, WriteOpKind::Add);
+    break;
+  case GroupPatternKind::TrueConflict:
+    B.read(T, AddrLayout::conflictCell(S.Lock), 7);
+    B.write(T, AddrLayout::conflictCell(S.Lock), R.next() % 1000 + T,
+            WriteOpKind::Store);
+    break;
+  case GroupPatternKind::Private:
+    B.read(T, AddrLayout::privateCell(S.Lock, T), 0);
+    B.write(T, AddrLayout::privateCell(S.Lock, T), R.next() % 1000,
+            WriteOpKind::Store);
+    break;
+  }
+}
+
+Trace perfplay::generateWorkload(const WorkloadSpec &Spec) {
+  assert(Spec.NumThreads >= 1 && "workload needs at least one thread");
+  TraceBuilder B;
+
+  // Register locks and code sites per group.
+  std::vector<std::vector<LockId>> GroupLocks(Spec.Groups.size());
+  std::vector<std::vector<CodeSiteId>> GroupSites(Spec.Groups.size());
+  uint32_t NextLine = 100;
+  for (size_t GI = 0; GI != Spec.Groups.size(); ++GI) {
+    const LockGroup &G = Spec.Groups[GI];
+    for (unsigned L = 0; L != G.NumLocks; ++L)
+      GroupLocks[GI].push_back(
+          B.addLock(Spec.Name + "." + G.Name + "#" + std::to_string(L),
+                    G.IsSpin));
+    unsigned NumSites = std::max(G.SitesPerGroup, 1u);
+    for (unsigned S = 0; S != NumSites; ++S) {
+      GroupSites[GI].push_back(B.addSite(Spec.Name + ".cc", G.Name,
+                                         NextLine, NextLine + 19));
+      NextLine += 40;
+    }
+  }
+
+  std::vector<ThreadId> Threads;
+  for (unsigned T = 0; T != Spec.NumThreads; ++T)
+    Threads.push_back(B.addThread());
+
+  for (ThreadId T : Threads) {
+    Rng R(splitMix64(Spec.Seed) ^
+          (static_cast<uint64_t>(T) * 0x9e3779b97f4a7c15ULL));
+
+    if (Spec.StartupCost != 0)
+      B.compute(T, Spec.StartupCost + R.nextBelow(Spec.StartupCost / 8 + 1));
+
+    // Threads execute the groups as aligned phases (real applications
+    // contend because every thread runs the same code region at the
+    // same time); within a phase, each thread visits the group's locks
+    // in its own shuffled order.
+    for (size_t GI = 0; GI != Spec.Groups.size(); ++GI) {
+      const LockGroup &G = Spec.Groups[GI];
+      unsigned NumSessions =
+          scaledSessions(G, Spec.InputScale, Spec.NumThreads);
+      std::vector<Session> Plan;
+      for (unsigned LI = 0; LI != GroupLocks[GI].size(); ++LI) {
+        // Private locks are partitioned round-robin across threads.
+        if (G.Pattern == GroupPatternKind::Private &&
+            LI % Spec.NumThreads != T)
+          continue;
+        for (unsigned S = 0; S != NumSessions; ++S) {
+          Session Sess;
+          Sess.Group = &G;
+          Sess.Lock = GroupLocks[GI][LI];
+          Sess.Site = GroupSites[GI][(LI + S) % GroupSites[GI].size()];
+          Sess.Conflicting = R.nextBool(G.ConflictFrac);
+          Plan.push_back(Sess);
+        }
+      }
+      // Deterministic Fisher-Yates shuffle within the phase.
+      for (size_t I = Plan.size(); I > 1; --I)
+        std::swap(Plan[I - 1], Plan[R.nextBelow(I)]);
+
+      for (const Session &S : Plan) {
+        B.compute(T, uniformCost(R, G.GapCostMin, G.GapCostMax));
+        B.beginCs(T, S.Lock, S.Site);
+        emitBody(B, R, T, S);
+        B.compute(T, uniformCost(R, G.CsCostMin, G.CsCostMax));
+        B.endCs(T);
+      }
+    }
+    // Trailing computation so the last successor segment is nonempty.
+    B.compute(T, uniformCost(R, 500, 1500));
+  }
+
+  return B.finish();
+}

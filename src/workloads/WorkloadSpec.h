@@ -1,0 +1,98 @@
+//===- workloads/WorkloadSpec.h - Synthetic workload model ------*- C++ -*-===//
+//
+// Part of the PerfPlay reproduction of "On Performance Debugging of
+// Unnecessary Lock Contentions on Multicore Processors" (CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterized synthetic workload generation.  The paper evaluates
+/// five real applications and PARSEC; we stand those in with workload
+/// models that reproduce their *lock behavior*: how many locks, how
+/// contended, and which ULCP pattern each lock's critical sections
+/// exhibit (the Table 1 mixes).  A model is a set of lock groups; each
+/// group owns locks whose sections follow one dominant pattern, with a
+/// tunable fraction of truly conflicting sessions mixed in (those
+/// become TLCPs and keep the causal structure realistic).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERFPLAY_WORKLOADS_WORKLOADSPEC_H
+#define PERFPLAY_WORKLOADS_WORKLOADSPEC_H
+
+#include "trace/Trace.h"
+
+#include <string>
+#include <vector>
+
+namespace perfplay {
+
+/// Dominant behavior of a lock group's critical sections.
+enum class GroupPatternKind : uint8_t {
+  /// Sections touch no shared data (Figure 3's if-branch shape).
+  NullLock,
+  /// Sections only read the lock's shared pool (Figure 4 shape).
+  ReadRead,
+  /// Each thread updates its own location under the common lock
+  /// (pointer-alias shape).
+  DisjointWrite,
+  /// Sections perform commutative updates (redundant/accumulating
+  /// writes) — conflicting but benign.
+  Benign,
+  /// Sections read-modify-write the same location: true contention.
+  TrueConflict,
+  /// Each lock is used by a single thread (no cross-thread pairs);
+  /// models thread-local locking that inflates the dynamic lock count
+  /// without producing ULCPs.
+  Private,
+};
+
+/// One group of locks sharing a behavior.
+struct LockGroup {
+  std::string Name;
+  GroupPatternKind Pattern = GroupPatternKind::ReadRead;
+  unsigned NumLocks = 1;
+  /// Critical sections per thread per lock (scaled by InputScale).
+  unsigned SessionsPerThread = 4;
+  /// Fraction of sessions that truly conflict regardless of Pattern.
+  double ConflictFrac = 0.0;
+  /// Computation inside a section, uniform in [Min, Max] virtual ns.
+  TimeNs CsCostMin = 200;
+  TimeNs CsCostMax = 800;
+  /// Computation between sections.
+  TimeNs GapCostMin = 500;
+  TimeNs GapCostMax = 3000;
+  /// Shared accesses per section (pattern-dependent shape).
+  unsigned AccessesPerCs = 2;
+  /// Spin locks burn CPU while waiting (resource wasting).
+  bool IsSpin = false;
+  /// Distinct code sites the group's sections come from.
+  unsigned SitesPerGroup = 2;
+  /// Fixed-input semantics (PARSEC): the group's total work is divided
+  /// across threads, so SessionsPerThread (calibrated at two threads)
+  /// scales by 2/NumThreads.  Server-style groups keep it constant
+  /// (more threads serve more requests).
+  bool DivideAcrossThreads = false;
+};
+
+/// A complete application model.
+struct WorkloadSpec {
+  std::string Name;
+  unsigned NumThreads = 2;
+  /// Scales every group's SessionsPerThread (PARSEC simsmall = 0.25,
+  /// simmedium = 0.5, simlarge = 1.0).
+  double InputScale = 1.0;
+  /// Per-thread serial startup computation (virtual ns), independent of
+  /// the input size — initialization that does not scale with input.
+  TimeNs StartupCost = 0;
+  uint64_t Seed = 12345;
+  std::vector<LockGroup> Groups;
+};
+
+/// Generates the trace of one run of \p Spec.  The result has no grant
+/// schedule yet; the pipeline's recording step installs one.
+Trace generateWorkload(const WorkloadSpec &Spec);
+
+} // namespace perfplay
+
+#endif // PERFPLAY_WORKLOADS_WORKLOADSPEC_H

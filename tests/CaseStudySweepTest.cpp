@@ -1,0 +1,155 @@
+//===- tests/CaseStudySweepTest.cpp - case-study parameter sweeps ------------===//
+//
+// Figure 19's claims as parameterized invariants over thread count and
+// input scale: the fixed variants never lose to the buggy ones, spin
+// waste exists only in the buggy spin-poll, and the bugs' normalized
+// impact declines as the input grows (fixed execution frequency).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/CaseStudies.h"
+
+#include "core/PerfPlay.h"
+#include "sim/Replayer.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+using namespace perfplay;
+
+namespace {
+
+class CaseSweepTest
+    : public testing::TestWithParam<std::tuple<unsigned, double>> {
+protected:
+  CaseStudyParams params() const {
+    CaseStudyParams P;
+    P.NumThreads = std::get<0>(GetParam());
+    P.InputScale = std::get<1>(GetParam());
+    return P;
+  }
+};
+
+TimeNs replayTotal(Trace Tr) {
+  recordGrantSchedule(Tr, 42);
+  ReplayResult R = replayTrace(Tr, ReplayOptions());
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return R.TotalTime;
+}
+
+} // namespace
+
+TEST_P(CaseSweepTest, Bug1TracesValidEverywhere) {
+  CaseStudyParams P = params();
+  EXPECT_EQ(makeOpenldapSpinWait(P).validate(), "");
+  EXPECT_EQ(makeOpenldapSpinWaitFixed(P).validate(), "");
+}
+
+TEST_P(CaseSweepTest, Bug2FixNeverSlower) {
+  CaseStudyParams P = params();
+  TimeNs Buggy = replayTotal(makePbzip2Consumer(P));
+  TimeNs Fixed = replayTotal(makePbzip2ConsumerFixed(P));
+  EXPECT_LE(Fixed, Buggy);
+}
+
+TEST_P(CaseSweepTest, MysqlFixNeverSlower) {
+  CaseStudyParams P = params();
+  TimeNs Buggy = replayTotal(makeMysqlQueryCache(P));
+  TimeNs Fixed = replayTotal(makeMysqlQueryCacheFixed(P));
+  EXPECT_LE(Fixed, Buggy);
+}
+
+TEST_P(CaseSweepTest, Bug1SpinWasteOnlyInBuggyVariant) {
+  CaseStudyParams P = params();
+  Trace Buggy = makeOpenldapSpinWait(P);
+  Trace Fixed = makeOpenldapSpinWaitFixed(P);
+  recordGrantSchedule(Buggy, 42);
+  recordGrantSchedule(Fixed, 42);
+  ReplayResult RB = replayTrace(Buggy, ReplayOptions());
+  ReplayResult RF = replayTrace(Fixed, ReplayOptions());
+  ASSERT_TRUE(RB.ok() && RF.ok());
+  EXPECT_EQ(RF.SpinWaitNs, 0u);
+  // The buggy variant always carries the poll sections.
+  EXPECT_GT(Buggy.numCriticalSections(), Fixed.numCriticalSections());
+}
+
+TEST_P(CaseSweepTest, PipelineDetectsBug2Regions) {
+  CaseStudyParams P = params();
+  PipelineResult R = runPerfPlay(makePbzip2Consumer(P));
+  ASSERT_TRUE(R.ok()) << R.Error;
+  // The read-read polling ULCPs are consumer-vs-consumer pairs, so
+  // they need at least two consumers (three threads).
+  if (P.NumThreads >= 3) {
+    EXPECT_GT(R.Detection.Counts.ReadRead, 0u);
+    EXPECT_FALSE(R.Report.Groups.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadAndScale, CaseSweepTest,
+    testing::Combine(testing::Values(2u, 4u, 8u),
+                     testing::Values(0.5, 1.0, 2.0)));
+
+//===----------------------------------------------------------------------===//
+// Figure 19(b): declining impact with input size
+//===----------------------------------------------------------------------===//
+
+TEST(CaseTrendTest, Bug2ImpactDeclinesWithInput) {
+  auto lossAt = [](double Scale) {
+    CaseStudyParams P;
+    P.NumThreads = 4;
+    P.InputScale = Scale;
+    Trace Buggy = makePbzip2Consumer(P);
+    Trace Fixed = makePbzip2ConsumerFixed(P);
+    recordGrantSchedule(Buggy, 42);
+    recordGrantSchedule(Fixed, 42);
+    ReplayResult RB = replayTrace(Buggy, ReplayOptions());
+    ReplayResult RF = replayTrace(Fixed, ReplayOptions());
+    EXPECT_TRUE(RB.ok() && RF.ok());
+    return (static_cast<double>(RB.TotalTime) -
+            static_cast<double>(RF.TotalTime)) /
+           static_cast<double>(RB.TotalTime);
+  };
+  double Small = lossAt(1.0);
+  double Large = lossAt(4.0);
+  EXPECT_GT(Small, Large)
+      << "fixed-frequency bug must matter less on larger inputs";
+}
+
+TEST(CaseTrendTest, Bug2ImpactGrowsWithThreads) {
+  auto lossAt = [](unsigned Threads) {
+    CaseStudyParams P;
+    P.NumThreads = Threads;
+    Trace Buggy = makePbzip2Consumer(P);
+    Trace Fixed = makePbzip2ConsumerFixed(P);
+    recordGrantSchedule(Buggy, 42);
+    recordGrantSchedule(Fixed, 42);
+    ReplayResult RB = replayTrace(Buggy, ReplayOptions());
+    ReplayResult RF = replayTrace(Fixed, ReplayOptions());
+    EXPECT_TRUE(RB.ok() && RF.ok());
+    return (static_cast<double>(RB.TotalTime) -
+            static_cast<double>(RF.TotalTime)) /
+           static_cast<double>(RB.TotalTime);
+  };
+  EXPECT_LT(lossAt(2), lossAt(8))
+      << "the polling join serializes more threads";
+}
+
+TEST(CaseTrendTest, MysqlTimeoutInflatesWithThreads) {
+  auto inflationAt = [](unsigned Threads) {
+    CaseStudyParams P;
+    P.NumThreads = Threads;
+    Trace Buggy = makeMysqlQueryCache(P);
+    Trace Fixed = makeMysqlQueryCacheFixed(P);
+    recordGrantSchedule(Buggy, 42);
+    recordGrantSchedule(Fixed, 42);
+    ReplayResult RB = replayTrace(Buggy, ReplayOptions());
+    ReplayResult RF = replayTrace(Fixed, ReplayOptions());
+    EXPECT_TRUE(RB.ok() && RF.ok());
+    return static_cast<double>(RB.TotalTime) /
+           static_cast<double>(RF.TotalTime);
+  };
+  EXPECT_GT(inflationAt(8), inflationAt(2))
+      << "holding the guard across the timed wait serializes sessions";
+}

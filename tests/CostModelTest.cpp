@@ -1,0 +1,129 @@
+//===- tests/CostModelTest.cpp - cost model properties ------------------------===//
+
+#include "sim/Replayer.h"
+
+#include "trace/TraceBuilder.h"
+#include "workloads/Apps.h"
+#include "workloads/WorkloadSpec.h"
+
+#include <gtest/gtest.h>
+
+using namespace perfplay;
+
+namespace {
+
+Trace smallWorkload() {
+  Trace Tr = generateWorkload(makeTransmissionBT(2, 1.0));
+  recordGrantSchedule(Tr, 5);
+  return Tr;
+}
+
+ReplayOptions withCosts(CostModel Costs) {
+  ReplayOptions O;
+  O.Costs = Costs;
+  return O;
+}
+
+} // namespace
+
+TEST(CostModelTest, ZeroPrimitiveCostsLeaveOnlyComputeAndWaits) {
+  TraceBuilder B;
+  LockId Mu = B.addLock("mu");
+  ThreadId T = B.addThread();
+  B.compute(T, 500);
+  B.beginCs(T, Mu);
+  B.read(T, 1, 0);
+  B.compute(T, 300);
+  B.endCs(T);
+  Trace Tr = B.finish();
+  CostModel Zero;
+  Zero.LockAcquire = 0;
+  Zero.LockRelease = 0;
+  Zero.MemAccess = 0;
+  ReplayResult R = replayTrace(Tr, withCosts(Zero));
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.TotalTime, 800u);
+}
+
+TEST(CostModelTest, RaisingLockCostsNeverSpeedsUp) {
+  Trace Tr = smallWorkload();
+  CostModel Cheap;
+  Cheap.LockAcquire = 5;
+  Cheap.LockRelease = 5;
+  CostModel Expensive;
+  Expensive.LockAcquire = 200;
+  Expensive.LockRelease = 100;
+  ReplayResult RC = replayTrace(Tr, withCosts(Cheap));
+  ReplayResult RE = replayTrace(Tr, withCosts(Expensive));
+  ASSERT_TRUE(RC.ok() && RE.ok());
+  EXPECT_LE(RC.TotalTime, RE.TotalTime);
+}
+
+TEST(CostModelTest, RaisingMemCostNeverSpeedsUp) {
+  Trace Tr = smallWorkload();
+  CostModel Cheap;
+  Cheap.MemAccess = 1;
+  CostModel Expensive;
+  Expensive.MemAccess = 100;
+  ReplayResult RC = replayTrace(Tr, withCosts(Cheap));
+  ReplayResult RE = replayTrace(Tr, withCosts(Expensive));
+  ASSERT_TRUE(RC.ok() && RE.ok());
+  EXPECT_LE(RC.TotalTime, RE.TotalTime);
+}
+
+TEST(CostModelTest, MemSerializeOnlyAffectsMemS) {
+  Trace Tr = smallWorkload();
+  CostModel A;
+  A.MemSerialize = 10;
+  CostModel B = A;
+  B.MemSerialize = 500;
+  ReplayResult EA = replayTrace(Tr, withCosts(A));
+  ReplayResult EB = replayTrace(Tr, withCosts(B));
+  ASSERT_TRUE(EA.ok() && EB.ok());
+  EXPECT_EQ(EA.TotalTime, EB.TotalTime)
+      << "ELSC must ignore the MEM-S serialization cost";
+
+  ReplayOptions MA = withCosts(A);
+  MA.Schedule = ScheduleKind::MemS;
+  ReplayOptions MB = withCosts(B);
+  MB.Schedule = ScheduleKind::MemS;
+  ReplayResult RMA = replayTrace(Tr, MA);
+  ReplayResult RMB = replayTrace(Tr, MB);
+  ASSERT_TRUE(RMA.ok() && RMB.ok());
+  EXPECT_LT(RMA.TotalTime, RMB.TotalTime);
+}
+
+TEST(CostModelTest, LocksetCostsOnlyAffectTransformedTraces) {
+  Trace Tr = smallWorkload();
+  CostModel A;
+  A.LocksetMaintain = 0;
+  A.LocksetMaintainDls = 0;
+  A.LocksetEndCheck = 0;
+  CostModel B;
+  B.LocksetMaintain = 500;
+  B.LocksetMaintainDls = 200;
+  B.LocksetEndCheck = 50;
+  ReplayResult RA = replayTrace(Tr, withCosts(A));
+  ReplayResult RB = replayTrace(Tr, withCosts(B));
+  ASSERT_TRUE(RA.ok() && RB.ok());
+  EXPECT_EQ(RA.TotalTime, RB.TotalTime)
+      << "untransformed traces carry no locksets";
+  EXPECT_EQ(RB.LocksetOverheadNs, 0u);
+}
+
+TEST(CostModelTest, SoloArrivalsScaleWithMemCost) {
+  TraceBuilder B;
+  LockId Mu = B.addLock("mu");
+  ThreadId T = B.addThread();
+  B.read(T, 1, 0, /*AllowUnlocked=*/true);
+  B.read(T, 2, 0, /*AllowUnlocked=*/true);
+  B.beginCs(T, Mu);
+  B.endCs(T);
+  Trace Tr = B.finish();
+  CostModel Cheap;
+  Cheap.MemAccess = 2;
+  CostModel Expensive;
+  Expensive.MemAccess = 50;
+  EXPECT_EQ(computeSoloArrivals(Tr, Cheap)[0], 4u);
+  EXPECT_EQ(computeSoloArrivals(Tr, Expensive)[0], 100u);
+}

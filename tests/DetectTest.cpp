@@ -1,0 +1,448 @@
+//===- tests/DetectTest.cpp - detection unit tests ---------------------------===//
+
+#include "detect/Classify.h"
+#include "detect/CriticalSection.h"
+#include "detect/Detector.h"
+
+#include "trace/TraceBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace perfplay;
+
+namespace {
+
+/// Builds a two-thread trace where each thread runs one critical
+/// section on the same lock, with bodies provided by callbacks.
+template <typename F0, typename F1>
+Trace pairTrace(F0 Body0, F1 Body1) {
+  TraceBuilder B;
+  LockId Mu = B.addLock("mu");
+  CodeSiteId Site = B.addSite("x.cc", "f", 1, 10);
+  ThreadId T0 = B.addThread();
+  ThreadId T1 = B.addThread();
+  B.beginCs(T0, Mu, Site);
+  Body0(B, T0);
+  B.endCs(T0);
+  B.beginCs(T1, Mu, Site);
+  Body1(B, T1);
+  B.endCs(T1);
+  return B.finish();
+}
+
+UlcpKind classifyFirstPair(const Trace &Tr) {
+  CsIndex Index = CsIndex::build(Tr);
+  MemoryImage Initial = MemoryImage::initialOf(Tr);
+  return classifyPair(Tr, Initial, Index.byGlobalId(0),
+                      Index.byGlobalId(1));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Critical-section extraction
+//===----------------------------------------------------------------------===//
+
+TEST(CsIndexTest, ExtractsSectionsWithSets) {
+  Trace Tr = pairTrace(
+      [](TraceBuilder &B, ThreadId T) {
+        B.read(T, 10, 1);
+        B.write(T, 11, 2);
+        B.compute(T, 500);
+      },
+      [](TraceBuilder &B, ThreadId T) { B.read(T, 10, 1); });
+  CsIndex Index = CsIndex::build(Tr);
+  ASSERT_EQ(Index.size(), 2u);
+  const CriticalSection &C0 = Index.byGlobalId(0);
+  EXPECT_EQ(C0.Reads, (std::vector<AddrId>{10}));
+  EXPECT_EQ(C0.Writes, (std::vector<AddrId>{11}));
+  EXPECT_EQ(C0.InnerCost, 500u);
+  EXPECT_EQ(C0.Lock, 0u);
+  EXPECT_EQ(C0.Depth, 0u);
+  const CriticalSection &C1 = Index.byGlobalId(1);
+  EXPECT_TRUE(C1.writesEmpty());
+}
+
+TEST(CsIndexTest, DeduplicatesAddresses) {
+  Trace Tr = pairTrace(
+      [](TraceBuilder &B, ThreadId T) {
+        B.read(T, 10, 1);
+        B.read(T, 10, 1);
+        B.read(T, 10, 1);
+      },
+      [](TraceBuilder &B, ThreadId T) { B.read(T, 10, 1); });
+  CsIndex Index = CsIndex::build(Tr);
+  EXPECT_EQ(Index.byGlobalId(0).Reads.size(), 1u);
+}
+
+TEST(CsIndexTest, NestedAccessBelongsToBothSections) {
+  TraceBuilder B;
+  LockId Outer = B.addLock("outer");
+  LockId Inner = B.addLock("inner");
+  ThreadId T = B.addThread();
+  B.beginCs(T, Outer);
+  B.beginCs(T, Inner);
+  B.read(T, 42, 0);
+  B.compute(T, 100);
+  B.endCs(T);
+  B.endCs(T);
+  Trace Tr = B.finish();
+  CsIndex Index = CsIndex::build(Tr);
+  ASSERT_EQ(Index.size(), 2u);
+  // Global id 0 = outer (first acquire), 1 = inner.
+  EXPECT_EQ(Index.byGlobalId(0).Reads, (std::vector<AddrId>{42}));
+  EXPECT_EQ(Index.byGlobalId(1).Reads, (std::vector<AddrId>{42}));
+  EXPECT_EQ(Index.byGlobalId(0).InnerCost, 100u);
+  EXPECT_EQ(Index.byGlobalId(1).Depth, 1u);
+}
+
+TEST(CsIndexTest, PerLockOrderFollowsSchedule) {
+  Trace Tr = pairTrace(
+      [](TraceBuilder &B, ThreadId T) { B.read(T, 1, 0); },
+      [](TraceBuilder &B, ThreadId T) { B.read(T, 1, 0); });
+  // Schedule says thread 1's section was granted first.
+  Tr.LockSchedule.assign(Tr.Locks.size(), {});
+  Tr.LockSchedule[0] = {CsRef{1, 0}, CsRef{0, 0}};
+  CsIndex Index = CsIndex::build(Tr);
+  EXPECT_EQ(Index.sectionsOfLock(0), (std::vector<uint32_t>{1, 0}));
+}
+
+//===----------------------------------------------------------------------===//
+// Algorithm 1 classification
+//===----------------------------------------------------------------------===//
+
+TEST(ClassifyTest, NullLockWhenEitherSideEmpty) {
+  Trace Tr = pairTrace([](TraceBuilder &, ThreadId) {},
+                       [](TraceBuilder &B, ThreadId T) {
+                         B.write(T, 5, 1);
+                       });
+  EXPECT_EQ(classifyFirstPair(Tr), UlcpKind::NullLock);
+}
+
+TEST(ClassifyTest, NullLockWhenBothEmpty) {
+  Trace Tr = pairTrace([](TraceBuilder &, ThreadId) {},
+                       [](TraceBuilder &, ThreadId) {});
+  EXPECT_EQ(classifyFirstPair(Tr), UlcpKind::NullLock);
+}
+
+TEST(ClassifyTest, ReadReadWhenNoWrites) {
+  Trace Tr = pairTrace(
+      [](TraceBuilder &B, ThreadId T) { B.read(T, 10, 7); },
+      [](TraceBuilder &B, ThreadId T) {
+        B.read(T, 10, 7);
+        B.read(T, 11, 7);
+      });
+  EXPECT_EQ(classifyFirstPair(Tr), UlcpKind::ReadRead);
+}
+
+TEST(ClassifyTest, DisjointWriteOnDifferentAddresses) {
+  Trace Tr = pairTrace(
+      [](TraceBuilder &B, ThreadId T) {
+        B.read(T, 10, 0);
+        B.write(T, 10, 1);
+      },
+      [](TraceBuilder &B, ThreadId T) {
+        B.read(T, 20, 0);
+        B.write(T, 20, 2);
+      });
+  EXPECT_EQ(classifyFirstPair(Tr), UlcpKind::DisjointWrite);
+}
+
+TEST(ClassifyTest, ReadVsDisjointWriteIsDisjointWrite) {
+  Trace Tr = pairTrace(
+      [](TraceBuilder &B, ThreadId T) { B.read(T, 10, 0); },
+      [](TraceBuilder &B, ThreadId T) { B.write(T, 20, 2); });
+  EXPECT_EQ(classifyFirstPair(Tr), UlcpKind::DisjointWrite);
+}
+
+TEST(ClassifyTest, WriteReadConflictIsTrueContention) {
+  Trace Tr = pairTrace(
+      [](TraceBuilder &B, ThreadId T) { B.write(T, 10, 1); },
+      [](TraceBuilder &B, ThreadId T) { B.read(T, 10, 0); });
+  EXPECT_EQ(classifyFirstPair(Tr), UlcpKind::TrueContention);
+}
+
+TEST(ClassifyTest, ConflictingStoresOfDifferentValues) {
+  Trace Tr = pairTrace(
+      [](TraceBuilder &B, ThreadId T) { B.write(T, 10, 1); },
+      [](TraceBuilder &B, ThreadId T) { B.write(T, 10, 2); });
+  EXPECT_EQ(classifyFirstPair(Tr), UlcpKind::TrueContention);
+}
+
+TEST(ClassifyTest, RedundantStoresAreBenign) {
+  Trace Tr = pairTrace(
+      [](TraceBuilder &B, ThreadId T) { B.write(T, 10, 5); },
+      [](TraceBuilder &B, ThreadId T) { B.write(T, 10, 5); });
+  EXPECT_EQ(classifyFirstPair(Tr), UlcpKind::Benign);
+}
+
+TEST(ClassifyTest, CommutativeAddsAreBenign) {
+  Trace Tr = pairTrace(
+      [](TraceBuilder &B, ThreadId T) {
+        B.write(T, 10, 3, WriteOpKind::Add);
+      },
+      [](TraceBuilder &B, ThreadId T) {
+        B.write(T, 10, 4, WriteOpKind::Add);
+      });
+  EXPECT_EQ(classifyFirstPair(Tr), UlcpKind::Benign);
+}
+
+TEST(ClassifyTest, DisjointBitManipulationIsBenign) {
+  Trace Tr = pairTrace(
+      [](TraceBuilder &B, ThreadId T) {
+        B.write(T, 10, 0x01, WriteOpKind::Or);
+      },
+      [](TraceBuilder &B, ThreadId T) {
+        B.write(T, 10, 0x10, WriteOpKind::Or);
+      });
+  EXPECT_EQ(classifyFirstPair(Tr), UlcpKind::Benign);
+}
+
+TEST(ClassifyTest, ReadOfConflictingStoreIsNotBenign) {
+  // The second section's read observes a different value depending on
+  // order: a real conflict.
+  Trace Tr = pairTrace(
+      [](TraceBuilder &B, ThreadId T) { B.write(T, 10, 9); },
+      [](TraceBuilder &B, ThreadId T) {
+        B.read(T, 10, 9);
+        B.write(T, 11, 1);
+      });
+  EXPECT_EQ(classifyFirstPair(Tr), UlcpKind::TrueContention);
+}
+
+TEST(ClassifyTest, StaticSkipsReversedReplay) {
+  Trace Tr = pairTrace(
+      [](TraceBuilder &B, ThreadId T) { B.write(T, 10, 5); },
+      [](TraceBuilder &B, ThreadId T) { B.write(T, 10, 5); });
+  CsIndex Index = CsIndex::build(Tr);
+  // Statically conflicting; only the reversed replay rescues it.
+  EXPECT_EQ(classifyPairStatic(Index.byGlobalId(0), Index.byGlobalId(1)),
+            UlcpKind::TrueContention);
+}
+
+//===----------------------------------------------------------------------===//
+// UlcpCounts
+//===----------------------------------------------------------------------===//
+
+TEST(UlcpCountsTest, AddAndTotals) {
+  UlcpCounts C;
+  C.add(UlcpKind::NullLock);
+  C.add(UlcpKind::ReadRead);
+  C.add(UlcpKind::ReadRead);
+  C.add(UlcpKind::DisjointWrite);
+  C.add(UlcpKind::Benign);
+  C.add(UlcpKind::TrueContention);
+  EXPECT_EQ(C.NullLock, 1u);
+  EXPECT_EQ(C.ReadRead, 2u);
+  EXPECT_EQ(C.DisjointWrite, 1u);
+  EXPECT_EQ(C.Benign, 1u);
+  EXPECT_EQ(C.TrueContention, 1u);
+  EXPECT_EQ(C.totalUnnecessary(), 5u);
+  EXPECT_EQ(C.total(), 6u);
+}
+
+TEST(UlcpKindTest, Names) {
+  EXPECT_STREQ(ulcpKindName(UlcpKind::NullLock), "NL");
+  EXPECT_STREQ(ulcpKindName(UlcpKind::ReadRead), "RR");
+  EXPECT_STREQ(ulcpKindName(UlcpKind::DisjointWrite), "DW");
+  EXPECT_STREQ(ulcpKindName(UlcpKind::Benign), "Benign");
+  EXPECT_STREQ(ulcpKindName(UlcpKind::TrueContention), "TLCP");
+  EXPECT_TRUE(isUnnecessary(UlcpKind::ReadRead));
+  EXPECT_FALSE(isUnnecessary(UlcpKind::TrueContention));
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-trace detection
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Three threads, K read-only sections each on one lock.
+Trace multiReaderTrace(unsigned Threads, unsigned PerThread) {
+  TraceBuilder B;
+  LockId Mu = B.addLock("mu");
+  CodeSiteId Site = B.addSite("r.cc", "reader", 5, 15);
+  std::vector<ThreadId> Ids;
+  for (unsigned T = 0; T != Threads; ++T)
+    Ids.push_back(B.addThread());
+  for (unsigned T = 0; T != Threads; ++T)
+    for (unsigned I = 0; I != PerThread; ++I) {
+      B.compute(Ids[T], 100);
+      B.beginCs(Ids[T], Mu, Site);
+      B.read(Ids[T], 7, 0);
+      B.endCs(Ids[T]);
+    }
+  return B.finish();
+}
+
+} // namespace
+
+TEST(DetectorTest, AllCrossThreadPairCount) {
+  Trace Tr = multiReaderTrace(2, 3);
+  CsIndex Index = CsIndex::build(Tr);
+  DetectOptions Opts;
+  Opts.PairMode = PairModeKind::AllCrossThread;
+  DetectResult R = detectUlcps(Tr, Index, Opts);
+  // 3 sections per thread, cross-thread pairs = 3*3 = 9, all RR.
+  EXPECT_EQ(R.Counts.ReadRead, 9u);
+  EXPECT_EQ(R.Counts.total(), 9u);
+}
+
+TEST(DetectorTest, AdjacentModeCountsLess) {
+  Trace Tr = multiReaderTrace(2, 3);
+  CsIndex Index = CsIndex::build(Tr);
+  DetectOptions Opts;
+  Opts.PairMode = PairModeKind::AdjacentCrossThread;
+  DetectResult R = detectUlcps(Tr, Index, Opts);
+  EXPECT_LE(R.Counts.total(), 5u);
+}
+
+TEST(DetectorTest, MaxPairDistanceBounds) {
+  Trace Tr = multiReaderTrace(2, 4);
+  CsIndex Index = CsIndex::build(Tr);
+  DetectOptions Near;
+  Near.PairMode = PairModeKind::AllCrossThread;
+  Near.MaxPairDistance = 1;
+  DetectOptions Far;
+  Far.PairMode = PairModeKind::AllCrossThread;
+  EXPECT_LT(detectUlcps(Tr, Index, Near).Counts.total(),
+            detectUlcps(Tr, Index, Far).Counts.total());
+}
+
+TEST(DetectorTest, SameThreadPairsExcluded) {
+  // One thread using the lock repeatedly: no pairs at all.
+  Trace Tr = multiReaderTrace(1, 5);
+  CsIndex Index = CsIndex::build(Tr);
+  DetectResult R = detectUlcps(Tr, Index);
+  EXPECT_EQ(R.Counts.total(), 0u);
+}
+
+TEST(DetectorTest, DifferentLocksNeverPaired) {
+  TraceBuilder B;
+  LockId A = B.addLock("a");
+  LockId C = B.addLock("c");
+  ThreadId T0 = B.addThread();
+  ThreadId T1 = B.addThread();
+  B.beginCs(T0, A);
+  B.read(T0, 1, 0);
+  B.endCs(T0);
+  B.beginCs(T1, C);
+  B.read(T1, 1, 0);
+  B.endCs(T1);
+  Trace Tr = B.finish();
+  CsIndex Index = CsIndex::build(Tr);
+  DetectOptions Opts;
+  Opts.PairMode = PairModeKind::AllCrossThread;
+  EXPECT_EQ(detectUlcps(Tr, Index, Opts).Counts.total(), 0u);
+}
+
+TEST(DetectorTest, UnnecessaryPairsFilter) {
+  Trace Tr = pairTrace(
+      [](TraceBuilder &B, ThreadId T) { B.write(T, 10, 1); },
+      [](TraceBuilder &B, ThreadId T) { B.read(T, 10, 0); });
+  CsIndex Index = CsIndex::build(Tr);
+  DetectOptions Opts;
+  Opts.PairMode = PairModeKind::AllCrossThread;
+  DetectResult R = detectUlcps(Tr, Index, Opts);
+  EXPECT_EQ(R.Pairs.size(), 1u);
+  EXPECT_TRUE(R.unnecessaryPairs().empty());
+}
+
+TEST(DetectorTest, WithoutReversedReplayBenignCountsAsContention) {
+  Trace Tr = pairTrace(
+      [](TraceBuilder &B, ThreadId T) { B.write(T, 10, 5); },
+      [](TraceBuilder &B, ThreadId T) { B.write(T, 10, 5); });
+  CsIndex Index = CsIndex::build(Tr);
+  DetectOptions Opts;
+  Opts.PairMode = PairModeKind::AllCrossThread;
+  Opts.UseReversedReplay = false;
+  DetectResult R = detectUlcps(Tr, Index, Opts);
+  EXPECT_EQ(R.Counts.Benign, 0u);
+  EXPECT_EQ(R.Counts.TrueContention, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Parameterized Algorithm-1 sweep: every combination of section shapes
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+enum class BodyShape {
+  Empty,
+  ReadX,
+  WriteXStore5,
+  WriteYStore5,
+  AddX,
+  ReadWriteX
+};
+
+void emitShape(TraceBuilder &B, ThreadId T, BodyShape S) {
+  switch (S) {
+  case BodyShape::Empty:
+    break;
+  case BodyShape::ReadX:
+    B.read(T, 100, 5);
+    break;
+  case BodyShape::WriteXStore5:
+    B.write(T, 100, 5);
+    break;
+  case BodyShape::WriteYStore5:
+    B.write(T, 200, 5);
+    break;
+  case BodyShape::AddX:
+    B.write(T, 100, 2, WriteOpKind::Add);
+    break;
+  case BodyShape::ReadWriteX:
+    B.read(T, 100, 5);
+    B.write(T, 100, 77);
+    break;
+  }
+}
+
+UlcpKind expectedKind(BodyShape A, BodyShape B) {
+  auto isEmpty = [](BodyShape S) { return S == BodyShape::Empty; };
+  auto writes = [](BodyShape S) { return S != BodyShape::Empty &&
+                                         S != BodyShape::ReadX; };
+  if (isEmpty(A) || isEmpty(B))
+    return UlcpKind::NullLock;
+  if (!writes(A) && !writes(B))
+    return UlcpKind::ReadRead;
+  // Disjoint iff one side only touches Y.
+  bool AOnY = A == BodyShape::WriteYStore5;
+  bool BOnY = B == BodyShape::WriteYStore5;
+  if (AOnY != BOnY)
+    return UlcpKind::DisjointWrite;
+  if (AOnY && BOnY)
+    return UlcpKind::Benign; // Same store value 5 on Y: redundant.
+  // Both touch X with at least one write.  The memory image seeds X
+  // with 5 only when the *first* dynamic access to X (thread 0's, i.e.
+  // shape A's) is a read; a leading write leaves X unknown (0), making
+  // "store 5" non-redundant in the reversed order.
+  if (A == BodyShape::ReadX && B == BodyShape::WriteXStore5)
+    return UlcpKind::Benign; // Store of the seeded value: redundant.
+  if (A == BodyShape::WriteXStore5 && B == BodyShape::WriteXStore5)
+    return UlcpKind::Benign; // Identical stores, no reads.
+  if (A == BodyShape::AddX && B == BodyShape::AddX)
+    return UlcpKind::Benign; // Adds commute.
+  return UlcpKind::TrueContention;
+}
+
+class ClassifySweepTest
+    : public testing::TestWithParam<std::tuple<int, int>> {};
+
+} // namespace
+
+TEST_P(ClassifySweepTest, MatchesAlgorithmOne) {
+  BodyShape A = static_cast<BodyShape>(std::get<0>(GetParam()));
+  BodyShape Bs = static_cast<BodyShape>(std::get<1>(GetParam()));
+  Trace Tr = pairTrace(
+      [&](TraceBuilder &B, ThreadId T) { emitShape(B, T, A); },
+      [&](TraceBuilder &B, ThreadId T) { emitShape(B, T, Bs); });
+  EXPECT_EQ(classifyFirstPair(Tr), expectedKind(A, Bs))
+      << "shapes " << std::get<0>(GetParam()) << ", "
+      << std::get<1>(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapePairs, ClassifySweepTest,
+                         testing::Combine(testing::Range(0, 6),
+                                          testing::Range(0, 6)));

@@ -1,0 +1,321 @@
+//===- tests/EngineEdgeTest.cpp - replay engine edge cases -------------------===//
+
+#include "sim/Replayer.h"
+
+#include "detect/CriticalSection.h"
+#include "trace/TraceBuilder.h"
+#include "transform/Transform.h"
+
+#include <gtest/gtest.h>
+
+using namespace perfplay;
+
+TEST(EngineEdgeTest, EmptyThreadsFinishAtZero) {
+  TraceBuilder B;
+  B.addThread();
+  B.addThread();
+  Trace Tr = B.finish();
+  ReplayResult R = replayTrace(Tr, ReplayOptions());
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.TotalTime, 0u);
+  EXPECT_EQ(R.ThreadFinish[0], 0u);
+}
+
+TEST(EngineEdgeTest, NoThreadsAtAll) {
+  TraceBuilder B;
+  Trace Tr = B.finish();
+  ReplayResult R = replayTrace(Tr, ReplayOptions());
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.TotalTime, 0u);
+}
+
+TEST(EngineEdgeTest, ZeroCostComputeHandled) {
+  TraceBuilder B;
+  ThreadId T = B.addThread();
+  B.compute(T, 0);
+  B.compute(T, 0);
+  Trace Tr = B.finish();
+  ReplayResult R = replayTrace(Tr, ReplayOptions());
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.TotalTime, 0u);
+}
+
+TEST(EngineEdgeTest, ImmediateAcquireAtTimeZero) {
+  TraceBuilder B;
+  LockId Mu = B.addLock("mu");
+  ThreadId T = B.addThread();
+  B.beginCs(T, Mu); // No gap: arrival at t=0.
+  B.endCs(T);
+  Trace Tr = B.finish();
+  ReplayResult R = replayTrace(Tr, ReplayOptions());
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Sections[0].Arrival, 0u);
+  EXPECT_EQ(R.Sections[0].Granted, 0u);
+}
+
+TEST(EngineEdgeTest, ManyThreadsOneLockAllGranted) {
+  TraceBuilder B;
+  LockId Mu = B.addLock("mu");
+  std::vector<ThreadId> Ids;
+  for (int I = 0; I != 16; ++I)
+    Ids.push_back(B.addThread());
+  for (ThreadId T : Ids) {
+    B.beginCs(T, Mu);
+    B.compute(T, 50);
+    B.endCs(T);
+  }
+  Trace Tr = B.finish();
+  ReplayResult R = replayTrace(Tr, ReplayOptions());
+  ASSERT_TRUE(R.ok()) << R.Error;
+  for (const CsTiming &S : R.Sections) {
+    EXPECT_NE(S.Granted, NeverNs);
+    EXPECT_NE(S.Released, NeverNs);
+  }
+  // Fully serialized: total >= 16 sections' worth of work.
+  ReplayOptions Defaults;
+  EXPECT_GE(R.TotalTime,
+            16 * (50 + Defaults.Costs.LockAcquire +
+                  Defaults.Costs.LockRelease));
+}
+
+TEST(EngineEdgeTest, DeeplyNestedLocks) {
+  TraceBuilder B;
+  std::vector<LockId> Locks;
+  for (int I = 0; I != 8; ++I)
+    Locks.push_back(B.addLock("l" + std::to_string(I)));
+  ThreadId T0 = B.addThread();
+  ThreadId T1 = B.addThread();
+  for (ThreadId T : {T0, T1}) {
+    B.compute(T, T * 10 + 1);
+    for (LockId L : Locks) // Consistent nesting order: deadlock-free.
+      B.beginCs(T, L);
+    B.compute(T, 100);
+    for (size_t I = 0; I != Locks.size(); ++I)
+      B.endCs(T);
+  }
+  Trace Tr = B.finish();
+  recordGrantSchedule(Tr, 3);
+  ReplayResult R = replayTrace(Tr, ReplayOptions());
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(Tr.numCriticalSections(), 16u);
+}
+
+TEST(EngineEdgeTest, NestedLocksUnderMemS) {
+  TraceBuilder B;
+  LockId Outer = B.addLock("outer");
+  LockId Inner = B.addLock("inner");
+  ThreadId T0 = B.addThread();
+  ThreadId T1 = B.addThread();
+  for (ThreadId T : {T0, T1}) {
+    B.compute(T, 100 + T);
+    B.beginCs(T, Outer);
+    B.read(T, 1, 0);
+    B.beginCs(T, Inner);
+    B.write(T, 2, T);
+    B.endCs(T);
+    B.endCs(T);
+  }
+  Trace Tr = B.finish();
+  recordGrantSchedule(Tr, 3);
+  ReplayOptions Opts;
+  Opts.Schedule = ScheduleKind::MemS;
+  ReplayResult R = replayTrace(Tr, Opts);
+  ASSERT_TRUE(R.ok()) << R.Error;
+}
+
+namespace {
+
+/// Two threads using two locks with inverted nesting, but serialized
+/// in time so the recorded execution is feasible: T1 finishes both of
+/// its sections long before T0 starts.
+Trace invertedNestingTrace() {
+  TraceBuilder B;
+  LockId A = B.addLock("a");
+  LockId C = B.addLock("c");
+  (void)A;
+  (void)C;
+  ThreadId T0 = B.addThread();
+  ThreadId T1 = B.addThread();
+  B.compute(T1, 100);
+  B.beginCs(T1, C);
+  B.compute(T1, 200);
+  B.beginCs(T1, A);
+  B.compute(T1, 50);
+  B.endCs(T1);
+  B.endCs(T1);
+  B.compute(T0, 5000);
+  B.beginCs(T0, A);
+  B.compute(T0, 200);
+  B.beginCs(T0, C);
+  B.compute(T0, 50);
+  B.endCs(T0);
+  B.endCs(T0);
+  return B.finish();
+}
+
+} // namespace
+
+TEST(EngineEdgeTest, SyncSCompletesOnFeasibleInvertedNesting) {
+  Trace Tr = invertedNestingTrace();
+  ReplayResult Rec = recordGrantSchedule(Tr, 3);
+  ASSERT_TRUE(Rec.ok()) << Rec.Error;
+  for (ScheduleKind Kind : {ScheduleKind::SyncS, ScheduleKind::ElscS,
+                            ScheduleKind::MemS}) {
+    ReplayOptions Opts;
+    Opts.Schedule = Kind;
+    ReplayResult R = replayTrace(Tr, Opts);
+    EXPECT_TRUE(R.ok()) << scheduleKindName(Kind) << ": " << R.Error;
+  }
+}
+
+TEST(EngineEdgeTest, UnsatisfiableEnforcedOrderReportsDeadlock) {
+  // A hand-crafted schedule that inverts the two locks' grant orders
+  // against each other is unsatisfiable: T0 may only take lock a after
+  // T1, but T1 reaches its nested a-acquire only inside c, which it
+  // may only take after T0... The engine must detect the stall and
+  // fail cleanly instead of hanging.
+  Trace Tr = invertedNestingTrace();
+  Tr.LockSchedule.assign(Tr.Locks.size(), {});
+  // Lock a: T0's nested CS (thread 0, index 0 is its outer a-section)
+  // first; lock c: T1 first — cross-inverted against program order.
+  Tr.LockSchedule[0] = {CsRef{0, 0}, CsRef{1, 1}};
+  Tr.LockSchedule[1] = {CsRef{1, 0}, CsRef{0, 1}};
+  // T1 must wait for T0 on lock a inside its c-section, while T0 needs
+  // c (held by T1) before releasing a?  T0 holds a, wants c; c's order
+  // says T1 first, and T1 holds c until it gets a, whose order says T0
+  // already has it... construct whichever way, one of the two orders
+  // stalls; the engine must report rather than spin.
+  ReplayOptions Opts;
+  Opts.Schedule = ScheduleKind::ElscS;
+  ReplayResult R = replayTrace(Tr, Opts);
+  if (!R.ok())
+    EXPECT_NE(R.Error.find("deadlock"), std::string::npos) << R.Error;
+}
+
+TEST(EngineEdgeTest, ElscWithPartialScheduleFallsBackToArrival) {
+  // A schedule covering only one of two locks: the other lock is
+  // granted by arrival order.
+  TraceBuilder B;
+  LockId A = B.addLock("a");
+  LockId C = B.addLock("c");
+  ThreadId T0 = B.addThread();
+  ThreadId T1 = B.addThread();
+  for (ThreadId T : {T0, T1}) {
+    B.compute(T, 100 + T * 10);
+    B.beginCs(T, A);
+    B.endCs(T);
+    B.beginCs(T, C);
+    B.endCs(T);
+  }
+  Trace Tr = B.finish();
+  Tr.LockSchedule.assign(Tr.Locks.size(), {});
+  Tr.LockSchedule[A] = {CsRef{1, 0}, CsRef{0, 0}};
+  ReplayOptions Opts;
+  Opts.Schedule = ScheduleKind::ElscS;
+  ReplayResult R = replayTrace(Tr, Opts);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  // Lock A honored the (reversed) schedule.
+  uint32_t T0A = Tr.globalCsId(CsRef{0, 0});
+  uint32_t T1A = Tr.globalCsId(CsRef{1, 0});
+  EXPECT_LT(R.Sections[T1A].Granted, R.Sections[T0A].Granted);
+}
+
+TEST(EngineEdgeTest, GrantScheduleCoversEveryAcquisition) {
+  TraceBuilder B;
+  LockId Mu = B.addLock("mu");
+  ThreadId T0 = B.addThread();
+  ThreadId T1 = B.addThread();
+  for (int I = 0; I != 5; ++I) {
+    B.compute(T0, 10);
+    B.beginCs(T0, Mu);
+    B.endCs(T0);
+    B.compute(T1, 12);
+    B.beginCs(T1, Mu);
+    B.endCs(T1);
+  }
+  Trace Tr = B.finish();
+  ReplayResult R = replayTrace(Tr, ReplayOptions());
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.GrantSchedule[Mu].size(), 10u);
+}
+
+TEST(EngineEdgeTest, JitterNeverProducesNegativeCosts) {
+  TraceBuilder B;
+  ThreadId T = B.addThread();
+  for (int I = 0; I != 50; ++I)
+    B.compute(T, 1); // Tiny costs stress the rounding.
+  Trace Tr = B.finish();
+  ReplayOptions Opts;
+  Opts.Schedule = ScheduleKind::OrigS;
+  Opts.OrigJitter = 0.9;
+  ReplayResult R = replayTrace(Tr, Opts);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_LE(R.TotalTime, 100u);
+}
+
+TEST(EngineEdgeTest, ReplayAfterTransformOfConflictChain) {
+  // A long chain of truly conflicting sections transforms into aux
+  // locks + constraints and must replay with identical ordering.
+  TraceBuilder B;
+  LockId Mu = B.addLock("mu");
+  ThreadId T0 = B.addThread();
+  ThreadId T1 = B.addThread();
+  for (int I = 0; I != 6; ++I) {
+    ThreadId T = I % 2 ? T1 : T0;
+    B.compute(T, 40);
+    B.beginCs(T, Mu);
+    B.read(T, 9, 0);
+    B.write(T, 9, static_cast<uint64_t>(I + 1));
+    B.endCs(T);
+  }
+  Trace Tr = B.finish();
+  recordGrantSchedule(Tr, 3);
+  CsIndex Index = CsIndex::build(Tr);
+  TransformResult TR = transformTrace(Tr, Index);
+  ReplayResult Orig = replayTrace(Tr, ReplayOptions());
+  ReplayResult Free = replayTrace(TR.Transformed, ReplayOptions());
+  ASSERT_TRUE(Orig.ok() && Free.ok());
+  // Chain order (grant order on the original lock) is preserved.
+  const auto &Order = Tr.LockSchedule[Mu];
+  for (size_t I = 0; I + 1 < Order.size(); ++I) {
+    uint32_t Prev = Tr.globalCsId(Order[I]);
+    uint32_t Next = Tr.globalCsId(Order[I + 1]);
+    EXPECT_LE(Free.Sections[Prev].Granted, Free.Sections[Next].Granted);
+  }
+}
+
+TEST(EngineEdgeTest, SoloArrivalsOfEmptyTraceEmpty) {
+  TraceBuilder B;
+  B.addThread();
+  Trace Tr = B.finish();
+  EXPECT_TRUE(computeSoloArrivals(Tr, CostModel()).empty());
+}
+
+TEST(EngineEdgeTest, WaitTimesAccountedPerThread) {
+  TraceBuilder B;
+  LockId Mu = B.addLock("spin", /*IsSpin=*/true);
+  ThreadId T0 = B.addThread();
+  ThreadId T1 = B.addThread();
+  ThreadId T2 = B.addThread();
+  B.beginCs(T0, Mu);
+  B.compute(T0, 1000);
+  B.endCs(T0);
+  B.compute(T1, 10);
+  B.beginCs(T1, Mu);
+  B.endCs(T1);
+  B.compute(T2, 20);
+  B.beginCs(T2, Mu);
+  B.endCs(T2);
+  Trace Tr = B.finish();
+  ReplayOptions Opts;
+  Opts.Schedule = ScheduleKind::OrigS;
+  Opts.OrigJitter = 0.0;
+  ReplayResult R = replayTrace(Tr, Opts);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.ThreadSpinWaitNs[0], 0u);
+  EXPECT_GT(R.ThreadSpinWaitNs[1], 0u);
+  EXPECT_GT(R.ThreadSpinWaitNs[2], 0u);
+  EXPECT_EQ(R.SpinWaitNs,
+            R.ThreadSpinWaitNs[0] + R.ThreadSpinWaitNs[1] +
+                R.ThreadSpinWaitNs[2]);
+}

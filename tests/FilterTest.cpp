@@ -1,0 +1,165 @@
+//===- tests/FilterTest.cpp - trace projection tests -------------------------===//
+
+#include "trace/Filter.h"
+
+#include "core/PerfPlay.h"
+#include "sim/Replayer.h"
+#include "trace/TraceBuilder.h"
+#include "workloads/Apps.h"
+#include "workloads/WorkloadSpec.h"
+
+#include <gtest/gtest.h>
+
+using namespace perfplay;
+
+namespace {
+
+/// Two locks, two threads, two sections per thread per lock.
+Trace twoLockTrace() {
+  TraceBuilder B;
+  LockId A = B.addLock("a");
+  LockId C = B.addLock("c");
+  ThreadId T0 = B.addThread();
+  ThreadId T1 = B.addThread();
+  for (ThreadId T : {T0, T1})
+    for (int I = 0; I != 2; ++I) {
+      B.compute(T, 100);
+      B.beginCs(T, A);
+      B.read(T, 1, 0);
+      B.endCs(T);
+      B.compute(T, 100);
+      B.beginCs(T, C);
+      B.read(T, 2, 0);
+      B.endCs(T);
+    }
+  Trace Tr = B.finish();
+  recordGrantSchedule(Tr, 9);
+  return Tr;
+}
+
+} // namespace
+
+TEST(FilterByLocksTest, DropsOtherLocksSections) {
+  Trace Tr = twoLockTrace();
+  Trace Focused = filterTraceByLocks(Tr, {0});
+  EXPECT_EQ(Focused.validate(), "");
+  // Only lock 0's sections remain.
+  EXPECT_EQ(Focused.numCriticalSections(),
+            Tr.numCriticalSections() / 2);
+  for (const auto &Thread : Focused.Threads)
+    for (const Event &E : Thread.Events)
+      if (E.Kind == EventKind::LockAcquire)
+        EXPECT_EQ(E.Lock, 0u);
+}
+
+TEST(FilterByLocksTest, KeepsComputationAndAccesses) {
+  Trace Tr = twoLockTrace();
+  Trace Focused = filterTraceByLocks(Tr, {0});
+  size_t ComputeBefore = 0, ComputeAfter = 0;
+  size_t ReadsBefore = 0, ReadsAfter = 0;
+  for (const auto &Thread : Tr.Threads)
+    for (const Event &E : Thread.Events) {
+      ComputeBefore += E.Kind == EventKind::Compute;
+      ReadsBefore += E.Kind == EventKind::Read;
+    }
+  for (const auto &Thread : Focused.Threads)
+    for (const Event &E : Thread.Events) {
+      ComputeAfter += E.Kind == EventKind::Compute;
+      ReadsAfter += E.Kind == EventKind::Read;
+    }
+  EXPECT_EQ(ComputeBefore, ComputeAfter);
+  EXPECT_EQ(ReadsBefore, ReadsAfter);
+}
+
+TEST(FilterByLocksTest, ScheduleFilteredConsistently) {
+  Trace Tr = twoLockTrace();
+  Trace Focused = filterTraceByLocks(Tr, {1});
+  ASSERT_EQ(Focused.LockSchedule.size(), Focused.Locks.size());
+  EXPECT_TRUE(Focused.LockSchedule[0].empty());
+  EXPECT_EQ(Focused.LockSchedule[1].size(),
+            Focused.numCriticalSections());
+  EXPECT_EQ(Focused.validate(), "");
+}
+
+TEST(FilterByLocksTest, FocusedTraceFeedsPipeline) {
+  Trace Tr = generateWorkload(makeOpenldap(2, 0.5));
+  recordGrantSchedule(Tr, 4);
+  Trace Focused = filterTraceByLocks(Tr, {0}); // The hot spin lock.
+  ASSERT_EQ(Focused.validate(), "");
+  PipelineResult R = runPerfPlay(Focused);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  // The focused trace still exposes ULCPs of the kept lock.
+  EXPECT_GT(R.Detection.Counts.totalUnnecessary(), 0u);
+}
+
+TEST(FilterByLocksTest, EmptyKeepSetRemovesEverything) {
+  Trace Tr = twoLockTrace();
+  Trace Focused = filterTraceByLocks(Tr, {});
+  EXPECT_EQ(Focused.validate(), "");
+  EXPECT_EQ(Focused.numCriticalSections(), 0u);
+}
+
+TEST(FilterByLocksTest, NestedOuterDroppedInnerKept) {
+  TraceBuilder B;
+  LockId Outer = B.addLock("outer");
+  LockId Inner = B.addLock("inner");
+  ThreadId T = B.addThread();
+  B.beginCs(T, Outer);
+  B.beginCs(T, Inner);
+  B.read(T, 5, 0);
+  B.endCs(T);
+  B.endCs(T);
+  Trace Tr = B.finish();
+  Trace Focused = filterTraceByLocks(Tr, {Inner});
+  EXPECT_EQ(Focused.validate(), "");
+  EXPECT_EQ(Focused.numCriticalSections(), 1u);
+}
+
+TEST(SliceTest, TruncatesAndCloses) {
+  Trace Tr = twoLockTrace();
+  // Keep only the first 4 events of thread 0, everything of thread 1.
+  std::vector<size_t> Bounds = {4, Tr.Threads[1].Events.size()};
+  Trace Sliced = sliceTraceByEvents(Tr, Bounds);
+  EXPECT_EQ(Sliced.validate(), "");
+  EXPECT_LT(Sliced.Threads[0].Events.size(),
+            Tr.Threads[0].Events.size());
+  EXPECT_LT(Sliced.numCriticalSections(), Tr.numCriticalSections());
+}
+
+TEST(SliceTest, OpenSectionGetsClosed) {
+  TraceBuilder B;
+  LockId Mu = B.addLock("mu");
+  ThreadId T = B.addThread();
+  B.compute(T, 10);
+  B.beginCs(T, Mu);
+  B.read(T, 1, 0);
+  B.compute(T, 10);
+  B.endCs(T);
+  Trace Tr = B.finish();
+  // Cut inside the critical section (after the read, event index 4).
+  Trace Sliced = sliceTraceByEvents(Tr, {4});
+  EXPECT_EQ(Sliced.validate(), "");
+  EXPECT_EQ(Sliced.numCriticalSections(), 1u);
+}
+
+TEST(SliceTest, ZeroBoundYieldsEmptyThread) {
+  Trace Tr = twoLockTrace();
+  Trace Sliced = sliceTraceByEvents(Tr, {0, 0});
+  EXPECT_EQ(Sliced.validate(), "");
+  EXPECT_EQ(Sliced.numCriticalSections(), 0u);
+  for (const auto &Thread : Sliced.Threads)
+    EXPECT_EQ(Thread.Events.size(), 2u); // Start + end only.
+}
+
+TEST(SliceTest, SlicedTraceReplays) {
+  Trace Tr = generateWorkload(makeMysql(2, 0.5));
+  recordGrantSchedule(Tr, 4);
+  std::vector<size_t> Bounds;
+  for (const auto &Thread : Tr.Threads)
+    Bounds.push_back(Thread.Events.size() / 2);
+  Trace Sliced = sliceTraceByEvents(Tr, Bounds);
+  ASSERT_EQ(Sliced.validate(), "");
+  ReplayResult R = replayTrace(Sliced, ReplayOptions());
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_GT(R.TotalTime, 0u);
+}

@@ -1,0 +1,143 @@
+//===- tests/LockElisionTest.cpp - LE baseline tests -------------------------===//
+
+#include "sim/LockElision.h"
+
+#include "sim/Replayer.h"
+#include "trace/TraceBuilder.h"
+#include "workloads/Apps.h"
+#include "workloads/WorkloadSpec.h"
+
+#include <gtest/gtest.h>
+
+using namespace perfplay;
+
+namespace {
+
+LockElisionOptions noFalseAborts() {
+  LockElisionOptions O;
+  O.FalseAbortRate = 0.0;
+  return O;
+}
+
+/// Two read-only sections contending on one lock.
+Trace readersTrace() {
+  TraceBuilder B;
+  LockId Mu = B.addLock("mu");
+  ThreadId T0 = B.addThread();
+  ThreadId T1 = B.addThread();
+  for (ThreadId T : {T0, T1}) {
+    B.compute(T, 100);
+    B.beginCs(T, Mu);
+    B.read(T, 1, 7);
+    B.compute(T, 1000);
+    B.endCs(T);
+  }
+  return B.finish();
+}
+
+/// Two sections with a real write-write conflict.
+Trace conflictTrace() {
+  TraceBuilder B;
+  LockId Mu = B.addLock("mu");
+  ThreadId T0 = B.addThread();
+  ThreadId T1 = B.addThread();
+  B.beginCs(T0, Mu);
+  B.write(T0, 9, 1);
+  B.compute(T0, 1000);
+  B.endCs(T0);
+  B.compute(T1, 100);
+  B.beginCs(T1, Mu);
+  B.write(T1, 9, 2);
+  B.compute(T1, 1000);
+  B.endCs(T1);
+  return B.finish();
+}
+
+} // namespace
+
+TEST(LockElisionTest, ReadersRunFullyParallel) {
+  Trace Tr = readersTrace();
+  recordGrantSchedule(Tr, 3);
+  CsIndex Index = CsIndex::build(Tr);
+  LockElisionResult Le = simulateLockElision(Tr, Index, noFalseAborts());
+  EXPECT_EQ(Le.ConflictAborts, 0u);
+  EXPECT_EQ(Le.Fallbacks, 0u);
+  // No lock ops, no waiting: both threads finish at gap + mem + body.
+  ReplayResult Orig = replayTrace(Tr, ReplayOptions());
+  EXPECT_LT(Le.TotalTime, Orig.TotalTime);
+}
+
+TEST(LockElisionTest, RealConflictAborts) {
+  Trace Tr = conflictTrace();
+  recordGrantSchedule(Tr, 3);
+  CsIndex Index = CsIndex::build(Tr);
+  LockElisionResult Le = simulateLockElision(Tr, Index, noFalseAborts());
+  EXPECT_GT(Le.ConflictAborts, 0u);
+  EXPECT_GT(Le.WastedNs, 0u);
+}
+
+TEST(LockElisionTest, RetriesExhaustedFallBackToLock) {
+  Trace Tr = conflictTrace();
+  recordGrantSchedule(Tr, 3);
+  CsIndex Index = CsIndex::build(Tr);
+  LockElisionOptions Opts = noFalseAborts();
+  Opts.MaxRetries = 1; // First abort already falls back.
+  LockElisionResult Le = simulateLockElision(Tr, Index, Opts);
+  EXPECT_GT(Le.Fallbacks, 0u);
+}
+
+TEST(LockElisionTest, FalseAbortsInjected) {
+  Trace Tr = readersTrace();
+  recordGrantSchedule(Tr, 3);
+  CsIndex Index = CsIndex::build(Tr);
+  LockElisionOptions Opts;
+  Opts.FalseAbortRate = 1.0; // Every attempt aborts falsely.
+  Opts.MaxRetries = 2;
+  LockElisionResult Le = simulateLockElision(Tr, Index, Opts);
+  EXPECT_GT(Le.FalseAborts, 0u);
+  EXPECT_EQ(Le.Fallbacks, 2u); // Both sections end up taking the lock.
+}
+
+TEST(LockElisionTest, DeterministicForFixedSeed) {
+  Trace Tr = generateWorkload(makePbzip2(2, 0.5));
+  recordGrantSchedule(Tr, 3);
+  CsIndex Index = CsIndex::build(Tr);
+  LockElisionOptions Opts;
+  Opts.Seed = 77;
+  LockElisionResult A = simulateLockElision(Tr, Index, Opts);
+  LockElisionResult B = simulateLockElision(Tr, Index, Opts);
+  EXPECT_EQ(A.TotalTime, B.TotalTime);
+  EXPECT_EQ(A.ConflictAborts, B.ConflictAborts);
+  EXPECT_EQ(A.FalseAborts, B.FalseAborts);
+}
+
+TEST(LockElisionTest, BenignConflictsStillAbort) {
+  // Hardware LE cannot recognize benign (redundant) writes: they abort
+  // even though PERFPLAY classifies them as parallelizable.
+  TraceBuilder B;
+  LockId Mu = B.addLock("mu");
+  ThreadId T0 = B.addThread();
+  ThreadId T1 = B.addThread();
+  for (ThreadId T : {T0, T1}) {
+    B.beginCs(T, Mu);
+    B.write(T, 5, 42); // Identical stores: benign.
+    B.compute(T, 500);
+    B.endCs(T);
+  }
+  Trace Tr = B.finish();
+  recordGrantSchedule(Tr, 3);
+  CsIndex Index = CsIndex::build(Tr);
+  LockElisionResult Le = simulateLockElision(Tr, Index, noFalseAborts());
+  EXPECT_GT(Le.ConflictAborts, 0u);
+}
+
+TEST(LockElisionTest, UlcpRichAppBeatsLockedReplay) {
+  Trace Tr = generateWorkload(makeOpenldap(2, 0.5));
+  recordGrantSchedule(Tr, 3);
+  CsIndex Index = CsIndex::build(Tr);
+  LockElisionResult Le = simulateLockElision(Tr, Index, noFalseAborts());
+  ReplayResult Orig = replayTrace(Tr, ReplayOptions());
+  ASSERT_TRUE(Orig.ok());
+  EXPECT_LT(Le.TotalTime, Orig.TotalTime)
+      << "eliding ULCP-dominated locks must help";
+}

@@ -1,0 +1,131 @@
+//===- tests/MultiTraceTest.cpp - multi-run aggregation tests ----------------===//
+
+#include "debug/MultiTrace.h"
+
+#include "core/PerfPlay.h"
+#include "workloads/Apps.h"
+#include "workloads/WorkloadSpec.h"
+
+#include <gtest/gtest.h>
+
+using namespace perfplay;
+
+namespace {
+
+FusedUlcp group(const char *File, uint32_t Begin, uint32_t End,
+                int64_t Delta) {
+  FusedUlcp G;
+  G.CR1.File = File;
+  G.CR1.Lines = LineInterval(Begin, End);
+  G.CR2 = G.CR1;
+  G.DeltaNs = Delta;
+  G.PairCount = 1;
+  return G;
+}
+
+PerfDebugReport reportWith(std::vector<FusedUlcp> Groups,
+                           TimeNs Original = 1000, TimeNs Free = 900) {
+  PerfDebugReport R;
+  R.OriginalTime = Original;
+  R.UlcpFreeTime = Free;
+  R.Tpd = static_cast<int64_t>(Original) - static_cast<int64_t>(Free);
+  R.NumThreads = 2;
+  R.Groups = std::move(Groups);
+  return R;
+}
+
+} // namespace
+
+TEST(AggregateTest, EmptyInput) {
+  AggregatedReport A = aggregateReports({});
+  EXPECT_EQ(A.NumRuns, 0u);
+  EXPECT_TRUE(A.Groups.empty());
+}
+
+TEST(AggregateTest, SingleRunPassesThrough) {
+  AggregatedReport A =
+      aggregateReports({reportWith({group("a.cc", 1, 10, 100)})});
+  EXPECT_EQ(A.NumRuns, 1u);
+  ASSERT_EQ(A.Groups.size(), 1u);
+  EXPECT_EQ(A.Groups[0].RunsSeen, 1u);
+  EXPECT_DOUBLE_EQ(A.Groups[0].Group.P, 1.0);
+}
+
+TEST(AggregateTest, SameRegionAcrossRunsMerges) {
+  AggregatedReport A = aggregateReports({
+      reportWith({group("a.cc", 1, 10, 100)}),
+      reportWith({group("a.cc", 3, 12, 50)}),
+      reportWith({group("a.cc", 2, 9, 25)}),
+  });
+  EXPECT_EQ(A.NumRuns, 3u);
+  ASSERT_EQ(A.Groups.size(), 1u);
+  EXPECT_EQ(A.Groups[0].RunsSeen, 3u);
+  EXPECT_EQ(A.Groups[0].Group.DeltaNs, 175);
+  EXPECT_EQ(A.Groups[0].Group.CR1.Lines, LineInterval(1, 12));
+}
+
+TEST(AggregateTest, DistinctRegionsStayApart) {
+  AggregatedReport A = aggregateReports({
+      reportWith({group("a.cc", 1, 10, 100)}),
+      reportWith({group("b.cc", 1, 10, 300)}),
+  });
+  ASSERT_EQ(A.Groups.size(), 2u);
+  // Equation 2 re-normalized over the union, sorted descending.
+  EXPECT_DOUBLE_EQ(A.Groups[0].Group.P, 0.75);
+  EXPECT_EQ(A.Groups[0].Group.CR1.File, "b.cc");
+  EXPECT_EQ(A.Groups[0].RunsSeen, 1u);
+}
+
+TEST(AggregateTest, StabilityBreaksTies) {
+  AggregatedReport A = aggregateReports({
+      reportWith({group("a.cc", 1, 10, 100)}),
+      reportWith({group("a.cc", 1, 10, 0), group("b.cc", 1, 10, 100)}),
+  });
+  ASSERT_EQ(A.Groups.size(), 2u);
+  // Equal DeltaNs (100 vs 100): the region seen in both runs wins.
+  EXPECT_EQ(A.Groups[0].Group.CR1.File, "a.cc");
+  EXPECT_EQ(A.Groups[0].RunsSeen, 2u);
+}
+
+TEST(AggregateTest, MeansComputed) {
+  PerfDebugReport R1 = reportWith({}, 1000, 900); // 10% degradation.
+  PerfDebugReport R2 = reportWith({}, 1000, 800); // 20%.
+  AggregatedReport A = aggregateReports({R1, R2});
+  EXPECT_NEAR(A.MeanDegradation, 0.15, 1e-12);
+}
+
+TEST(AggregateTest, RenderedReportMentionsRuns) {
+  AggregatedReport A = aggregateReports({
+      reportWith({group("a.cc", 1, 10, 100)}),
+      reportWith({group("a.cc", 1, 10, 60)}),
+  });
+  std::string Text = renderAggregatedReport(A);
+  EXPECT_NE(Text.find("2 runs"), std::string::npos);
+  EXPECT_NE(Text.find("2/2"), std::string::npos);
+  EXPECT_NE(Text.find("a.cc:1-10"), std::string::npos);
+}
+
+TEST(AggregateTest, EndToEndAcrossSeeds) {
+  // Three recorded runs of the same program (different schedules);
+  // the aggregate must surface the same hot region every time.
+  std::vector<PerfDebugReport> Reports;
+  for (uint64_t Seed : {11u, 22u, 33u}) {
+    WorkloadSpec Spec = makeOpenldap(2, 0.5);
+    Spec.Seed = Seed;
+    Trace Tr = generateWorkload(Spec);
+    PipelineOptions Opts;
+    Opts.RecordSeed = Seed;
+    PipelineResult R = runPerfPlay(std::move(Tr), Opts);
+    ASSERT_TRUE(R.ok()) << R.Error;
+    Reports.push_back(R.Report);
+  }
+  AggregatedReport A = aggregateReports(Reports);
+  EXPECT_EQ(A.NumRuns, 3u);
+  ASSERT_FALSE(A.Groups.empty());
+  // The dominant group is stable across runs.
+  EXPECT_EQ(A.Groups[0].RunsSeen, 3u);
+  double Sum = 0.0;
+  for (const AggregatedUlcp &G : A.Groups)
+    Sum += G.Group.P;
+  EXPECT_NEAR(Sum, 1.0, 1e-9);
+}

@@ -1,0 +1,161 @@
+//===- tests/PipelineTest.cpp - end-to-end pipeline tests --------------------===//
+
+#include "core/PerfPlay.h"
+
+#include "trace/TraceBuilder.h"
+#include "workloads/Apps.h"
+#include "workloads/CaseStudies.h"
+#include "workloads/WorkloadSpec.h"
+
+#include <gtest/gtest.h>
+
+using namespace perfplay;
+
+namespace {
+
+/// The motivating mysql example (Figure 1): two threads serialize on
+/// fil_system->mutex although one only reads list length and the other
+/// removes from a different structure member.
+Trace figure1Trace() {
+  TraceBuilder B;
+  LockId Mu = B.addLock("fil_system->mutex");
+  CodeSiteId FlushSpaces =
+      B.addSite("storage/innobase/fil/fil0fil.cc",
+                "fil_flush_file_spaces", 5609, 5614);
+  CodeSiteId FilFlush = B.addSite("storage/innobase/fil/fil0fil.cc",
+                                  "fil_flush", 5473, 5503);
+  ThreadId T1 = B.addThread();
+  ThreadId T2 = B.addThread();
+  for (int I = 0; I != 5; ++I) {
+    B.compute(T1, 200);
+    B.beginCs(T1, Mu, FlushSpaces);
+    B.read(T1, /*unflushed_spaces.len*/ 1, 3);
+    B.compute(T1, 700);
+    B.endCs(T1);
+
+    B.compute(T2, 250);
+    B.beginCs(T2, Mu, FilFlush);
+    B.read(T2, /*space_by_id*/ 2, 9); // Buffering disabled: no update.
+    B.compute(T2, 700);
+    B.endCs(T2);
+  }
+  return B.finish();
+}
+
+} // namespace
+
+TEST(PipelineTest, RejectsInvalidTrace) {
+  Trace Tr = figure1Trace();
+  Tr.Threads[0].Events.pop_back(); // Drop ThreadEnd.
+  PipelineResult R = runPerfPlay(Tr);
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("invalid input trace"), std::string::npos);
+}
+
+TEST(PipelineTest, RecordsScheduleWhenMissing) {
+  Trace Tr = figure1Trace();
+  EXPECT_TRUE(Tr.LockSchedule.empty());
+  PipelineResult R = runPerfPlay(Tr);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_TRUE(R.Original.ok());
+}
+
+TEST(PipelineTest, Figure1UlcpDetectedAndImproved) {
+  PipelineResult R = runPerfPlay(figure1Trace());
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_GT(R.Detection.Counts.ReadRead, 0u);
+  EXPECT_GT(R.Report.Tpd, 0) << "serialized readers must speed up";
+  EXPECT_LE(R.UlcpFree.TotalTime, R.Original.TotalTime);
+  ASSERT_FALSE(R.Report.Groups.empty());
+  // The recommendation points into fil0fil.cc.
+  EXPECT_NE(R.Report.Groups.front().CR1.File.find("fil0fil.cc"),
+            std::string::npos);
+}
+
+TEST(PipelineTest, CleanTraceReportsNothing) {
+  // Single thread: no cross-thread pairs, nothing to optimize.
+  TraceBuilder B;
+  LockId Mu = B.addLock("mu");
+  ThreadId T = B.addThread();
+  for (int I = 0; I != 4; ++I) {
+    B.compute(T, 100);
+    B.beginCs(T, Mu);
+    B.write(T, 1, I);
+    B.endCs(T);
+  }
+  PipelineResult R = runPerfPlay(B.finish());
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Detection.Counts.total(), 0u);
+  EXPECT_TRUE(R.Report.Groups.empty());
+  EXPECT_EQ(R.Report.SumDelta, 0);
+  // All four sections are standalone, so the transformation removes
+  // their lock/unlock pairs; the only "gain" is the bare lock-op
+  // overhead (4 x (acquire + release)), not contention.
+  ReplayOptions Defaults;
+  int64_t LockOpOverhead =
+      4 * static_cast<int64_t>(Defaults.Costs.LockAcquire +
+                               Defaults.Costs.LockRelease);
+  EXPECT_LE(R.Report.Tpd, LockOpOverhead);
+}
+
+TEST(PipelineTest, EmptyTraceHandled) {
+  TraceBuilder B;
+  B.addThread();
+  PipelineResult R = runPerfPlay(B.finish());
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Detection.Counts.total(), 0u);
+}
+
+TEST(PipelineTest, RaceCheckOptIn) {
+  PipelineOptions Opts;
+  Opts.CheckRaces = true;
+  PipelineResult R = runPerfPlay(figure1Trace(), Opts);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_TRUE(R.Races.empty()) << "read-read parallelism is race-free";
+}
+
+TEST(PipelineTest, WorkloadEndToEnd) {
+  Trace Tr = generateWorkload(makeOpenldap(2, 0.5));
+  PipelineResult R = runPerfPlay(Tr);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_GT(R.Detection.Counts.totalUnnecessary(), 0u);
+  EXPECT_LE(R.UlcpFree.TotalTime, R.Original.TotalTime);
+  EXPECT_FALSE(R.Report.Groups.empty());
+  // Equation 2 invariant.
+  double Sum = 0;
+  for (const FusedUlcp &G : R.Report.Groups)
+    Sum += G.P;
+  if (R.Report.SumDelta > 0)
+    EXPECT_NEAR(Sum, 1.0, 1e-9);
+}
+
+TEST(PipelineTest, CaseStudyBug2Pipeline) {
+  CaseStudyParams P;
+  P.NumThreads = 4;
+  PipelineResult R = runPerfPlay(makePbzip2Consumer(P));
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_GT(R.Detection.Counts.ReadRead, 0u);
+  ASSERT_FALSE(R.Report.Groups.empty());
+  // The polling sections dominate the recommendation.
+  EXPECT_NE(R.Report.Groups.front().CR1.File.find("pbzip2"),
+            std::string::npos);
+}
+
+TEST(PipelineTest, DeterministicAcrossRuns) {
+  PipelineResult A = runPerfPlay(figure1Trace());
+  PipelineResult B = runPerfPlay(figure1Trace());
+  ASSERT_TRUE(A.ok() && B.ok());
+  EXPECT_EQ(A.Original.TotalTime, B.Original.TotalTime);
+  EXPECT_EQ(A.UlcpFree.TotalTime, B.UlcpFree.TotalTime);
+  EXPECT_EQ(A.Report.SumDelta, B.Report.SumDelta);
+}
+
+TEST(PipelineTest, AllCrossThreadModeCountsMore) {
+  PipelineOptions Adjacent;
+  PipelineOptions All;
+  All.Detect.PairMode = PairModeKind::AllCrossThread;
+  PipelineResult RA = runPerfPlay(figure1Trace(), Adjacent);
+  PipelineResult RB = runPerfPlay(figure1Trace(), All);
+  ASSERT_TRUE(RA.ok() && RB.ok());
+  EXPECT_GE(RB.Detection.Counts.total(), RA.Detection.Counts.total());
+}

@@ -1,0 +1,209 @@
+//===- tests/ReversedReplayTest.cpp - abstract memory machine tests ---------===//
+
+#include "detect/ReversedReplay.h"
+
+#include "detect/CriticalSection.h"
+#include "trace/TraceBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace perfplay;
+
+//===----------------------------------------------------------------------===//
+// MemoryImage
+//===----------------------------------------------------------------------===//
+
+TEST(MemoryImageTest, UnknownAddressReadsZero) {
+  MemoryImage M;
+  EXPECT_EQ(M.load(42), 0u);
+}
+
+TEST(MemoryImageTest, ApplyOps) {
+  MemoryImage M;
+  M.apply(1, 10, WriteOpKind::Store);
+  EXPECT_EQ(M.load(1), 10u);
+  M.apply(1, 5, WriteOpKind::Add);
+  EXPECT_EQ(M.load(1), 15u);
+  M.apply(1, 0xF0, WriteOpKind::Or);
+  EXPECT_EQ(M.load(1), 15u | 0xF0);
+  M.apply(1, 0x0F, WriteOpKind::And);
+  EXPECT_EQ(M.load(1), (15u | 0xF0) & 0x0F);
+  M.apply(1, 0xFF, WriteOpKind::Xor);
+  EXPECT_EQ(M.load(1), (((15u | 0xF0) & 0x0F)) ^ 0xFF);
+}
+
+TEST(MemoryImageTest, InitialSeedsFirstReadValues) {
+  TraceBuilder B;
+  LockId Mu = B.addLock("mu");
+  ThreadId T = B.addThread();
+  B.beginCs(T, Mu);
+  B.read(T, 7, 99);   // First access to 7 is a read: seeded.
+  B.write(T, 8, 5);   // First access to 8 is a write: unseeded.
+  B.read(T, 8, 5);    // Later read of 8 does not seed.
+  B.endCs(T);
+  Trace Tr = B.finish();
+  MemoryImage M = MemoryImage::initialOf(Tr);
+  EXPECT_EQ(M.load(7), 99u);
+  EXPECT_EQ(M.load(8), 0u);
+}
+
+TEST(MemoryImageTest, EqualityComparesCells) {
+  MemoryImage A, B;
+  EXPECT_TRUE(A == B);
+  A.apply(1, 2, WriteOpKind::Store);
+  EXPECT_FALSE(A == B);
+  B.apply(1, 2, WriteOpKind::Store);
+  EXPECT_TRUE(A == B);
+}
+
+//===----------------------------------------------------------------------===//
+// replaySections
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct SectionFixture {
+  Trace Tr;
+  CsIndex Index = CsIndex::build(Trace());
+
+  SectionFixture() {
+    TraceBuilder B;
+    LockId Mu = B.addLock("mu");
+    ThreadId T0 = B.addThread();
+    ThreadId T1 = B.addThread();
+    // Section 0: x += 3.
+    B.beginCs(T0, Mu);
+    B.write(T0, 1, 3, WriteOpKind::Add);
+    B.endCs(T0);
+    // Section 1: read x then store y = 9.
+    B.beginCs(T1, Mu);
+    B.read(T1, 1, 0);
+    B.write(T1, 2, 9);
+    B.endCs(T1);
+    Tr = B.finish();
+    Index = CsIndex::build(Tr);
+  }
+};
+
+} // namespace
+
+TEST(ReplaySectionsTest, ExecutesInOrder) {
+  SectionFixture F;
+  MemoryImage Init = MemoryImage::initialOf(F.Tr);
+  ReplayOutcome Out = replaySections(
+      F.Tr, Init, {&F.Index.byGlobalId(0), &F.Index.byGlobalId(1)});
+  EXPECT_EQ(Out.Final.load(1), 3u);
+  EXPECT_EQ(Out.Final.load(2), 9u);
+  ASSERT_EQ(Out.ReadValues.size(), 1u);
+  EXPECT_EQ(Out.ReadValues[0], 3u); // Read sees the add.
+}
+
+TEST(ReplaySectionsTest, ReversedOrderDiffers) {
+  SectionFixture F;
+  MemoryImage Init = MemoryImage::initialOf(F.Tr);
+  ReplayOutcome Out = replaySections(
+      F.Tr, Init, {&F.Index.byGlobalId(1), &F.Index.byGlobalId(0)});
+  ASSERT_EQ(Out.ReadValues.size(), 1u);
+  EXPECT_EQ(Out.ReadValues[0], 0u); // Read precedes the add.
+}
+
+TEST(ReplaySectionsTest, EmptySectionListIsIdentity) {
+  SectionFixture F;
+  MemoryImage Init = MemoryImage::initialOf(F.Tr);
+  ReplayOutcome Out = replaySections(F.Tr, Init, {});
+  EXPECT_TRUE(Out.Final == Init);
+  EXPECT_TRUE(Out.ReadValues.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// isBenignPair
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Trace twoSectionTrace(void (*Body0)(TraceBuilder &, ThreadId),
+                      void (*Body1)(TraceBuilder &, ThreadId)) {
+  TraceBuilder B;
+  LockId Mu = B.addLock("mu");
+  ThreadId T0 = B.addThread();
+  ThreadId T1 = B.addThread();
+  B.beginCs(T0, Mu);
+  Body0(B, T0);
+  B.endCs(T0);
+  B.beginCs(T1, Mu);
+  Body1(B, T1);
+  B.endCs(T1);
+  return B.finish();
+}
+
+bool benignOfTrace(const Trace &Tr) {
+  CsIndex Index = CsIndex::build(Tr);
+  MemoryImage Init = MemoryImage::initialOf(Tr);
+  return isBenignPair(Tr, Init, Index.byGlobalId(0), Index.byGlobalId(1));
+}
+
+} // namespace
+
+TEST(IsBenignTest, XorPairsCommute) {
+  Trace Tr = twoSectionTrace(
+      [](TraceBuilder &B, ThreadId T) {
+        B.write(T, 1, 0xA, WriteOpKind::Xor);
+      },
+      [](TraceBuilder &B, ThreadId T) {
+        B.write(T, 1, 0x5, WriteOpKind::Xor);
+      });
+  EXPECT_TRUE(benignOfTrace(Tr));
+}
+
+TEST(IsBenignTest, AndOrMixDoesNotCommute) {
+  Trace Tr = twoSectionTrace(
+      [](TraceBuilder &B, ThreadId T) {
+        B.write(T, 1, 0x0, WriteOpKind::And);
+      },
+      [](TraceBuilder &B, ThreadId T) {
+        B.write(T, 1, 0x1, WriteOpKind::Or);
+      });
+  EXPECT_FALSE(benignOfTrace(Tr));
+}
+
+TEST(IsBenignTest, StoreThenDependentReadConflicts) {
+  Trace Tr = twoSectionTrace(
+      [](TraceBuilder &B, ThreadId T) { B.write(T, 1, 42); },
+      [](TraceBuilder &B, ThreadId T) { B.read(T, 1, 42); });
+  EXPECT_FALSE(benignOfTrace(Tr));
+}
+
+TEST(IsBenignTest, IdenticalStoresBenign) {
+  Trace Tr = twoSectionTrace(
+      [](TraceBuilder &B, ThreadId T) { B.write(T, 1, 42); },
+      [](TraceBuilder &B, ThreadId T) { B.write(T, 1, 42); });
+  EXPECT_TRUE(benignOfTrace(Tr));
+}
+
+TEST(IsBenignTest, MultiAddressBenign) {
+  // Each section stores the same values to two cells.
+  Trace Tr = twoSectionTrace(
+      [](TraceBuilder &B, ThreadId T) {
+        B.write(T, 1, 7);
+        B.write(T, 2, 8);
+      },
+      [](TraceBuilder &B, ThreadId T) {
+        B.write(T, 2, 8);
+        B.write(T, 1, 7);
+      });
+  EXPECT_TRUE(benignOfTrace(Tr));
+}
+
+TEST(IsBenignTest, PartialConflictDetected) {
+  // Same store on one address, different on another.
+  Trace Tr = twoSectionTrace(
+      [](TraceBuilder &B, ThreadId T) {
+        B.write(T, 1, 7);
+        B.write(T, 2, 100);
+      },
+      [](TraceBuilder &B, ThreadId T) {
+        B.write(T, 1, 7);
+        B.write(T, 2, 200);
+      });
+  EXPECT_FALSE(benignOfTrace(Tr));
+}

@@ -1,0 +1,120 @@
+//===- tests/SummaryTest.cpp - trace summary & CSV export tests --------------===//
+
+#include "debug/CsvExport.h"
+#include "trace/Summary.h"
+
+#include "core/PerfPlay.h"
+#include "trace/TraceBuilder.h"
+#include "workloads/Apps.h"
+#include "workloads/WorkloadSpec.h"
+
+#include <gtest/gtest.h>
+
+using namespace perfplay;
+
+namespace {
+
+Trace summaryFixture() {
+  TraceBuilder B;
+  LockId Hot = B.addLock("hot", /*IsSpin=*/true);
+  LockId Cold = B.addLock("cold");
+  ThreadId T0 = B.addThread();
+  ThreadId T1 = B.addThread();
+  for (int I = 0; I != 3; ++I) {
+    B.compute(T0, 100);
+    B.beginCs(T0, Hot);
+    B.read(T0, 1, 0);
+    B.compute(T0, 50);
+    B.endCs(T0);
+  }
+  B.compute(T1, 200);
+  B.beginCs(T1, Hot);
+  B.write(T1, 1, 5);
+  B.beginCs(T1, Cold);
+  B.compute(T1, 25);
+  B.endCs(T1);
+  B.endCs(T1);
+  return B.finish();
+}
+
+} // namespace
+
+TEST(SummaryTest, CountsEventsAndSections) {
+  Trace Tr = summaryFixture();
+  TraceSummary S = summarizeTrace(Tr);
+  EXPECT_EQ(S.NumThreads, 2u);
+  EXPECT_EQ(S.NumCriticalSections, 5u);
+  EXPECT_EQ(S.NumReads, 3u);
+  EXPECT_EQ(S.NumWrites, 1u);
+  EXPECT_EQ(S.MaxNesting, 2u);
+  EXPECT_EQ(S.TotalComputeNs, 3u * 150 + 200 + 25);
+  EXPECT_EQ(S.InCsComputeNs, 3u * 50 + 25);
+  EXPECT_GT(S.inCsFraction(), 0.0);
+  EXPECT_LT(S.inCsFraction(), 1.0);
+}
+
+TEST(SummaryTest, LocksSortedByAcquisitions) {
+  Trace Tr = summaryFixture();
+  TraceSummary S = summarizeTrace(Tr);
+  ASSERT_EQ(S.Locks.size(), 2u);
+  EXPECT_EQ(S.Locks[0].Acquisitions, 4u); // "hot"
+  EXPECT_EQ(S.Locks[0].Threads, 2u);
+  EXPECT_TRUE(S.Locks[0].IsSpin);
+  EXPECT_EQ(S.Locks[1].Acquisitions, 1u); // "cold"
+  EXPECT_EQ(S.Locks[1].Threads, 1u);
+}
+
+TEST(SummaryTest, RenderMentionsHotLock) {
+  Trace Tr = summaryFixture();
+  std::string Text = renderSummary(Tr, summarizeTrace(Tr));
+  EXPECT_NE(Text.find("hot"), std::string::npos);
+  EXPECT_NE(Text.find("critical sections: 5"), std::string::npos);
+}
+
+TEST(SummaryTest, WorkloadSummaryMatchesTrace) {
+  Trace Tr = generateWorkload(makeDedup(2, 0.5));
+  TraceSummary S = summarizeTrace(Tr);
+  EXPECT_EQ(S.NumEvents, Tr.numEvents());
+  EXPECT_EQ(S.NumCriticalSections, Tr.numCriticalSections());
+  uint64_t FromRows = 0;
+  for (const LockSummary &Row : S.Locks)
+    FromRows += Row.Acquisitions;
+  EXPECT_EQ(FromRows, S.NumCriticalSections);
+}
+
+//===----------------------------------------------------------------------===//
+// CSV export
+//===----------------------------------------------------------------------===//
+
+TEST(CsvTest, EscapeRules) {
+  EXPECT_EQ(csvEscape("plain"), "plain");
+  EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csvEscape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(CsvTest, DetectionCsvHasHeaderAndRows) {
+  Trace Tr = summaryFixture();
+  PipelineOptions Opts;
+  Opts.Detect.PairMode = PairModeKind::AllCrossThread;
+  PipelineResult R = runPerfPlay(Tr, Opts);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  std::string Csv = detectionToCsv(R.Detection);
+  EXPECT_EQ(Csv.rfind("first,second,kind\n", 0), 0u);
+  size_t Lines = 0;
+  for (char C : Csv)
+    Lines += C == '\n';
+  EXPECT_EQ(Lines, R.Detection.Pairs.size() + 1);
+}
+
+TEST(CsvTest, ReportCsvRoundNumbers) {
+  Trace Tr = generateWorkload(makeOpenldap(2, 0.5));
+  PipelineResult R = runPerfPlay(std::move(Tr));
+  ASSERT_TRUE(R.ok()) << R.Error;
+  std::string Csv = reportToCsv(R.Report);
+  EXPECT_EQ(Csv.rfind("rank,p,", 0), 0u);
+  size_t Lines = 0;
+  for (char C : Csv)
+    Lines += C == '\n';
+  EXPECT_EQ(Lines, R.Report.Groups.size() + 1);
+}

@@ -1,0 +1,243 @@
+//===- tests/SupportTest.cpp - support library unit tests ------------------===//
+
+#include "support/Format.h"
+#include "support/Interval.h"
+#include "support/Rng.h"
+#include "support/SetOps.h"
+#include "support/Stats.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace perfplay;
+
+//===----------------------------------------------------------------------===//
+// Rng
+//===----------------------------------------------------------------------===//
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I != 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 4);
+}
+
+TEST(RngTest, NextBelowStaysInBounds) {
+  Rng R(7);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_LT(R.nextBelow(13), 13u);
+}
+
+TEST(RngTest, NextBelowOneAlwaysZero) {
+  Rng R(7);
+  for (int I = 0; I != 20; ++I)
+    EXPECT_EQ(R.nextBelow(1), 0u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng R(9);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I != 2000; ++I) {
+    uint64_t V = R.nextInRange(5, 8);
+    EXPECT_GE(V, 5u);
+    EXPECT_LE(V, 8u);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 4u) << "all values of a small range reachable";
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng R(11);
+  for (int I = 0; I != 1000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolExtremes) {
+  Rng R(13);
+  for (int I = 0; I != 50; ++I) {
+    EXPECT_FALSE(R.nextBool(0.0));
+    EXPECT_TRUE(R.nextBool(1.0));
+  }
+}
+
+TEST(RngTest, NextBoolFrequencyRoughlyMatchesP) {
+  Rng R(17);
+  int Hits = 0;
+  const int N = 20000;
+  for (int I = 0; I != N; ++I)
+    Hits += R.nextBool(0.3);
+  EXPECT_NEAR(static_cast<double>(Hits) / N, 0.3, 0.02);
+}
+
+TEST(RngTest, NextWeightedRespectsZeroWeights) {
+  Rng R(19);
+  double Weights[3] = {0.0, 1.0, 0.0};
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(R.nextWeighted(Weights, 3), 1u);
+}
+
+TEST(RngTest, NextWeightedDistribution) {
+  Rng R(23);
+  double Weights[2] = {3.0, 1.0};
+  int First = 0;
+  const int N = 20000;
+  for (int I = 0; I != N; ++I)
+    First += R.nextWeighted(Weights, 2) == 0;
+  EXPECT_NEAR(static_cast<double>(First) / N, 0.75, 0.02);
+}
+
+TEST(RngTest, SplitMix64IsStateless) {
+  EXPECT_EQ(splitMix64(123), splitMix64(123));
+  EXPECT_NE(splitMix64(123), splitMix64(124));
+}
+
+//===----------------------------------------------------------------------===//
+// RunningStats
+//===----------------------------------------------------------------------===//
+
+TEST(StatsTest, EmptyIsZero) {
+  RunningStats S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_DOUBLE_EQ(S.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(S.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(S.min(), 0.0);
+  EXPECT_DOUBLE_EQ(S.max(), 0.0);
+  EXPECT_DOUBLE_EQ(S.range(), 0.0);
+}
+
+TEST(StatsTest, SingleSample) {
+  RunningStats S;
+  S.add(5.0);
+  EXPECT_EQ(S.count(), 1u);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(S.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(S.min(), 5.0);
+  EXPECT_DOUBLE_EQ(S.max(), 5.0);
+}
+
+TEST(StatsTest, KnownMeanAndVariance) {
+  RunningStats S;
+  for (double V : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.add(V);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  // Population variance is 4; sample variance is 32/7.
+  EXPECT_NEAR(S.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(S.min(), 2.0);
+  EXPECT_DOUBLE_EQ(S.max(), 9.0);
+  EXPECT_DOUBLE_EQ(S.range(), 7.0);
+}
+
+TEST(StatsTest, ConstantStreamHasZeroStddev) {
+  RunningStats S;
+  for (int I = 0; I != 10; ++I)
+    S.add(3.5);
+  EXPECT_DOUBLE_EQ(S.stddev(), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// LineInterval
+//===----------------------------------------------------------------------===//
+
+TEST(IntervalTest, EmptyByDefault) {
+  LineInterval I;
+  EXPECT_TRUE(I.empty());
+  EXPECT_EQ(I.size(), 0u);
+}
+
+TEST(IntervalTest, SizeAndContains) {
+  LineInterval I(10, 19);
+  EXPECT_FALSE(I.empty());
+  EXPECT_EQ(I.size(), 10u);
+  EXPECT_TRUE(I.contains(10));
+  EXPECT_TRUE(I.contains(19));
+  EXPECT_FALSE(I.contains(9));
+  EXPECT_FALSE(I.contains(20));
+}
+
+TEST(IntervalTest, OverlapCases) {
+  EXPECT_TRUE(overlaps(LineInterval(1, 5), LineInterval(5, 9)));
+  EXPECT_TRUE(overlaps(LineInterval(1, 9), LineInterval(3, 4)));
+  EXPECT_FALSE(overlaps(LineInterval(1, 4), LineInterval(5, 9)));
+  EXPECT_FALSE(overlaps(LineInterval(), LineInterval(1, 9)));
+}
+
+TEST(IntervalTest, IntersectAndUnite) {
+  LineInterval A(1, 10), B(5, 20);
+  EXPECT_EQ(intersect(A, B), LineInterval(5, 10));
+  EXPECT_EQ(unite(A, B), LineInterval(1, 20));
+  EXPECT_TRUE(intersect(LineInterval(1, 2), LineInterval(4, 5)).empty());
+  EXPECT_EQ(unite(LineInterval(), LineInterval(3, 4)), LineInterval(3, 4));
+}
+
+//===----------------------------------------------------------------------===//
+// Sorted set operations
+//===----------------------------------------------------------------------===//
+
+TEST(SetOpsTest, IntersectsBasic) {
+  std::vector<int> A = {1, 3, 5}, B = {2, 3, 4}, C = {6, 7};
+  EXPECT_TRUE(sortedIntersects(A, B));
+  EXPECT_FALSE(sortedIntersects(A, C));
+  EXPECT_FALSE(sortedIntersects(std::vector<int>{}, A));
+}
+
+TEST(SetOpsTest, IntersectionContents) {
+  std::vector<int> A = {1, 2, 3, 7, 9}, B = {2, 3, 4, 9};
+  EXPECT_EQ(sortedIntersection(A, B), (std::vector<int>{2, 3, 9}));
+}
+
+//===----------------------------------------------------------------------===//
+// Table / Format
+//===----------------------------------------------------------------------===//
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table T;
+  T.addRow({"name", "value"});
+  T.addRow({"x", "10"});
+  T.addRow({"longer", "7"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("name    value"), std::string::npos);
+  EXPECT_NE(Out.find("longer  7"), std::string::npos);
+  EXPECT_NE(Out.find("-----"), std::string::npos);
+}
+
+TEST(TableTest, EmptyRenders) {
+  Table T;
+  EXPECT_EQ(T.render(), "");
+}
+
+TEST(TableTest, RaggedRowsPadded) {
+  Table T;
+  T.addRow({"a", "b", "c"});
+  T.addRow({"1"});
+  EXPECT_NO_FATAL_FAILURE({ std::string S = T.render(); });
+}
+
+TEST(FormatTest, FormatNsUnits) {
+  EXPECT_EQ(formatNs(312), "312ns");
+  EXPECT_EQ(formatNs(4250), "4.25us");
+  EXPECT_EQ(formatNs(1500000), "1.50ms");
+  EXPECT_EQ(formatNs(2000000000ULL), "2.00s");
+}
+
+TEST(FormatTest, FormatPercent) {
+  EXPECT_EQ(formatPercent(0.051), "5.1%");
+  EXPECT_EQ(formatPercent(0.051, 2), "5.10%");
+  EXPECT_EQ(formatPercent(1.0), "100.0%");
+}
+
+TEST(FormatTest, FormatDouble) {
+  EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(formatDouble(2.0, 0), "2");
+}

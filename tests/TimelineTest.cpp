@@ -1,0 +1,108 @@
+//===- tests/TimelineTest.cpp - timeline rendering tests ---------------------===//
+
+#include "sim/Timeline.h"
+
+#include "sim/Replayer.h"
+#include "trace/TraceBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace perfplay;
+
+namespace {
+
+Trace contendedTrace(bool Spin) {
+  TraceBuilder B;
+  LockId Mu = B.addLock("mu", Spin);
+  ThreadId T0 = B.addThread();
+  ThreadId T1 = B.addThread();
+  B.beginCs(T0, Mu);
+  B.compute(T0, 1000);
+  B.endCs(T0);
+  B.compute(T0, 500);
+  B.compute(T1, 100);
+  B.beginCs(T1, Mu);
+  B.compute(T1, 1000);
+  B.endCs(T1);
+  return B.finish();
+}
+
+size_t countChar(const std::string &S, char C) {
+  size_t N = 0;
+  for (char X : S)
+    N += X == C;
+  return N;
+}
+
+/// Extracts lane \p T (the row starting with "T<t> |").
+std::string laneOf(const std::string &Timeline, unsigned T) {
+  std::string Needle = "T" + std::to_string(T) + " |";
+  size_t Pos = Timeline.find(Needle);
+  EXPECT_NE(Pos, std::string::npos);
+  size_t Start = Pos + Needle.size();
+  size_t End = Timeline.find('|', Start);
+  return Timeline.substr(Start, End - Start);
+}
+
+} // namespace
+
+TEST(TimelineTest, LanesHaveRequestedWidth) {
+  Trace Tr = contendedTrace(false);
+  ReplayResult R = replayTrace(Tr, ReplayOptions());
+  ASSERT_TRUE(R.ok());
+  std::string Out = renderTimeline(Tr, R, 40);
+  EXPECT_EQ(laneOf(Out, 0).size(), 40u);
+  EXPECT_EQ(laneOf(Out, 1).size(), 40u);
+}
+
+TEST(TimelineTest, CriticalSectionsMarked) {
+  Trace Tr = contendedTrace(false);
+  ReplayResult R = replayTrace(Tr, ReplayOptions());
+  ASSERT_TRUE(R.ok());
+  std::string Out = renderTimeline(Tr, R, 60);
+  EXPECT_GT(countChar(laneOf(Out, 0), '#'), 0u);
+  EXPECT_GT(countChar(laneOf(Out, 1), '#'), 0u);
+}
+
+TEST(TimelineTest, BlockedWaitRenderedAsDash) {
+  Trace Tr = contendedTrace(/*Spin=*/false);
+  ReplayResult R = replayTrace(Tr, ReplayOptions());
+  ASSERT_TRUE(R.ok());
+  std::string Out = renderTimeline(Tr, R, 60);
+  EXPECT_GT(countChar(laneOf(Out, 1), '-'), 0u);
+  EXPECT_EQ(countChar(laneOf(Out, 1), 'w'), 0u);
+}
+
+TEST(TimelineTest, SpinWaitRenderedAsW) {
+  Trace Tr = contendedTrace(/*Spin=*/true);
+  ReplayResult R = replayTrace(Tr, ReplayOptions());
+  ASSERT_TRUE(R.ok());
+  std::string Out = renderTimeline(Tr, R, 60);
+  EXPECT_GT(countChar(laneOf(Out, 1), 'w'), 0u);
+}
+
+TEST(TimelineTest, FinishedThreadTailIsDots) {
+  Trace Tr = contendedTrace(false);
+  ReplayResult R = replayTrace(Tr, ReplayOptions());
+  ASSERT_TRUE(R.ok());
+  std::string Out = renderTimeline(Tr, R, 60);
+  // Thread 0 finishes before thread 1: its lane ends in '.'.
+  std::string Lane0 = laneOf(Out, 0);
+  EXPECT_EQ(Lane0.back(), '.');
+}
+
+TEST(TimelineTest, EmptyReplayAllDots) {
+  TraceBuilder B;
+  B.addThread();
+  Trace Tr = B.finish();
+  ReplayResult R = replayTrace(Tr, ReplayOptions());
+  std::string Out = renderTimeline(Tr, R, 10);
+  EXPECT_EQ(laneOf(Out, 0), std::string(10, '.'));
+}
+
+TEST(TimelineTest, LegendPresent) {
+  Trace Tr = contendedTrace(false);
+  ReplayResult R = replayTrace(Tr, ReplayOptions());
+  std::string Out = renderTimeline(Tr, R);
+  EXPECT_NE(Out.find("spin-wait"), std::string::npos);
+}

@@ -1,0 +1,206 @@
+//===- tests/TraceIOTest.cpp - trace serialization tests --------------------===//
+
+#include "trace/TraceBuilder.h"
+#include "trace/TraceIO.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace perfplay;
+
+namespace {
+
+/// A trace exercising every event kind and side table.
+Trace makeRichTrace() {
+  TraceBuilder B;
+  LockId Mu = B.addLock("fil_system->mutex");
+  LockId Spin = B.addLock("cell lock #3", /*IsSpin=*/true);
+  CodeSiteId S0 = B.addSite("storage/fil0fil.cc", "fil_flush", 5473, 5592);
+  CodeSiteId S1 = B.addSite("dir with space/x.cc", "f g", 1, 9);
+  ThreadId T0 = B.addThread();
+  ThreadId T1 = B.addThread();
+
+  B.compute(T0, 123);
+  B.beginCs(T0, Mu, S0);
+  B.read(T0, 100, 7);
+  B.write(T0, 101, 3, WriteOpKind::Add);
+  B.endCs(T0);
+  B.beginCs(T0, Spin, S1);
+  B.write(T0, 102, 0xdead, WriteOpKind::Xor);
+  B.endCs(T0);
+
+  B.beginCs(T1, Mu, S0);
+  B.read(T1, 100, 7);
+  B.endCs(T1);
+  B.compute(T1, 456);
+
+  Trace Tr = B.finish();
+  // Side tables of a transformed trace.
+  Lockset LS;
+  LS.Entries.push_back(LocksetEntry{Spin, InvalidId});
+  LS.Entries.push_back(LocksetEntry{Mu, 0});
+  Tr.Locksets.push_back(LS);
+  Tr.Locksets.push_back(Lockset()); // Empty lockset (removed pair).
+  Tr.Constraints.push_back(OrderConstraint{0, 2});
+  Tr.LockSchedule.assign(Tr.Locks.size(), {});
+  Tr.LockSchedule[Mu] = {CsRef{0, 0}, CsRef{1, 0}};
+  Tr.LockSchedule[Spin] = {CsRef{0, 1}};
+  return Tr;
+}
+
+void expectTracesEqual(const Trace &A, const Trace &B) {
+  ASSERT_EQ(A.Threads.size(), B.Threads.size());
+  for (size_t T = 0; T != A.Threads.size(); ++T) {
+    const auto &EA = A.Threads[T].Events;
+    const auto &EB = B.Threads[T].Events;
+    ASSERT_EQ(EA.size(), EB.size()) << "thread " << T;
+    for (size_t I = 0; I != EA.size(); ++I) {
+      EXPECT_EQ(EA[I].Kind, EB[I].Kind) << "thread " << T << " ev " << I;
+      EXPECT_EQ(EA[I].Op, EB[I].Op);
+      EXPECT_EQ(EA[I].Site, EB[I].Site);
+      EXPECT_EQ(EA[I].Lock, EB[I].Lock);
+      EXPECT_EQ(EA[I].Lockset, EB[I].Lockset);
+      EXPECT_EQ(EA[I].Addr, EB[I].Addr);
+      EXPECT_EQ(EA[I].Value, EB[I].Value);
+      EXPECT_EQ(EA[I].Cost, EB[I].Cost);
+    }
+  }
+  ASSERT_EQ(A.Locks.size(), B.Locks.size());
+  for (size_t I = 0; I != A.Locks.size(); ++I) {
+    EXPECT_EQ(A.Locks[I].Name, B.Locks[I].Name);
+    EXPECT_EQ(A.Locks[I].IsSpin, B.Locks[I].IsSpin);
+  }
+  ASSERT_EQ(A.Sites.size(), B.Sites.size());
+  for (size_t I = 0; I != A.Sites.size(); ++I) {
+    EXPECT_EQ(A.Sites[I].File, B.Sites[I].File);
+    EXPECT_EQ(A.Sites[I].Function, B.Sites[I].Function);
+    EXPECT_EQ(A.Sites[I].BeginLine, B.Sites[I].BeginLine);
+    EXPECT_EQ(A.Sites[I].EndLine, B.Sites[I].EndLine);
+  }
+  ASSERT_EQ(A.Locksets.size(), B.Locksets.size());
+  for (size_t I = 0; I != A.Locksets.size(); ++I) {
+    ASSERT_EQ(A.Locksets[I].Entries.size(), B.Locksets[I].Entries.size());
+    for (size_t J = 0; J != A.Locksets[I].Entries.size(); ++J) {
+      EXPECT_EQ(A.Locksets[I].Entries[J].Lock,
+                B.Locksets[I].Entries[J].Lock);
+      EXPECT_EQ(A.Locksets[I].Entries[J].SourceCs,
+                B.Locksets[I].Entries[J].SourceCs);
+    }
+  }
+  ASSERT_EQ(A.Constraints.size(), B.Constraints.size());
+  for (size_t I = 0; I != A.Constraints.size(); ++I) {
+    EXPECT_EQ(A.Constraints[I].Before, B.Constraints[I].Before);
+    EXPECT_EQ(A.Constraints[I].After, B.Constraints[I].After);
+  }
+  ASSERT_EQ(A.LockSchedule.size(), B.LockSchedule.size());
+  for (size_t L = 0; L != A.LockSchedule.size(); ++L) {
+    ASSERT_EQ(A.LockSchedule[L].size(), B.LockSchedule[L].size());
+    for (size_t I = 0; I != A.LockSchedule[L].size(); ++I)
+      EXPECT_TRUE(A.LockSchedule[L][I] == B.LockSchedule[L][I]);
+  }
+}
+
+} // namespace
+
+TEST(TraceIOTest, TextRoundTrip) {
+  Trace Tr = makeRichTrace();
+  std::string Text = writeTraceText(Tr);
+  Trace Back;
+  std::string Err;
+  ASSERT_TRUE(parseTraceText(Text, Back, Err)) << Err;
+  expectTracesEqual(Tr, Back);
+}
+
+TEST(TraceIOTest, BinaryRoundTrip) {
+  Trace Tr = makeRichTrace();
+  std::vector<uint8_t> Bytes = writeTraceBinary(Tr);
+  Trace Back;
+  std::string Err;
+  ASSERT_TRUE(parseTraceBinary(Bytes, Back, Err)) << Err;
+  expectTracesEqual(Tr, Back);
+}
+
+TEST(TraceIOTest, TextRejectsBadMagic) {
+  Trace Out;
+  std::string Err;
+  EXPECT_FALSE(parseTraceText("not-a-trace\n", Out, Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(TraceIOTest, TextRejectsTruncated) {
+  Trace Tr = makeRichTrace();
+  std::string Text = writeTraceText(Tr);
+  Text.resize(Text.size() / 2);
+  Trace Out;
+  std::string Err;
+  EXPECT_FALSE(parseTraceText(Text, Out, Err));
+}
+
+TEST(TraceIOTest, TextRejectsUnknownEvent) {
+  TraceBuilder B;
+  B.addLock("mu");
+  B.addThread();
+  std::string Text = writeTraceText(B.finish());
+  size_t Pos = Text.find("ts\n");
+  ASSERT_NE(Pos, std::string::npos);
+  Text.replace(Pos, 2, "xx");
+  Trace Out;
+  std::string Err;
+  EXPECT_FALSE(parseTraceText(Text, Out, Err));
+}
+
+TEST(TraceIOTest, BinaryRejectsBadMagic) {
+  std::vector<uint8_t> Bytes = {'X', 'X', 'X', 'X', 0, 0, 0, 0};
+  Trace Out;
+  std::string Err;
+  EXPECT_FALSE(parseTraceBinary(Bytes, Out, Err));
+}
+
+TEST(TraceIOTest, BinaryRejectsTruncated) {
+  Trace Tr = makeRichTrace();
+  std::vector<uint8_t> Bytes = writeTraceBinary(Tr);
+  Bytes.resize(Bytes.size() - 5);
+  Trace Out;
+  std::string Err;
+  EXPECT_FALSE(parseTraceBinary(Bytes, Out, Err));
+}
+
+TEST(TraceIOTest, NamesWithSpacesSurvive) {
+  Trace Tr = makeRichTrace();
+  std::string Text = writeTraceText(Tr);
+  Trace Back;
+  std::string Err;
+  ASSERT_TRUE(parseTraceText(Text, Back, Err)) << Err;
+  EXPECT_EQ(Back.Locks[1].Name, "cell lock #3");
+  EXPECT_EQ(Back.Sites[1].File, "dir with space/x.cc");
+  EXPECT_EQ(Back.Sites[1].Function, "f g");
+}
+
+TEST(TraceIOTest, FileSaveAndLoad) {
+  Trace Tr = makeRichTrace();
+  std::string Path = testing::TempDir() + "/perfplay_trace_io_test.trace";
+  std::string Err;
+  ASSERT_TRUE(saveTrace(Tr, Path, Err)) << Err;
+  Trace Back;
+  ASSERT_TRUE(loadTrace(Path, Back, Err)) << Err;
+  expectTracesEqual(Tr, Back);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceIOTest, LoadMissingFileFails) {
+  Trace Out;
+  std::string Err;
+  EXPECT_FALSE(loadTrace("/nonexistent/path/x.trace", Out, Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(TraceIOTest, EmptyTraceRoundTrips) {
+  TraceBuilder B;
+  Trace Tr = B.finish();
+  std::string Text = writeTraceText(Tr);
+  Trace Back;
+  std::string Err;
+  ASSERT_TRUE(parseTraceText(Text, Back, Err)) << Err;
+  EXPECT_EQ(Back.numThreads(), 0u);
+}

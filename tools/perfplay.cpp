@@ -1,0 +1,364 @@
+//===- tools/perfplay.cpp - PerfPlay command-line driver --------------------===//
+//
+// Part of the PerfPlay reproduction of "On Performance Debugging of
+// Unnecessary Lock Contentions on Multicore Processors" (CGO 2015).
+//
+// Subcommands:
+//   perfplay list-apps
+//   perfplay generate <app> [--threads N] [--scale S] [--seed N]
+//                     [--out FILE]
+//   perfplay analyze <trace> [--pairs adjacent|all] [--races]
+//   perfplay replay <trace> [--scheme orig|elsc|sync|mem] [--seed N]
+//                   [--replays K]
+//   perfplay casestudy <bug1|bug2|mysql> [--threads N] [--scale S]
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PerfPlay.h"
+#include "sim/Timeline.h"
+#include "support/Format.h"
+#include "support/Stats.h"
+#include "support/Table.h"
+#include "debug/CsvExport.h"
+#include "trace/Summary.h"
+#include "trace/TraceIO.h"
+#include "workloads/Apps.h"
+#include "workloads/CaseStudies.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace perfplay;
+
+namespace {
+
+/// Minimal flag cursor over argv.
+class ArgList {
+public:
+  ArgList(int Argc, char **Argv) : Args(Argv + 1, Argv + Argc) {}
+
+  /// Pops the next positional argument; empty when exhausted.
+  std::string positional() {
+    for (size_t I = 0; I != Args.size(); ++I)
+      if (Args[I][0] != '-') {
+        std::string Out = Args[I];
+        Args.erase(Args.begin() + static_cast<ptrdiff_t>(I));
+        return Out;
+      }
+    return std::string();
+  }
+
+  /// Returns the value of --name VALUE, or Default.
+  std::string option(const char *Name, std::string Default) {
+    for (size_t I = 0; I + 1 < Args.size(); ++I)
+      if (Args[I] == Name) {
+        std::string Out = Args[I + 1];
+        Args.erase(Args.begin() + static_cast<ptrdiff_t>(I),
+                   Args.begin() + static_cast<ptrdiff_t>(I) + 2);
+        return Out;
+      }
+    return Default;
+  }
+
+  /// Returns true if --name is present (and consumes it).
+  bool flag(const char *Name) {
+    for (size_t I = 0; I != Args.size(); ++I)
+      if (Args[I] == Name) {
+        Args.erase(Args.begin() + static_cast<ptrdiff_t>(I));
+        return true;
+      }
+    return false;
+  }
+
+private:
+  std::vector<std::string> Args;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  perfplay list-apps\n"
+      "  perfplay generate <app> [--threads N] [--scale S] [--seed N]"
+      " [--out FILE]\n"
+      "  perfplay analyze <trace> [--pairs adjacent|all] [--races]"
+      " [--timeline] [--csv]\n"
+      "  perfplay replay <trace> [--scheme orig|elsc|sync|mem]"
+      " [--seed N] [--replays K]\n"
+      "  perfplay casestudy <bug1|bug2|mysql> [--threads N] [--scale S]\n"
+      "  perfplay stats <trace>\n");
+  return 2;
+}
+
+int cmdListApps() {
+  Table T;
+  T.addRow({"application", "kind"});
+  for (const AppModel &App : realWorldApps())
+    T.addRow({App.Name, "real-world"});
+  for (const AppModel &App : parsecApps())
+    T.addRow({App.Name, "PARSEC"});
+  std::printf("%s", T.render().c_str());
+  return 0;
+}
+
+int cmdGenerate(ArgList &Args) {
+  std::string Name = Args.positional();
+  if (Name.empty())
+    return usage();
+  const AppModel *App = nullptr;
+  for (const AppModel &A : allApps())
+    if (A.Name == Name)
+      App = &A;
+  if (!App) {
+    std::fprintf(stderr, "error: unknown application '%s' "
+                         "(see 'perfplay list-apps')\n",
+                 Name.c_str());
+    return 1;
+  }
+  unsigned Threads =
+      static_cast<unsigned>(std::atoi(Args.option("--threads", "2").c_str()));
+  double Scale = std::atof(Args.option("--scale", "1.0").c_str());
+  uint64_t Seed = std::strtoull(Args.option("--seed", "42").c_str(),
+                                nullptr, 10);
+  std::string Out = Args.option("--out", Name + ".trace");
+
+  Trace Tr = generateWorkload(App->Factory(Threads, Scale));
+  ReplayResult Rec = recordGrantSchedule(Tr, Seed);
+  if (!Rec.ok()) {
+    std::fprintf(stderr, "error: recording replay failed: %s\n",
+                 Rec.Error.c_str());
+    return 1;
+  }
+  std::string Err;
+  if (!saveTrace(Tr, Out, Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %u threads, %zu events, %zu critical sections\n",
+              Out.c_str(), Tr.numThreads(), Tr.numEvents(),
+              Tr.numCriticalSections());
+  return 0;
+}
+
+int cmdAnalyze(ArgList &Args) {
+  std::string Path = Args.positional();
+  if (Path.empty())
+    return usage();
+  std::string PairMode = Args.option("--pairs", "adjacent");
+  bool Races = Args.flag("--races");
+  bool Timeline = Args.flag("--timeline");
+  bool Csv = Args.flag("--csv");
+
+  Trace Tr;
+  std::string Err;
+  if (!loadTrace(Path, Tr, Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+
+  PipelineOptions Opts;
+  Opts.Detect.PairMode = PairMode == "all"
+                             ? PairModeKind::AllCrossThread
+                             : PairModeKind::AdjacentCrossThread;
+  Opts.CheckRaces = Races;
+  PipelineResult R = runPerfPlay(std::move(Tr), Opts);
+  if (!R.ok()) {
+    std::fprintf(stderr, "error: %s\n", R.Error.c_str());
+    return 1;
+  }
+
+  const UlcpCounts &C = R.Detection.Counts;
+  std::printf("ULCPs: %llu (NL=%llu RR=%llu DW=%llu benign=%llu), "
+              "true contention: %llu\n",
+              static_cast<unsigned long long>(C.totalUnnecessary()),
+              static_cast<unsigned long long>(C.NullLock),
+              static_cast<unsigned long long>(C.ReadRead),
+              static_cast<unsigned long long>(C.DisjointWrite),
+              static_cast<unsigned long long>(C.Benign),
+              static_cast<unsigned long long>(C.TrueContention));
+  std::printf("transform: %llu causal edges, %llu auxiliary locks, "
+              "%llu standalone sections removed\n",
+              static_cast<unsigned long long>(
+                  R.Transformation.Topology.numEdges()),
+              static_cast<unsigned long long>(
+                  R.Transformation.NumAuxLocks),
+              static_cast<unsigned long long>(
+                  R.Transformation.NumStandalone));
+  if (Csv) {
+    std::printf("\n-- detection.csv --\n%s",
+                detectionToCsv(R.Detection).c_str());
+    std::printf("\n-- report.csv --\n%s", reportToCsv(R.Report).c_str());
+  }
+  std::printf("\n%s", renderReport(R.Report).c_str());
+  if (Timeline) {
+    std::printf("\noriginal replay:\n%s",
+                renderTimeline(R.Transformation.Transformed, R.Original)
+                    .c_str());
+    std::printf("\nULCP-free replay:\n%s",
+                renderTimeline(R.Transformation.Transformed, R.UlcpFree)
+                    .c_str());
+  }
+  if (Races) {
+    std::printf("\nTheorem-1 race check: %zu potential race(s)\n",
+                R.Races.size());
+    for (const RaceReport &Race : R.Races)
+      std::printf("  addr %llu: threads %u vs %u\n",
+                  static_cast<unsigned long long>(Race.Addr),
+                  Race.ThreadA, Race.ThreadB);
+  }
+  return 0;
+}
+
+int cmdReplay(ArgList &Args) {
+  std::string Path = Args.positional();
+  if (Path.empty())
+    return usage();
+  std::string SchemeName = Args.option("--scheme", "elsc");
+  uint64_t Seed =
+      std::strtoull(Args.option("--seed", "1").c_str(), nullptr, 10);
+  unsigned Replays =
+      static_cast<unsigned>(std::atoi(Args.option("--replays", "1").c_str()));
+
+  ScheduleKind Scheme;
+  if (SchemeName == "orig")
+    Scheme = ScheduleKind::OrigS;
+  else if (SchemeName == "elsc")
+    Scheme = ScheduleKind::ElscS;
+  else if (SchemeName == "sync")
+    Scheme = ScheduleKind::SyncS;
+  else if (SchemeName == "mem")
+    Scheme = ScheduleKind::MemS;
+  else {
+    std::fprintf(stderr, "error: unknown scheme '%s'\n",
+                 SchemeName.c_str());
+    return 1;
+  }
+
+  Trace Tr;
+  std::string Err;
+  if (!loadTrace(Path, Tr, Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  if (Tr.LockSchedule.empty()) {
+    ReplayResult Rec = recordGrantSchedule(Tr, Seed);
+    if (!Rec.ok()) {
+      std::fprintf(stderr, "error: recording replay failed: %s\n",
+                   Rec.Error.c_str());
+      return 1;
+    }
+  }
+
+  RunningStats Stats;
+  ReplayResult Last;
+  for (unsigned I = 0; I != std::max(Replays, 1u); ++I) {
+    ReplayOptions Opts;
+    Opts.Schedule = Scheme;
+    Opts.Seed = Seed + I;
+    Last = replayTrace(Tr, Opts);
+    if (!Last.ok()) {
+      std::fprintf(stderr, "error: replay failed: %s\n",
+                   Last.Error.c_str());
+      return 1;
+    }
+    Stats.add(static_cast<double>(Last.TotalTime));
+  }
+  std::printf("%s: %s mean over %llu replay(s), spread %s\n",
+              scheduleKindName(Scheme),
+              formatNs(static_cast<TimeNs>(Stats.mean())).c_str(),
+              static_cast<unsigned long long>(Stats.count()),
+              formatNs(static_cast<TimeNs>(Stats.range())).c_str());
+  std::printf("spin-wait %s, idle-wait %s, lockset overhead %s\n",
+              formatNs(Last.SpinWaitNs).c_str(),
+              formatNs(Last.IdleWaitNs).c_str(),
+              formatNs(Last.LocksetOverheadNs).c_str());
+  return 0;
+}
+
+int cmdStats(ArgList &Args) {
+  std::string Path = Args.positional();
+  if (Path.empty())
+    return usage();
+  Trace Tr;
+  std::string Err;
+  if (!loadTrace(Path, Tr, Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  TraceSummary S = summarizeTrace(Tr);
+  std::printf("%s", renderSummary(Tr, S).c_str());
+  return 0;
+}
+
+int cmdCaseStudy(ArgList &Args) {
+  std::string Which = Args.positional();
+  if (Which.empty())
+    return usage();
+  CaseStudyParams P;
+  P.NumThreads =
+      static_cast<unsigned>(std::atoi(Args.option("--threads", "4").c_str()));
+  P.InputScale = std::atof(Args.option("--scale", "1.0").c_str());
+
+  Trace Buggy, Fixed;
+  if (Which == "bug1") {
+    Buggy = makeOpenldapSpinWait(P);
+    Fixed = makeOpenldapSpinWaitFixed(P);
+  } else if (Which == "bug2") {
+    Buggy = makePbzip2Consumer(P);
+    Fixed = makePbzip2ConsumerFixed(P);
+  } else if (Which == "mysql") {
+    Buggy = makeMysqlQueryCache(P);
+    Fixed = makeMysqlQueryCacheFixed(P);
+  } else {
+    std::fprintf(stderr, "error: unknown case study '%s'\n",
+                 Which.c_str());
+    return 1;
+  }
+
+  PipelineResult RBuggy = runPerfPlay(Buggy);
+  PipelineResult RFixed = runPerfPlay(Fixed);
+  if (!RBuggy.ok() || !RFixed.ok()) {
+    std::fprintf(stderr, "error: pipeline failed\n");
+    return 1;
+  }
+  std::printf("%s @%u threads, scale %.2f\n", Which.c_str(), P.NumThreads,
+              P.InputScale);
+  std::printf("  buggy : %s (%llu ULCPs, spin waste %s)\n",
+              formatNs(RBuggy.Original.TotalTime).c_str(),
+              static_cast<unsigned long long>(
+                  RBuggy.Detection.Counts.totalUnnecessary()),
+              formatNs(RBuggy.Original.SpinWaitNs).c_str());
+  std::printf("  fixed : %s (%llu ULCPs, spin waste %s)\n",
+              formatNs(RFixed.Original.TotalTime).c_str(),
+              static_cast<unsigned long long>(
+                  RFixed.Detection.Counts.totalUnnecessary()),
+              formatNs(RFixed.Original.SpinWaitNs).c_str());
+  std::printf("\n%s", renderReport(RBuggy.Report).c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  ArgList Args(Argc, Argv);
+  std::string Cmd = Args.positional();
+  if (Cmd == "list-apps")
+    return cmdListApps();
+  if (Cmd == "generate")
+    return cmdGenerate(Args);
+  if (Cmd == "analyze")
+    return cmdAnalyze(Args);
+  if (Cmd == "replay")
+    return cmdReplay(Args);
+  if (Cmd == "casestudy")
+    return cmdCaseStudy(Args);
+  if (Cmd == "stats")
+    return cmdStats(Args);
+  return usage();
+}
