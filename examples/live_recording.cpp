@@ -10,7 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/PerfPlay.h"
+#include "core/AnalysisSession.h"
 #include "runtime/Instrument.h"
 #include "support/Format.h"
 #include "trace/TraceIO.h"
@@ -79,21 +79,36 @@ int main(int Argc, char **Argv) {
   std::printf("recorded %zu events from %u threads -> %s\n",
               Tr.numEvents(), NumThreads, Path);
 
-  PipelineResult Result = runPerfPlay(Tr);
-  if (!Result.ok()) {
-    std::fprintf(stderr, "pipeline failed: %s\n", Result.Error.c_str());
+  // Staged analysis: each stage runs on first request and is cached;
+  // the report() call reuses the detect results and both replays.
+  AnalysisSession Session{Tr};
+  Expected<const DetectResult &> Det = Session.detect();
+  if (!Det) {
+    std::fprintf(stderr, "pipeline failed: %s [%s]\n",
+                 Det.message().c_str(), errorCodeName(Det.code()));
     return 1;
   }
   std::printf("detected ULCPs: RR=%llu benign=%llu (TLCP=%llu)\n",
+              static_cast<unsigned long long>(Det->Counts.ReadRead),
+              static_cast<unsigned long long>(Det->Counts.Benign),
               static_cast<unsigned long long>(
-                  Result.Detection.Counts.ReadRead),
-              static_cast<unsigned long long>(
-                  Result.Detection.Counts.Benign),
-              static_cast<unsigned long long>(
-                  Result.Detection.Counts.TrueContention));
+                  Det->Counts.TrueContention));
+  Expected<const ReplayResult &> Orig =
+      Session.replay(ScheduleKind::ElscS);
+  Expected<const ReplayResult &> Free =
+      Session.replayTransformed(ScheduleKind::ElscS);
+  Expected<const PerfDebugReport &> Report = Session.report();
+  if (!Orig || !Free || !Report) {
+    const PipelineError &E = !Orig    ? Orig.error()
+                             : !Free ? Free.error()
+                                     : Report.error();
+    std::fprintf(stderr, "pipeline failed: %s [%s]\n",
+                 E.Message.c_str(), errorCodeName(E.Code));
+    return 1;
+  }
   std::printf("replayed: original %s -> ULCP-free %s\n\n",
-              formatNs(Result.Original.TotalTime).c_str(),
-              formatNs(Result.UlcpFree.TotalTime).c_str());
-  std::printf("%s", renderReport(Result.Report).c_str());
+              formatNs(Orig->TotalTime).c_str(),
+              formatNs(Free->TotalTime).c_str());
+  std::printf("%s", renderReport(*Report).c_str());
   return 0;
 }

@@ -10,7 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/PerfPlay.h"
+#include "core/Engine.h"
 #include "debug/MultiTrace.h"
 #include "workloads/Apps.h"
 #include "workloads/WorkloadSpec.h"
@@ -33,28 +33,43 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
-  std::vector<PerfDebugReport> Reports;
+  // Record each run up front with its own recording seed (an Engine
+  // applies one option set to every batch item), then fan the set out
+  // over an Engine batch: one staged session per trace, one worker
+  // thread per run.
+  std::vector<Trace> Traces;
   for (unsigned Run = 0; Run != Runs; ++Run) {
     WorkloadSpec Spec = App->Factory(2, 0.75);
     Spec.Seed ^= 0x9e3779b97f4a7c15ULL * (Run + 1); // New schedule/run.
     Trace Tr = generateWorkload(Spec);
-    PipelineOptions Opts;
-    Opts.RecordSeed = 1000 + Run;
-    PipelineResult R = runPerfPlay(std::move(Tr), Opts);
+    ReplayResult Rec = recordGrantSchedule(Tr, 1000 + Run);
+    if (!Rec.ok()) {
+      std::fprintf(stderr, "run %u recording failed: %s\n", Run,
+                   Rec.Error.c_str());
+      return 1;
+    }
+    Traces.push_back(std::move(Tr));
+  }
+
+  Engine Eng;
+  std::vector<Expected<PipelineResult>> Batch =
+      Eng.analyzeBatch(std::move(Traces), Runs);
+  for (unsigned Run = 0; Run != Runs; ++Run) {
+    const Expected<PipelineResult> &R = Batch[Run];
     if (!R.ok()) {
-      std::fprintf(stderr, "run %u failed: %s\n", Run, R.Error.c_str());
+      std::fprintf(stderr, "run %u failed: %s [%s]\n", Run,
+                   R.message().c_str(), errorCodeName(R.code()));
       return 1;
     }
     std::printf("run %u: degradation %.1f%%, %zu groups, top P %.1f%%\n",
-                Run, 100.0 * R.Report.normalizedDegradation(),
-                R.Report.Groups.size(),
-                R.Report.Groups.empty()
+                Run, 100.0 * R->Report.normalizedDegradation(),
+                R->Report.Groups.size(),
+                R->Report.Groups.empty()
                     ? 0.0
-                    : 100.0 * R.Report.Groups.front().P);
-    Reports.push_back(R.Report);
+                    : 100.0 * R->Report.Groups.front().P);
   }
 
-  AggregatedReport Aggregate = aggregateReports(Reports);
+  AggregatedReport Aggregate = aggregateBatch(Batch);
   std::printf("\n%s", renderAggregatedReport(Aggregate).c_str());
   std::printf("\nregions seen in every run are schedule-stable "
               "recommendations; the rest are\ninput- or "

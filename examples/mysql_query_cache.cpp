@@ -9,49 +9,66 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/PerfPlay.h"
+#include "core/Engine.h"
 #include "support/Format.h"
 #include "workloads/CaseStudies.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 using namespace perfplay;
 
 int main(int Argc, char **Argv) {
+  int Requested = Argc > 1 ? std::atoi(Argv[1]) : 8;
   unsigned MaxThreads =
-      Argc > 1 ? static_cast<unsigned>(std::atoi(Argv[1])) : 8;
+      Requested < 1 ? 1 : static_cast<unsigned>(Requested);
+
+  // Build every configuration's buggy/fixed pair up front and analyze
+  // the whole sweep as one engine batch (one session per trace, fanned
+  // out over the hardware threads).
+  std::vector<unsigned> ThreadCounts;
+  for (unsigned Threads = 1; Threads <= MaxThreads; Threads *= 2)
+    ThreadCounts.push_back(Threads);
+  // Power-of-two sweep, but always include MaxThreads itself — the
+  // final recommendation is rendered for exactly that configuration.
+  if (ThreadCounts.back() != MaxThreads)
+    ThreadCounts.push_back(MaxThreads);
+  std::vector<Trace> Traces;
+  for (unsigned Threads : ThreadCounts) {
+    CaseStudyParams P;
+    P.NumThreads = Threads;
+    Traces.push_back(makeMysqlQueryCache(P));
+    Traces.push_back(makeMysqlQueryCacheFixed(P));
+  }
+  Engine Eng;
+  std::vector<Expected<PipelineResult>> Batch =
+      Eng.analyzeBatch(std::move(Traces));
 
   std::printf("== MySQL #68573: query-cache timed lock ==\n");
   std::printf("%-8s  %-14s  %-14s  %s\n", "threads", "buggy", "fixed",
               "inflation");
-  for (unsigned Threads = 1; Threads <= MaxThreads; Threads *= 2) {
-    CaseStudyParams P;
-    P.NumThreads = Threads;
-    Trace Buggy = makeMysqlQueryCache(P);
-    Trace Fixed = makeMysqlQueryCacheFixed(P);
-    PipelineResult RBuggy = runPerfPlay(Buggy);
-    PipelineResult RFixed = runPerfPlay(Fixed);
+  for (size_t I = 0; I != ThreadCounts.size(); ++I) {
+    const Expected<PipelineResult> &RBuggy = Batch[2 * I];
+    const Expected<PipelineResult> &RFixed = Batch[2 * I + 1];
     if (!RBuggy.ok() || !RFixed.ok()) {
       std::fprintf(stderr, "pipeline failed\n");
       return 1;
     }
-    double Inflation = RFixed.Original.TotalTime == 0
+    double Inflation = RFixed->Original.TotalTime == 0
                            ? 0.0
                            : static_cast<double>(
-                                 RBuggy.Original.TotalTime) /
+                                 RBuggy->Original.TotalTime) /
                                  static_cast<double>(
-                                     RFixed.Original.TotalTime);
-    std::printf("%-8u  %-14s  %-14s  %.2fx\n", Threads,
-                formatNs(RBuggy.Original.TotalTime).c_str(),
-                formatNs(RFixed.Original.TotalTime).c_str(), Inflation);
+                                     RFixed->Original.TotalTime);
+    std::printf("%-8u  %-14s  %-14s  %.2fx\n", ThreadCounts[I],
+                formatNs(RBuggy->Original.TotalTime).c_str(),
+                formatNs(RFixed->Original.TotalTime).c_str(), Inflation);
   }
 
-  // Show the recommendation for the largest configuration.
-  CaseStudyParams P;
-  P.NumThreads = MaxThreads;
-  PipelineResult R = runPerfPlay(makeMysqlQueryCache(P));
-  if (R.ok())
-    std::printf("\n%s", renderReport(R.Report).c_str());
+  // The recommendation for the largest configuration (its buggy trace
+  // is the second-to-last batch item).
+  std::printf("\n%s",
+              renderReport(Batch[Batch.size() - 2]->Report).c_str());
   return 0;
 }

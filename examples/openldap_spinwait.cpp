@@ -10,7 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/PerfPlay.h"
+#include "core/AnalysisSession.h"
 #include "support/Format.h"
 #include "workloads/CaseStudies.h"
 
@@ -28,9 +28,12 @@ int main(int Argc, char **Argv) {
   }
 
   Trace Buggy = makeOpenldapSpinWait(P);
-  PipelineResult Result = runPerfPlay(Buggy);
+  AnalysisSession Session{Buggy};
+  PipelineError Err;
+  PipelineResult Result = Session.run(&Err);
   if (!Result.ok()) {
-    std::fprintf(stderr, "pipeline failed: %s\n", Result.Error.c_str());
+    std::fprintf(stderr, "pipeline failed: %s [%s]\n",
+                 Result.Error.c_str(), errorCodeName(Err.Code));
     return 1;
   }
 
@@ -45,11 +48,11 @@ int main(int Argc, char **Argv) {
 
   // Cross-check with the real fix: a barrier instead of the poll loop.
   Trace Fixed = makeOpenldapSpinWaitFixed(P);
-  PipelineOptions FixedOpts;
-  PipelineResult FixedResult = runPerfPlay(Fixed, FixedOpts);
+  AnalysisSession FixedSession{Fixed};
+  PipelineResult FixedResult = FixedSession.run(&Err);
   if (!FixedResult.ok()) {
-    std::fprintf(stderr, "fixed-run pipeline failed: %s\n",
-                 FixedResult.Error.c_str());
+    std::fprintf(stderr, "fixed-run pipeline failed: %s [%s]\n",
+                 FixedResult.Error.c_str(), errorCodeName(Err.Code));
     return 1;
   }
   std::printf("re-quantified with the pthread-barrier fix:\n");

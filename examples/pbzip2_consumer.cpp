@@ -9,7 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/PerfPlay.h"
+#include "core/Engine.h"
 #include "support/Format.h"
 #include "workloads/CaseStudies.h"
 
@@ -27,12 +27,27 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
+  // The buggy and fixed variants are independent traces: hand both to
+  // the engine and let it analyze them on two worker threads.
   Trace Buggy = makePbzip2Consumer(P);
-  PipelineResult Result = runPerfPlay(Buggy);
-  if (!Result.ok()) {
-    std::fprintf(stderr, "pipeline failed: %s\n", Result.Error.c_str());
+  Trace Fixed = makePbzip2ConsumerFixed(P);
+  size_t BuggyCs = Buggy.numCriticalSections();
+  size_t FixedCs = Fixed.numCriticalSections();
+  Engine Eng;
+  std::vector<Trace> Pair;
+  Pair.push_back(std::move(Buggy));
+  Pair.push_back(std::move(Fixed));
+  std::vector<Expected<PipelineResult>> Batch =
+      Eng.analyzeBatch(std::move(Pair), 2);
+  if (!Batch[0].ok() || !Batch[1].ok()) {
+    const PipelineError &E =
+        Batch[0].ok() ? Batch[1].error() : Batch[0].error();
+    std::fprintf(stderr, "pipeline failed: %s [%s]\n",
+                 E.Message.c_str(), errorCodeName(E.Code));
     return 1;
   }
+  const PipelineResult &Result = *Batch[0];
+  const PipelineResult &FixedResult = *Batch[1];
 
   std::printf("== #BUG2: pbzip2 consumer polling (%u threads, scale "
               "%.2f) ==\n",
@@ -48,19 +63,11 @@ int main(int Argc, char **Argv) {
                   Result.Detection.Counts.Benign));
   std::printf("%s\n", renderReport(Result.Report).c_str());
 
-  Trace Fixed = makePbzip2ConsumerFixed(P);
-  PipelineResult FixedResult = runPerfPlay(Fixed);
-  if (!FixedResult.ok()) {
-    std::fprintf(stderr, "fixed-run pipeline failed: %s\n",
-                 FixedResult.Error.c_str());
-    return 1;
-  }
   std::printf("re-quantified with the signal/wait fix:\n");
   std::printf("  end-to-end replay: %s -> %s\n",
               formatNs(Result.Original.TotalTime).c_str(),
               formatNs(FixedResult.Original.TotalTime).c_str());
-  std::printf("  critical sections: %zu -> %zu\n",
-              Buggy.numCriticalSections(), Fixed.numCriticalSections());
+  std::printf("  critical sections: %zu -> %zu\n", BuggyCs, FixedCs);
   std::printf("  remaining ULCPs: %llu\n",
               static_cast<unsigned long long>(
                   FixedResult.Detection.Counts.totalUnnecessary()));

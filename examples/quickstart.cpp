@@ -8,7 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/PerfPlay.h"
+#include "core/Engine.h"
 #include "support/Format.h"
 #include "trace/TraceBuilder.h"
 
@@ -44,10 +44,16 @@ int main() {
   }
   Trace Tr = B.finish();
 
-  // 2-5. Record schedule, detect ULCPs, transform, replay both, rank.
-  PipelineResult Result = runPerfPlay(Tr);
+  // 2-5. Open a staged session.  Every stage is lazy and memoized:
+  //    detect() triggers the recording run on demand, report() reuses
+  //    the replays, and a failure anywhere surfaces as a typed error.
+  Engine Eng;
+  AnalysisSession Session = Eng.openSession(std::move(Tr));
+  PipelineError Err;
+  PipelineResult Result = Session.run(&Err);
   if (!Result.ok()) {
-    std::fprintf(stderr, "pipeline failed: %s\n", Result.Error.c_str());
+    std::fprintf(stderr, "pipeline failed: %s [%s]\n",
+                 Result.Error.c_str(), errorCodeName(Err.Code));
     return 1;
   }
 

@@ -1,0 +1,81 @@
+//===- core/Engine.cpp - Session factory and batch analysis -----------------===//
+
+#include "core/Engine.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+using namespace perfplay;
+
+AnalysisSession Engine::openSession(Trace Tr) const {
+  return AnalysisSession(std::move(Tr), Defaults, Progress);
+}
+
+std::vector<Expected<PipelineResult>>
+Engine::analyzeBatch(std::vector<Trace> Traces, unsigned NumThreads) const {
+  std::vector<Expected<PipelineResult>> Results;
+  if (Traces.empty())
+    return Results;
+
+  if (NumThreads == 0) {
+    NumThreads = std::thread::hardware_concurrency();
+    if (NumThreads == 0)
+      NumThreads = 1;
+  }
+  NumThreads = static_cast<unsigned>(
+      std::min<size_t>(NumThreads, Traces.size()));
+
+  Results.reserve(Traces.size());
+  for (size_t I = 0; I != Traces.size(); ++I)
+    Results.emplace_back(
+        PipelineError(ErrorCode::BatchItemFailed, "not analyzed"));
+
+  // Callbacks from concurrent sessions funnel through one mutex so
+  // user callbacks need no locking of their own.
+  std::mutex ProgressMu;
+  ProgressCallback SharedProgress;
+  if (Progress)
+    SharedProgress = [this, &ProgressMu](const StageEvent &Event) {
+      std::lock_guard<std::mutex> Guard(ProgressMu);
+      Progress(Event);
+    };
+
+  std::atomic<size_t> Next{0};
+  auto Worker = [&] {
+    for (size_t I = Next.fetch_add(1); I < Traces.size();
+         I = Next.fetch_add(1)) {
+      AnalysisSession Session(std::move(Traces[I]), Defaults,
+                              SharedProgress);
+      Session.setTraceIndex(I);
+      Results[I] = Session.analyze();
+    }
+  };
+
+  if (NumThreads == 1) {
+    Worker();
+    return Results;
+  }
+  std::vector<std::thread> Workers;
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Workers.emplace_back(Worker);
+  for (std::thread &W : Workers)
+    W.join();
+  return Results;
+}
+
+AggregatedReport perfplay::aggregateBatch(
+    const std::vector<Expected<PipelineResult>> &Batch) {
+  std::vector<PerfDebugReport> Reports;
+  unsigned NumFailed = 0;
+  for (const Expected<PipelineResult> &Item : Batch) {
+    if (Item.ok())
+      Reports.push_back(Item->Report);
+    else
+      ++NumFailed;
+  }
+  AggregatedReport Out = aggregateReports(Reports);
+  Out.NumFailed = NumFailed;
+  return Out;
+}

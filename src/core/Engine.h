@@ -1,0 +1,69 @@
+//===- core/Engine.h - Session factory and batch analysis --------*- C++ -*-===//
+//
+// Part of the PerfPlay reproduction of "On Performance Debugging of
+// Unnecessary Lock Contentions on Multicore Processors" (CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Engine is the front door of the staged API: it holds the
+/// default PipelineOptions and the progress callback, mints
+/// AnalysisSessions for single traces, and fans a batch of traces out
+/// over worker threads — the multi-trace mode Section 6.7 sketches
+/// (debug/MultiTrace.h aggregates the per-trace reports).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERFPLAY_CORE_ENGINE_H
+#define PERFPLAY_CORE_ENGINE_H
+
+#include "core/AnalysisSession.h"
+#include "debug/MultiTrace.h"
+
+#include <vector>
+
+namespace perfplay {
+
+/// Front door of the staged API.  Engines are cheap; one per
+/// configuration.
+class Engine {
+public:
+  explicit Engine(PipelineOptions Defaults = PipelineOptions())
+      : Defaults(std::move(Defaults)) {}
+
+  const PipelineOptions &options() const { return Defaults; }
+  PipelineOptions &options() { return Defaults; }
+
+  /// Installs a per-stage progress callback inherited by every session
+  /// this engine opens.  analyzeBatch() serializes invocations across
+  /// its workers and tags events with the trace's batch index.
+  void setProgressCallback(ProgressCallback Callback) {
+    Progress = std::move(Callback);
+  }
+
+  /// Opens a staged session over \p Tr with this engine's options and
+  /// progress callback.  No work happens until a stage is called.
+  AnalysisSession openSession(Trace Tr) const;
+
+  /// Analyzes every trace in \p Traces concurrently on up to
+  /// \p NumThreads workers (0 = one per hardware thread, capped by the
+  /// batch size).  The result vector parallels the input: each element
+  /// is the trace's complete PipelineResult or the typed error of its
+  /// first failing stage.  One trace's failure never aborts the rest.
+  std::vector<Expected<PipelineResult>>
+  analyzeBatch(std::vector<Trace> Traces, unsigned NumThreads = 0) const;
+
+private:
+  PipelineOptions Defaults;
+  ProgressCallback Progress;
+};
+
+/// Merges the reports of every successful item of an analyzeBatch()
+/// result (debug/MultiTrace.h); failed items are counted in
+/// AggregatedReport::NumFailed.
+AggregatedReport
+aggregateBatch(const std::vector<Expected<PipelineResult>> &Batch);
+
+} // namespace perfplay
+
+#endif // PERFPLAY_CORE_ENGINE_H

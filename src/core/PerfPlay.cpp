@@ -2,56 +2,10 @@
 
 #include "core/PerfPlay.h"
 
-#include "detect/CriticalSection.h"
-
 using namespace perfplay;
 
 PipelineResult perfplay::runPerfPlay(Trace Tr, const PipelineOptions &Opts) {
-  PipelineResult Result;
-
-  std::string Invalid = Tr.validate();
-  if (!Invalid.empty()) {
-    Result.Error = "invalid input trace: " + Invalid;
-    return Result;
-  }
-  Tr.buildCsIndex();
-
-  // Step 1 (record): install a grant schedule if the trace has none.
-  if (Tr.LockSchedule.empty() && Tr.numCriticalSections() != 0) {
-    ReplayResult Recording =
-        recordGrantSchedule(Tr, Opts.RecordSeed, Opts.Replay.Costs);
-    if (!Recording.ok()) {
-      Result.Error = "recording run failed: " + Recording.Error;
-      return Result;
-    }
-  }
-
-  // Step 2 (detect).
-  CsIndex Index = CsIndex::build(Tr);
-  Result.Detection = detectUlcps(Tr, Index, Opts.Detect);
-
-  // Step 3 (transform).
-  Result.Transformation = transformTrace(Tr, Index);
-
-  // Step 4 (replay both).
-  Result.Original = replayTrace(Tr, Opts.Replay);
-  if (!Result.Original.ok()) {
-    Result.Error = "original replay failed: " + Result.Original.Error;
-    return Result;
-  }
-  Result.UlcpFree = replayTrace(Result.Transformation.Transformed,
-                                Opts.Replay);
-  if (!Result.UlcpFree.ok()) {
-    Result.Error = "ULCP-free replay failed: " + Result.UlcpFree.Error;
-    return Result;
-  }
-
-  // Step 5 (report).
-  Result.Report = buildReport(Tr, Index, Result.Detection.unnecessaryPairs(),
-                              Result.Original, Result.UlcpFree);
-
-  if (Opts.CheckRaces)
-    Result.Races = checkRaces(Result.Transformation.Transformed, Index,
-                              Result.Transformation.Topology);
-  return Result;
+  AnalysisSession Session(std::move(Tr), Opts);
+  // The session dies with this call: move the results out, don't copy.
+  return Session.takeRun();
 }

@@ -18,63 +18,24 @@
 ///   5. report   — Equation 1 per pair, Algorithm 2 fusion per code
 ///                 region, Equation 2 ranking.
 ///
-/// This is the library's primary entry point; see examples/quickstart.
+/// runPerfPlay() runs all five stages in one shot.  It is a thin
+/// wrapper over the staged API — core/AnalysisSession.h exposes each
+/// stage as a lazily-computed, cached step with typed errors, and
+/// core/Engine.h adds multi-trace batch analysis; prefer those for new
+/// code.  See examples/quickstart.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef PERFPLAY_CORE_PERFPLAY_H
 #define PERFPLAY_CORE_PERFPLAY_H
 
-#include "debug/Report.h"
-#include "detect/Detector.h"
-#include "sim/Replayer.h"
-#include "trace/Trace.h"
-#include "transform/RaceCheck.h"
-#include "transform/Transform.h"
-
-#include <string>
-#include <vector>
+#include "core/AnalysisSession.h"
 
 namespace perfplay {
 
-/// Pipeline configuration.
-struct PipelineOptions {
-  /// Detection options.  The default pairs only sections adjacent in
-  /// the per-lock grant order (the contentions that actually serialized
-  /// the run); counting studies switch to AllCrossThread.
-  DetectOptions Detect = [] {
-    DetectOptions D;
-    D.PairMode = PairModeKind::AdjacentCrossThread;
-    return D;
-  }();
-  /// Replay options for both timing replays.  ELSC is the default: the
-  /// paper shows it is the only scheme that is simultaneously stable
-  /// and faithful (Section 6.2).
-  ReplayOptions Replay;
-  /// Seed for the ORIG-S recording run when the input trace lacks a
-  /// grant schedule.
-  uint64_t RecordSeed = 42;
-  /// Run the Theorem-1 race check over the transformed trace.
-  bool CheckRaces = false;
-};
-
-/// Everything the pipeline produced.
-struct PipelineResult {
-  /// Empty on success.
-  std::string Error;
-
-  DetectResult Detection;
-  TransformResult Transformation;
-  ReplayResult Original;
-  ReplayResult UlcpFree;
-  PerfDebugReport Report;
-  std::vector<RaceReport> Races;
-
-  bool ok() const { return Error.empty(); }
-};
-
 /// Runs the full pipeline over \p Tr (copied; the recording step may
-/// install a grant schedule into the copy).
+/// install a grant schedule into the copy).  Equivalent to opening an
+/// AnalysisSession on \p Tr and calling run().
 PipelineResult runPerfPlay(Trace Tr,
                            const PipelineOptions &Opts = PipelineOptions());
 

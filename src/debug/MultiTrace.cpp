@@ -79,6 +79,9 @@ std::string perfplay::renderAggregatedReport(
   std::ostringstream OS;
   OS << "PerfPlay aggregated ULCP report (" << Report.NumRuns
      << " runs)\n";
+  if (Report.NumFailed != 0)
+    OS << "  " << Report.NumFailed << " further run(s) failed and are"
+       << " excluded\n";
   OS << "  mean degradation: " << formatPercent(Report.MeanDegradation)
      << ", mean CPU waste/thread: "
      << formatPercent(Report.MeanCpuWastePerThread) << "\n\n";

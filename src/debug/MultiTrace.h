@@ -37,6 +37,9 @@ struct AggregatedUlcp {
 /// Aggregate of several per-run reports.
 struct AggregatedReport {
   unsigned NumRuns = 0;
+  /// Runs that never produced a report (failed batch items); set by
+  /// Engine-level aggregation, zero when aggregating reports directly.
+  unsigned NumFailed = 0;
   /// Mean normalized degradation across runs.
   double MeanDegradation = 0.0;
   /// Mean normalized CPU waste per thread across runs.

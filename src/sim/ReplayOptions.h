@@ -18,6 +18,7 @@
 #include "sim/CostModel.h"
 
 #include <cstdint>
+#include <string>
 
 namespace perfplay {
 
@@ -42,6 +43,11 @@ enum class ScheduleKind : uint8_t {
 
 /// Returns the paper's name for \p Kind ("ORIG-S", "ELSC-S", ...).
 const char *scheduleKindName(ScheduleKind Kind);
+
+/// Parses a scheme name — the CLI short forms ("orig", "elsc", "sync",
+/// "mem") or the paper names ("ORIG-S", ...).  Returns true and sets
+/// \p Kind on success.
+bool parseScheduleKind(const std::string &Name, ScheduleKind &Kind);
 
 /// Replay configuration.
 struct ReplayOptions {

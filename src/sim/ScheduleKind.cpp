@@ -17,3 +17,18 @@ const char *perfplay::scheduleKindName(ScheduleKind Kind) {
   }
   return "?";
 }
+
+bool perfplay::parseScheduleKind(const std::string &Name,
+                                 ScheduleKind &Kind) {
+  if (Name == "orig" || Name == "ORIG-S")
+    Kind = ScheduleKind::OrigS;
+  else if (Name == "elsc" || Name == "ELSC-S")
+    Kind = ScheduleKind::ElscS;
+  else if (Name == "sync" || Name == "SYNC-S")
+    Kind = ScheduleKind::SyncS;
+  else if (Name == "mem" || Name == "MEM-S")
+    Kind = ScheduleKind::MemS;
+  else
+    return false;
+  return true;
+}

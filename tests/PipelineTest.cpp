@@ -1,5 +1,10 @@
 //===- tests/PipelineTest.cpp - end-to-end pipeline tests --------------------===//
+//
+// Pipeline-level behavior through the staged Engine/AnalysisSession
+// API; tests/SessionTest.cpp covers the staged API's own mechanics
+// (memoization, typed errors, parity with runPerfPlay).
 
+#include "core/Engine.h"
 #include "core/PerfPlay.h"
 
 #include "trace/TraceBuilder.h"
@@ -47,28 +52,44 @@ Trace figure1Trace() {
 TEST(PipelineTest, RejectsInvalidTrace) {
   Trace Tr = figure1Trace();
   Tr.Threads[0].Events.pop_back(); // Drop ThreadEnd.
-  PipelineResult R = runPerfPlay(Tr);
+  AnalysisSession Session{std::move(Tr)};
+  PipelineError Err;
+  PipelineResult R = Session.run(&Err);
   EXPECT_FALSE(R.ok());
+  EXPECT_EQ(Err.Code, ErrorCode::InvalidTrace);
   EXPECT_NE(R.Error.find("invalid input trace"), std::string::npos);
 }
 
 TEST(PipelineTest, RecordsScheduleWhenMissing) {
   Trace Tr = figure1Trace();
   EXPECT_TRUE(Tr.LockSchedule.empty());
-  PipelineResult R = runPerfPlay(Tr);
-  ASSERT_TRUE(R.ok()) << R.Error;
-  EXPECT_TRUE(R.Original.ok());
+  AnalysisSession Session{std::move(Tr)};
+  ASSERT_TRUE(Session.ensureRecorded().ok());
+  // The recording run happened and installed a grant schedule.
+  ASSERT_NE(Session.recordingRun(), nullptr);
+  auto Schedule = Session.grantSchedule();
+  ASSERT_TRUE(Schedule.ok());
+  EXPECT_FALSE(Schedule->empty());
+  auto Orig = Session.replay(ScheduleKind::ElscS);
+  ASSERT_TRUE(Orig.ok()) << Orig.message();
 }
 
 TEST(PipelineTest, Figure1UlcpDetectedAndImproved) {
-  PipelineResult R = runPerfPlay(figure1Trace());
-  ASSERT_TRUE(R.ok()) << R.Error;
-  EXPECT_GT(R.Detection.Counts.ReadRead, 0u);
-  EXPECT_GT(R.Report.Tpd, 0) << "serialized readers must speed up";
-  EXPECT_LE(R.UlcpFree.TotalTime, R.Original.TotalTime);
-  ASSERT_FALSE(R.Report.Groups.empty());
+  Engine Eng;
+  AnalysisSession Session = Eng.openSession(figure1Trace());
+  auto Det = Session.detect();
+  ASSERT_TRUE(Det.ok()) << Det.message();
+  EXPECT_GT(Det->Counts.ReadRead, 0u);
+  auto Orig = Session.replay(ScheduleKind::ElscS);
+  auto Free = Session.replayTransformed(ScheduleKind::ElscS);
+  ASSERT_TRUE(Orig.ok() && Free.ok());
+  EXPECT_LE(Free->TotalTime, Orig->TotalTime);
+  auto Report = Session.report();
+  ASSERT_TRUE(Report.ok()) << Report.message();
+  EXPECT_GT(Report->Tpd, 0) << "serialized readers must speed up";
+  ASSERT_FALSE(Report->Groups.empty());
   // The recommendation points into fil0fil.cc.
-  EXPECT_NE(R.Report.Groups.front().CR1.File.find("fil0fil.cc"),
+  EXPECT_NE(Report->Groups.front().CR1.File.find("fil0fil.cc"),
             std::string::npos);
 }
 
@@ -83,7 +104,8 @@ TEST(PipelineTest, CleanTraceReportsNothing) {
     B.write(T, 1, I);
     B.endCs(T);
   }
-  PipelineResult R = runPerfPlay(B.finish());
+  AnalysisSession Session{B.finish()};
+  PipelineResult R = Session.run();
   ASSERT_TRUE(R.ok()) << R.Error;
   EXPECT_EQ(R.Detection.Counts.total(), 0u);
   EXPECT_TRUE(R.Report.Groups.empty());
@@ -101,22 +123,25 @@ TEST(PipelineTest, CleanTraceReportsNothing) {
 TEST(PipelineTest, EmptyTraceHandled) {
   TraceBuilder B;
   B.addThread();
-  PipelineResult R = runPerfPlay(B.finish());
-  ASSERT_TRUE(R.ok()) << R.Error;
-  EXPECT_EQ(R.Detection.Counts.total(), 0u);
+  AnalysisSession Session{B.finish()};
+  auto Det = Session.detect();
+  ASSERT_TRUE(Det.ok()) << Det.message();
+  EXPECT_EQ(Det->Counts.total(), 0u);
+  EXPECT_EQ(Session.recordingRun(), nullptr)
+      << "no critical sections, no recording run";
 }
 
 TEST(PipelineTest, RaceCheckOptIn) {
-  PipelineOptions Opts;
-  Opts.CheckRaces = true;
-  PipelineResult R = runPerfPlay(figure1Trace(), Opts);
-  ASSERT_TRUE(R.ok()) << R.Error;
-  EXPECT_TRUE(R.Races.empty()) << "read-read parallelism is race-free";
+  AnalysisSession Session{figure1Trace()};
+  auto Races = Session.races();
+  ASSERT_TRUE(Races.ok()) << Races.message();
+  EXPECT_TRUE(Races->empty()) << "read-read parallelism is race-free";
 }
 
 TEST(PipelineTest, WorkloadEndToEnd) {
   Trace Tr = generateWorkload(makeOpenldap(2, 0.5));
-  PipelineResult R = runPerfPlay(Tr);
+  AnalysisSession Session{std::move(Tr)};
+  PipelineResult R = Session.run();
   ASSERT_TRUE(R.ok()) << R.Error;
   EXPECT_GT(R.Detection.Counts.totalUnnecessary(), 0u);
   EXPECT_LE(R.UlcpFree.TotalTime, R.Original.TotalTime);
@@ -132,30 +157,49 @@ TEST(PipelineTest, WorkloadEndToEnd) {
 TEST(PipelineTest, CaseStudyBug2Pipeline) {
   CaseStudyParams P;
   P.NumThreads = 4;
-  PipelineResult R = runPerfPlay(makePbzip2Consumer(P));
-  ASSERT_TRUE(R.ok()) << R.Error;
-  EXPECT_GT(R.Detection.Counts.ReadRead, 0u);
-  ASSERT_FALSE(R.Report.Groups.empty());
+  AnalysisSession Session{makePbzip2Consumer(P)};
+  auto Det = Session.detect();
+  ASSERT_TRUE(Det.ok()) << Det.message();
+  EXPECT_GT(Det->Counts.ReadRead, 0u);
+  auto Report = Session.report();
+  ASSERT_TRUE(Report.ok()) << Report.message();
+  ASSERT_FALSE(Report->Groups.empty());
   // The polling sections dominate the recommendation.
-  EXPECT_NE(R.Report.Groups.front().CR1.File.find("pbzip2"),
+  EXPECT_NE(Report->Groups.front().CR1.File.find("pbzip2"),
             std::string::npos);
 }
 
 TEST(PipelineTest, DeterministicAcrossRuns) {
-  PipelineResult A = runPerfPlay(figure1Trace());
-  PipelineResult B = runPerfPlay(figure1Trace());
-  ASSERT_TRUE(A.ok() && B.ok());
-  EXPECT_EQ(A.Original.TotalTime, B.Original.TotalTime);
-  EXPECT_EQ(A.UlcpFree.TotalTime, B.UlcpFree.TotalTime);
-  EXPECT_EQ(A.Report.SumDelta, B.Report.SumDelta);
+  AnalysisSession A{figure1Trace()};
+  AnalysisSession B{figure1Trace()};
+  PipelineResult RA = A.run();
+  PipelineResult RB = B.run();
+  ASSERT_TRUE(RA.ok() && RB.ok());
+  EXPECT_EQ(RA.Original.TotalTime, RB.Original.TotalTime);
+  EXPECT_EQ(RA.UlcpFree.TotalTime, RB.UlcpFree.TotalTime);
+  EXPECT_EQ(RA.Report.SumDelta, RB.Report.SumDelta);
 }
 
 TEST(PipelineTest, AllCrossThreadModeCountsMore) {
-  PipelineOptions Adjacent;
-  PipelineOptions All;
-  All.Detect.PairMode = PairModeKind::AllCrossThread;
-  PipelineResult RA = runPerfPlay(figure1Trace(), Adjacent);
-  PipelineResult RB = runPerfPlay(figure1Trace(), All);
-  ASSERT_TRUE(RA.ok() && RB.ok());
-  EXPECT_GE(RB.Detection.Counts.total(), RA.Detection.Counts.total());
+  Engine Adjacent;
+  Engine All;
+  All.options().Detect.PairMode = PairModeKind::AllCrossThread;
+  AnalysisSession SA = Adjacent.openSession(figure1Trace());
+  AnalysisSession SB = All.openSession(figure1Trace());
+  auto DA = SA.detect();
+  auto DB = SB.detect();
+  ASSERT_TRUE(DA.ok() && DB.ok());
+  EXPECT_GE(DB->Counts.total(), DA->Counts.total());
+}
+
+// The legacy single-shot wrapper stays source-compatible and behaves
+// like a fresh session's run().
+TEST(PipelineTest, LegacyWrapperStillWorks) {
+  PipelineOptions Opts;
+  Opts.CheckRaces = true;
+  PipelineResult R = runPerfPlay(figure1Trace(), Opts);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_GT(R.Detection.Counts.ReadRead, 0u);
+  EXPECT_TRUE(R.Races.empty());
+  EXPECT_LE(R.UlcpFree.TotalTime, R.Original.TotalTime);
 }

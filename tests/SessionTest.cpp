@@ -1,0 +1,402 @@
+//===- tests/SessionTest.cpp - staged Engine/AnalysisSession API -------------===//
+//
+// The staged API's own mechanics: stage-by-stage results are identical
+// to a single runPerfPlay() call, memoization returns the same object
+// for repeated requests, typed errors propagate through every
+// downstream stage, and Engine::analyzeBatch fans out correctly.
+
+#include "core/Engine.h"
+#include "core/PerfPlay.h"
+
+#include "trace/TraceBuilder.h"
+#include "workloads/Apps.h"
+#include "workloads/CaseStudies.h"
+#include "workloads/WorkloadSpec.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace perfplay;
+
+namespace {
+
+/// The Figure 1 mysql scenario (same shape as PipelineTest's).
+Trace figure1Trace() {
+  TraceBuilder B;
+  LockId Mu = B.addLock("fil_system->mutex");
+  CodeSiteId S1 = B.addSite("fil0fil.cc", "fil_flush_file_spaces", 5609,
+                            5614);
+  CodeSiteId S2 = B.addSite("fil0fil.cc", "fil_flush", 5473, 5503);
+  ThreadId T1 = B.addThread();
+  ThreadId T2 = B.addThread();
+  for (int I = 0; I != 5; ++I) {
+    B.compute(T1, 200);
+    B.beginCs(T1, Mu, S1);
+    B.read(T1, 1, 3);
+    B.compute(T1, 700);
+    B.endCs(T1);
+
+    B.compute(T2, 250);
+    B.beginCs(T2, Mu, S2);
+    B.read(T2, 2, 9);
+    B.compute(T2, 700);
+    B.endCs(T2);
+  }
+  return B.finish();
+}
+
+/// A structurally invalid trace (missing ThreadEnd).
+Trace invalidTrace() {
+  Trace Tr = figure1Trace();
+  Tr.Threads[0].Events.pop_back();
+  return Tr;
+}
+
+void expectSameReplay(const ReplayResult &A, const ReplayResult &B) {
+  EXPECT_EQ(A.Error, B.Error);
+  EXPECT_EQ(A.TotalTime, B.TotalTime);
+  EXPECT_EQ(A.ThreadFinish, B.ThreadFinish);
+  EXPECT_EQ(A.SpinWaitNs, B.SpinWaitNs);
+  EXPECT_EQ(A.IdleWaitNs, B.IdleWaitNs);
+  EXPECT_EQ(A.LocksetOverheadNs, B.LocksetOverheadNs);
+  ASSERT_EQ(A.Sections.size(), B.Sections.size());
+  for (size_t I = 0; I != A.Sections.size(); ++I) {
+    EXPECT_EQ(A.Sections[I].Arrival, B.Sections[I].Arrival);
+    EXPECT_EQ(A.Sections[I].Granted, B.Sections[I].Granted);
+    EXPECT_EQ(A.Sections[I].Released, B.Sections[I].Released);
+  }
+}
+
+/// Field-by-field equality of two pipeline outcomes.
+void expectSameResult(const PipelineResult &A, const PipelineResult &B) {
+  EXPECT_EQ(A.Error, B.Error);
+  ASSERT_EQ(A.Detection.Pairs.size(), B.Detection.Pairs.size());
+  for (size_t I = 0; I != A.Detection.Pairs.size(); ++I) {
+    EXPECT_EQ(A.Detection.Pairs[I].First, B.Detection.Pairs[I].First);
+    EXPECT_EQ(A.Detection.Pairs[I].Second, B.Detection.Pairs[I].Second);
+    EXPECT_EQ(A.Detection.Pairs[I].Kind, B.Detection.Pairs[I].Kind);
+  }
+  EXPECT_EQ(A.Detection.Counts.total(), B.Detection.Counts.total());
+  EXPECT_EQ(A.Transformation.NumAuxLocks, B.Transformation.NumAuxLocks);
+  EXPECT_EQ(A.Transformation.NumStandalone,
+            B.Transformation.NumStandalone);
+  EXPECT_EQ(A.Transformation.Topology.numEdges(),
+            B.Transformation.Topology.numEdges());
+  expectSameReplay(A.Original, B.Original);
+  expectSameReplay(A.UlcpFree, B.UlcpFree);
+  EXPECT_EQ(A.Report.Tpd, B.Report.Tpd);
+  EXPECT_EQ(A.Report.SumDelta, B.Report.SumDelta);
+  EXPECT_EQ(A.Report.Trw, B.Report.Trw);
+  ASSERT_EQ(A.Report.Groups.size(), B.Report.Groups.size());
+  for (size_t I = 0; I != A.Report.Groups.size(); ++I) {
+    EXPECT_EQ(A.Report.Groups[I].DeltaNs, B.Report.Groups[I].DeltaNs);
+    EXPECT_DOUBLE_EQ(A.Report.Groups[I].P, B.Report.Groups[I].P);
+  }
+  EXPECT_EQ(A.Races.size(), B.Races.size());
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Parity with the monolithic pipeline
+//===----------------------------------------------------------------------===//
+
+TEST(SessionTest, StagedRunMatchesRunPerfPlay) {
+  PipelineOptions Opts;
+  Opts.CheckRaces = true;
+  PipelineResult Mono = runPerfPlay(figure1Trace(), Opts);
+  AnalysisSession Session{figure1Trace(), Opts};
+  PipelineResult Staged = Session.run();
+  ASSERT_TRUE(Mono.ok() && Staged.ok());
+  expectSameResult(Mono, Staged);
+}
+
+TEST(SessionTest, OutOfOrderStagesMatchRunPerfPlay) {
+  // Ask for the last stage first: prerequisites run on demand, and the
+  // assembled result is still identical to the monolithic pipeline.
+  PipelineResult Mono = runPerfPlay(figure1Trace());
+  AnalysisSession Session{figure1Trace()};
+  ASSERT_TRUE(Session.report().ok());
+  ASSERT_TRUE(Session.races().ok());
+  ASSERT_TRUE(Session.detect().ok());
+  PipelineResult Staged = Session.run();
+  ASSERT_TRUE(Mono.ok() && Staged.ok());
+  expectSameResult(Mono, Staged);
+}
+
+TEST(SessionTest, WorkloadParityAcrossSchemes) {
+  // Heavier workload, non-default options.
+  PipelineOptions Opts;
+  Opts.Detect.PairMode = PairModeKind::AllCrossThread;
+  Opts.Replay.Schedule = ScheduleKind::SyncS;
+  Trace Tr = generateWorkload(makeOpenldap(4, 0.5));
+  PipelineResult Mono = runPerfPlay(Tr, Opts);
+  AnalysisSession Session{std::move(Tr), Opts};
+  PipelineResult Staged = Session.run();
+  ASSERT_TRUE(Mono.ok() && Staged.ok());
+  expectSameResult(Mono, Staged);
+}
+
+TEST(SessionTest, TakeRunMatchesRun) {
+  AnalysisSession A{figure1Trace()};
+  PipelineResult Copied = A.run();
+  AnalysisSession B{figure1Trace()};
+  PipelineResult Moved = B.takeRun(); // runPerfPlay's consuming path.
+  ASSERT_TRUE(Copied.ok() && Moved.ok());
+  expectSameResult(Copied, Moved);
+}
+
+TEST(SessionTest, RepeatedRunsReturnIdenticalResults) {
+  AnalysisSession Session{figure1Trace()};
+  PipelineResult First = Session.run();
+  PipelineResult Second = Session.run(); // Fully served from cache.
+  ASSERT_TRUE(First.ok() && Second.ok());
+  expectSameResult(First, Second);
+}
+
+//===----------------------------------------------------------------------===//
+// Memoization
+//===----------------------------------------------------------------------===//
+
+TEST(SessionTest, ReplayMemoizedPerSchemeAndSeed) {
+  AnalysisSession Session{figure1Trace()};
+  auto A = Session.replay(ScheduleKind::ElscS, 7);
+  auto B = Session.replay(ScheduleKind::ElscS, 7);
+  ASSERT_TRUE(A.ok() && B.ok());
+  EXPECT_EQ(&*A, &*B) << "same {scheme, seed} must hit the cache";
+
+  auto C = Session.replay(ScheduleKind::ElscS, 8);
+  auto D = Session.replay(ScheduleKind::OrigS, 7);
+  ASSERT_TRUE(C.ok() && D.ok());
+  EXPECT_NE(&*A, &*C) << "different seed, different entry";
+  EXPECT_NE(&*A, &*D) << "different scheme, different entry";
+
+  // Transformed replays live in their own cache slots.
+  auto E = Session.replayTransformed(ScheduleKind::ElscS, 7);
+  auto F = Session.replayTransformed(ScheduleKind::ElscS, 7);
+  ASSERT_TRUE(E.ok() && F.ok());
+  EXPECT_EQ(&*E, &*F);
+  EXPECT_NE(&*A, &*E);
+}
+
+TEST(SessionTest, StageResultsMemoized) {
+  AnalysisSession Session{figure1Trace()};
+  auto D1 = Session.detect();
+  auto D2 = Session.detect();
+  ASSERT_TRUE(D1.ok() && D2.ok());
+  EXPECT_EQ(&*D1, &*D2);
+  auto T1 = Session.transform();
+  auto T2 = Session.transform();
+  ASSERT_TRUE(T1.ok() && T2.ok());
+  EXPECT_EQ(&*T1, &*T2);
+  auto R1 = Session.report();
+  auto R2 = Session.report();
+  ASSERT_TRUE(R1.ok() && R2.ok());
+  EXPECT_EQ(&*R1, &*R2);
+  auto S1 = Session.soloArrivals();
+  auto S2 = Session.soloArrivals();
+  ASSERT_TRUE(S1.ok() && S2.ok());
+  EXPECT_EQ(&*S1, &*S2);
+}
+
+TEST(SessionTest, ProgressEventsDistinguishCacheHits) {
+  Engine Eng;
+  std::vector<StageEvent> Events;
+  Eng.setProgressCallback(
+      [&Events](const StageEvent &E) { Events.push_back(E); });
+  AnalysisSession Session = Eng.openSession(figure1Trace());
+  ASSERT_TRUE(Session.report().ok());
+
+  // First pass computed everything: record, detect, transform, two
+  // replays, report — none from cache.
+  size_t FreshReplays = 0;
+  for (const StageEvent &E : Events)
+    if (E.Stage == StageKind::Replay && !E.FromCache)
+      ++FreshReplays;
+  EXPECT_EQ(FreshReplays, 2u);
+  for (const StageEvent &E : Events)
+    EXPECT_FALSE(E.FromCache);
+
+  Events.clear();
+  ASSERT_TRUE(Session.report().ok());
+  ASSERT_FALSE(Events.empty());
+  for (const StageEvent &E : Events)
+    EXPECT_TRUE(E.FromCache) << stageKindName(E.Stage);
+}
+
+//===----------------------------------------------------------------------===//
+// Typed errors
+//===----------------------------------------------------------------------===//
+
+TEST(SessionTest, InvalidTracePropagatesToEveryStage) {
+  AnalysisSession Session{invalidTrace()};
+  EXPECT_EQ(Session.ensureRecorded().code(), ErrorCode::InvalidTrace);
+  EXPECT_EQ(Session.detect().code(), ErrorCode::InvalidTrace);
+  EXPECT_EQ(Session.transform().code(), ErrorCode::InvalidTrace);
+  EXPECT_EQ(Session.replay(ScheduleKind::ElscS).code(),
+            ErrorCode::InvalidTrace);
+  EXPECT_EQ(Session.replayTransformed(ScheduleKind::ElscS).code(),
+            ErrorCode::InvalidTrace);
+  EXPECT_EQ(Session.report().code(), ErrorCode::InvalidTrace);
+  EXPECT_EQ(Session.races().code(), ErrorCode::InvalidTrace);
+  EXPECT_EQ(Session.grantSchedule().code(), ErrorCode::InvalidTrace);
+  EXPECT_EQ(Session.soloArrivals().code(), ErrorCode::InvalidTrace);
+}
+
+TEST(SessionTest, TypedErrorMatchesLegacyString) {
+  PipelineResult Legacy = runPerfPlay(invalidTrace());
+  AnalysisSession Session{invalidTrace()};
+  PipelineError Err;
+  PipelineResult Staged = Session.run(&Err);
+  EXPECT_FALSE(Legacy.ok());
+  EXPECT_FALSE(Staged.ok());
+  EXPECT_EQ(Legacy.Error, Staged.Error);
+  EXPECT_EQ(Err.Code, ErrorCode::InvalidTrace);
+  EXPECT_EQ(Err.Message, Staged.Error);
+}
+
+TEST(SessionTest, AnalyzeReturnsTypedError) {
+  AnalysisSession Good{figure1Trace()};
+  Expected<PipelineResult> R = Good.analyze();
+  ASSERT_TRUE(R.ok()) << R.message();
+  EXPECT_GT(R->Detection.Counts.ReadRead, 0u);
+
+  AnalysisSession Bad{invalidTrace()};
+  Expected<PipelineResult> E = Bad.analyze();
+  ASSERT_FALSE(E.ok());
+  EXPECT_EQ(E.code(), ErrorCode::InvalidTrace);
+  EXPECT_NE(E.message().find("invalid input trace"), std::string::npos);
+}
+
+TEST(SessionTest, ReplayDeadlockYieldsReplayErrorCode) {
+  // Cross-inverted per-lock grant orders are unsatisfiable: the replay
+  // engine reports an enforced-order deadlock, which the session
+  // surfaces as OriginalReplayFailed (and run() preserves the legacy
+  // partial result exactly like runPerfPlay).
+  auto makeDeadlocked = [] {
+    TraceBuilder B;
+    LockId A = B.addLock("a");
+    LockId C = B.addLock("c");
+    (void)A;
+    (void)C;
+    ThreadId T0 = B.addThread();
+    ThreadId T1 = B.addThread();
+    B.compute(T1, 100);
+    B.beginCs(T1, C);
+    B.compute(T1, 200);
+    B.beginCs(T1, A);
+    B.compute(T1, 50);
+    B.endCs(T1);
+    B.endCs(T1);
+    B.compute(T0, 5000);
+    B.beginCs(T0, A);
+    B.compute(T0, 200);
+    B.beginCs(T0, C);
+    B.compute(T0, 50);
+    B.endCs(T0);
+    B.endCs(T0);
+    Trace Tr = B.finish();
+    Tr.LockSchedule.assign(Tr.Locks.size(), {});
+    Tr.LockSchedule[0] = {CsRef{0, 0}, CsRef{1, 1}};
+    Tr.LockSchedule[1] = {CsRef{1, 0}, CsRef{0, 1}};
+    return Tr;
+  };
+
+  AnalysisSession Session{makeDeadlocked()};
+  auto R = Session.replay(ScheduleKind::ElscS);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.code(), ErrorCode::OriginalReplayFailed);
+  EXPECT_NE(R.message().find("deadlock"), std::string::npos);
+  // Detection and transformation still work on the same session.
+  EXPECT_TRUE(Session.detect().ok());
+  EXPECT_TRUE(Session.transform().ok());
+
+  PipelineError Err;
+  PipelineResult Staged = Session.run(&Err);
+  EXPECT_EQ(Err.Code, ErrorCode::OriginalReplayFailed);
+  PipelineResult Legacy = runPerfPlay(makeDeadlocked());
+  EXPECT_EQ(Legacy.Error, Staged.Error);
+  EXPECT_EQ(Legacy.Original.Error, Staged.Original.Error);
+}
+
+TEST(SessionTest, ErrorCodeNamesAreStable) {
+  EXPECT_STREQ(errorCodeName(ErrorCode::Success), "success");
+  EXPECT_STREQ(errorCodeName(ErrorCode::InvalidTrace), "invalid-trace");
+  EXPECT_STREQ(errorCodeName(ErrorCode::OriginalReplayFailed),
+               "original-replay-failed");
+  EXPECT_STREQ(errorCodeName(ErrorCode::BatchItemFailed),
+               "batch-item-failed");
+}
+
+//===----------------------------------------------------------------------===//
+// Batch analysis
+//===----------------------------------------------------------------------===//
+
+TEST(SessionTest, BatchMatchesIndividualRuns) {
+  CaseStudyParams P;
+  P.NumThreads = 4;
+  std::vector<Trace> Traces;
+  Traces.push_back(figure1Trace());
+  Traces.push_back(makePbzip2Consumer(P));
+  Traces.push_back(generateWorkload(makeOpenldap(2, 0.5)));
+
+  Engine Eng;
+  std::vector<Expected<PipelineResult>> Batch =
+      Eng.analyzeBatch(std::move(Traces), 3);
+  ASSERT_EQ(Batch.size(), 3u);
+  for (const auto &Item : Batch)
+    ASSERT_TRUE(Item.ok()) << Item.message();
+
+  expectSameResult(*Batch[0], runPerfPlay(figure1Trace()));
+  expectSameResult(*Batch[1], runPerfPlay(makePbzip2Consumer(P)));
+  expectSameResult(*Batch[2],
+                   runPerfPlay(generateWorkload(makeOpenldap(2, 0.5))));
+}
+
+TEST(SessionTest, BatchIsolatesFailures) {
+  std::vector<Trace> Traces;
+  Traces.push_back(figure1Trace());
+  Traces.push_back(invalidTrace());
+  Traces.push_back(figure1Trace());
+
+  Engine Eng;
+  std::vector<Expected<PipelineResult>> Batch =
+      Eng.analyzeBatch(std::move(Traces), 2);
+  ASSERT_EQ(Batch.size(), 3u);
+  EXPECT_TRUE(Batch[0].ok());
+  ASSERT_FALSE(Batch[1].ok());
+  EXPECT_EQ(Batch[1].code(), ErrorCode::InvalidTrace);
+  EXPECT_TRUE(Batch[2].ok());
+
+  AggregatedReport Agg = aggregateBatch(Batch);
+  EXPECT_EQ(Agg.NumRuns, 2u);
+  EXPECT_EQ(Agg.NumFailed, 1u);
+}
+
+TEST(SessionTest, BatchEmptyAndSingleThread) {
+  Engine Eng;
+  EXPECT_TRUE(Eng.analyzeBatch({}, 4).empty());
+  std::vector<Trace> One;
+  One.push_back(figure1Trace());
+  std::vector<Expected<PipelineResult>> Batch =
+      Eng.analyzeBatch(std::move(One), 1);
+  ASSERT_EQ(Batch.size(), 1u);
+  EXPECT_TRUE(Batch[0].ok());
+}
+
+TEST(SessionTest, BatchTagsProgressWithTraceIndex) {
+  Engine Eng;
+  std::set<size_t> SeenIndices;
+  Eng.setProgressCallback([&SeenIndices](const StageEvent &E) {
+    SeenIndices.insert(E.TraceIndex);
+  });
+  std::vector<Trace> Traces;
+  for (int I = 0; I != 4; ++I)
+    Traces.push_back(figure1Trace());
+  std::vector<Expected<PipelineResult>> Batch =
+      Eng.analyzeBatch(std::move(Traces), 2);
+  for (const auto &Item : Batch)
+    EXPECT_TRUE(Item.ok());
+  EXPECT_EQ(SeenIndices, (std::set<size_t>{0, 1, 2, 3}));
+}

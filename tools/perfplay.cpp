@@ -14,6 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/Engine.h"
 #include "core/PerfPlay.h"
 #include "sim/Timeline.h"
 #include "support/Format.h"
@@ -25,6 +26,7 @@
 #include "workloads/Apps.h"
 #include "workloads/CaseStudies.h"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstddef>
@@ -36,15 +38,27 @@ using namespace perfplay;
 
 namespace {
 
-/// Minimal flag cursor over argv.
+/// Minimal flag cursor over argv.  Commands consume their options
+/// (option()/flag()) before positionals so option values — including
+/// negative numbers like "--seed -1" — are never mistaken for
+/// positional arguments.
 class ArgList {
 public:
   ArgList(int Argc, char **Argv) : Args(Argv + 1, Argv + Argc) {}
 
+  /// True when \p Arg is a flag ("-x", "--name"), as opposed to a
+  /// positional or a negative numeric value ("-1", "-0.5").
+  static bool isFlag(const std::string &Arg) {
+    if (Arg.size() < 2 || Arg[0] != '-')
+      return false;
+    return !(std::isdigit(static_cast<unsigned char>(Arg[1])) ||
+             Arg[1] == '.');
+  }
+
   /// Pops the next positional argument; empty when exhausted.
   std::string positional() {
     for (size_t I = 0; I != Args.size(); ++I)
-      if (Args[I][0] != '-') {
+      if (!isFlag(Args[I])) {
         std::string Out = Args[I];
         Args.erase(Args.begin() + static_cast<ptrdiff_t>(I));
         return Out;
@@ -52,15 +66,22 @@ public:
     return std::string();
   }
 
-  /// Returns the value of --name VALUE, or Default.
+  /// Returns the value of --name VALUE or --name=VALUE, or Default.
   std::string option(const char *Name, std::string Default) {
-    for (size_t I = 0; I + 1 < Args.size(); ++I)
-      if (Args[I] == Name) {
+    std::string Prefix = std::string(Name) + "=";
+    for (size_t I = 0; I != Args.size(); ++I) {
+      if (Args[I] == Name && I + 1 < Args.size()) {
         std::string Out = Args[I + 1];
         Args.erase(Args.begin() + static_cast<ptrdiff_t>(I),
                    Args.begin() + static_cast<ptrdiff_t>(I) + 2);
         return Out;
       }
+      if (Args[I].compare(0, Prefix.size(), Prefix) == 0) {
+        std::string Out = Args[I].substr(Prefix.size());
+        Args.erase(Args.begin() + static_cast<ptrdiff_t>(I));
+        return Out;
+      }
+    }
     return Default;
   }
 
@@ -86,11 +107,12 @@ int usage() {
       "  perfplay generate <app> [--threads N] [--scale S] [--seed N]"
       " [--out FILE]\n"
       "  perfplay analyze <trace> [--pairs adjacent|all] [--races]"
-      " [--timeline] [--csv]\n"
+      " [--timeline] [--csv] [--progress]\n"
       "  perfplay replay <trace> [--scheme orig|elsc|sync|mem]"
       " [--seed N] [--replays K]\n"
       "  perfplay casestudy <bug1|bug2|mysql> [--threads N] [--scale S]\n"
-      "  perfplay stats <trace>\n");
+      "  perfplay stats <trace>\n"
+      "options accept both '--name value' and '--name=value'\n");
   return 2;
 }
 
@@ -106,6 +128,12 @@ int cmdListApps() {
 }
 
 int cmdGenerate(ArgList &Args) {
+  unsigned Threads =
+      static_cast<unsigned>(std::atoi(Args.option("--threads", "2").c_str()));
+  double Scale = std::atof(Args.option("--scale", "1.0").c_str());
+  uint64_t Seed = std::strtoull(Args.option("--seed", "42").c_str(),
+                                nullptr, 10);
+  std::string Out = Args.option("--out", "");
   std::string Name = Args.positional();
   if (Name.empty())
     return usage();
@@ -119,12 +147,8 @@ int cmdGenerate(ArgList &Args) {
                  Name.c_str());
     return 1;
   }
-  unsigned Threads =
-      static_cast<unsigned>(std::atoi(Args.option("--threads", "2").c_str()));
-  double Scale = std::atof(Args.option("--scale", "1.0").c_str());
-  uint64_t Seed = std::strtoull(Args.option("--seed", "42").c_str(),
-                                nullptr, 10);
-  std::string Out = Args.option("--out", Name + ".trace");
+  if (Out.empty())
+    Out = Name + ".trace";
 
   Trace Tr = generateWorkload(App->Factory(Threads, Scale));
   ReplayResult Rec = recordGrantSchedule(Tr, Seed);
@@ -145,13 +169,14 @@ int cmdGenerate(ArgList &Args) {
 }
 
 int cmdAnalyze(ArgList &Args) {
-  std::string Path = Args.positional();
-  if (Path.empty())
-    return usage();
   std::string PairMode = Args.option("--pairs", "adjacent");
   bool Races = Args.flag("--races");
   bool Timeline = Args.flag("--timeline");
   bool Csv = Args.flag("--csv");
+  bool Progress = Args.flag("--progress");
+  std::string Path = Args.positional();
+  if (Path.empty())
+    return usage();
 
   Trace Tr;
   std::string Err;
@@ -160,14 +185,23 @@ int cmdAnalyze(ArgList &Args) {
     return 1;
   }
 
-  PipelineOptions Opts;
-  Opts.Detect.PairMode = PairMode == "all"
-                             ? PairModeKind::AllCrossThread
-                             : PairModeKind::AdjacentCrossThread;
-  Opts.CheckRaces = Races;
-  PipelineResult R = runPerfPlay(std::move(Tr), Opts);
+  Engine Eng;
+  Eng.options().Detect.PairMode = PairMode == "all"
+                                      ? PairModeKind::AllCrossThread
+                                      : PairModeKind::AdjacentCrossThread;
+  Eng.options().CheckRaces = Races;
+  if (Progress)
+    Eng.setProgressCallback([](const StageEvent &Event) {
+      if (!Event.FromCache)
+        std::fprintf(stderr, "[stage] %s\n", stageKindName(Event.Stage));
+    });
+
+  AnalysisSession Session = Eng.openSession(std::move(Tr));
+  PipelineError TypedErr;
+  PipelineResult R = Session.run(&TypedErr);
   if (!R.ok()) {
-    std::fprintf(stderr, "error: %s\n", R.Error.c_str());
+    std::fprintf(stderr, "error: %s [%s]\n", R.Error.c_str(),
+                 errorCodeName(TypedErr.Code));
     return 1;
   }
 
@@ -214,25 +248,17 @@ int cmdAnalyze(ArgList &Args) {
 }
 
 int cmdReplay(ArgList &Args) {
-  std::string Path = Args.positional();
-  if (Path.empty())
-    return usage();
   std::string SchemeName = Args.option("--scheme", "elsc");
   uint64_t Seed =
       std::strtoull(Args.option("--seed", "1").c_str(), nullptr, 10);
   unsigned Replays =
       static_cast<unsigned>(std::atoi(Args.option("--replays", "1").c_str()));
+  std::string Path = Args.positional();
+  if (Path.empty())
+    return usage();
 
   ScheduleKind Scheme;
-  if (SchemeName == "orig")
-    Scheme = ScheduleKind::OrigS;
-  else if (SchemeName == "elsc")
-    Scheme = ScheduleKind::ElscS;
-  else if (SchemeName == "sync")
-    Scheme = ScheduleKind::SyncS;
-  else if (SchemeName == "mem")
-    Scheme = ScheduleKind::MemS;
-  else {
+  if (!parseScheduleKind(SchemeName, Scheme)) {
     std::fprintf(stderr, "error: unknown scheme '%s'\n",
                  SchemeName.c_str());
     return 1;
@@ -244,28 +270,22 @@ int cmdReplay(ArgList &Args) {
     std::fprintf(stderr, "error: %s\n", Err.c_str());
     return 1;
   }
-  if (Tr.LockSchedule.empty()) {
-    ReplayResult Rec = recordGrantSchedule(Tr, Seed);
-    if (!Rec.ok()) {
-      std::fprintf(stderr, "error: recording replay failed: %s\n",
-                   Rec.Error.c_str());
-      return 1;
-    }
-  }
+
+  PipelineOptions Opts;
+  Opts.RecordSeed = Seed;
+  AnalysisSession Session(std::move(Tr), Opts);
 
   RunningStats Stats;
-  ReplayResult Last;
+  const ReplayResult *Last = nullptr;
   for (unsigned I = 0; I != std::max(Replays, 1u); ++I) {
-    ReplayOptions Opts;
-    Opts.Schedule = Scheme;
-    Opts.Seed = Seed + I;
-    Last = replayTrace(Tr, Opts);
-    if (!Last.ok()) {
-      std::fprintf(stderr, "error: replay failed: %s\n",
-                   Last.Error.c_str());
+    Expected<const ReplayResult &> R = Session.replay(Scheme, Seed + I);
+    if (!R) {
+      std::fprintf(stderr, "error: %s [%s]\n", R.message().c_str(),
+                   errorCodeName(R.code()));
       return 1;
     }
-    Stats.add(static_cast<double>(Last.TotalTime));
+    Last = &*R;
+    Stats.add(static_cast<double>(R->TotalTime));
   }
   std::printf("%s: %s mean over %llu replay(s), spread %s\n",
               scheduleKindName(Scheme),
@@ -273,9 +293,9 @@ int cmdReplay(ArgList &Args) {
               static_cast<unsigned long long>(Stats.count()),
               formatNs(static_cast<TimeNs>(Stats.range())).c_str());
   std::printf("spin-wait %s, idle-wait %s, lockset overhead %s\n",
-              formatNs(Last.SpinWaitNs).c_str(),
-              formatNs(Last.IdleWaitNs).c_str(),
-              formatNs(Last.LocksetOverheadNs).c_str());
+              formatNs(Last->SpinWaitNs).c_str(),
+              formatNs(Last->IdleWaitNs).c_str(),
+              formatNs(Last->LocksetOverheadNs).c_str());
   return 0;
 }
 
@@ -295,13 +315,13 @@ int cmdStats(ArgList &Args) {
 }
 
 int cmdCaseStudy(ArgList &Args) {
-  std::string Which = Args.positional();
-  if (Which.empty())
-    return usage();
   CaseStudyParams P;
   P.NumThreads =
       static_cast<unsigned>(std::atoi(Args.option("--threads", "4").c_str()));
   P.InputScale = std::atof(Args.option("--scale", "1.0").c_str());
+  std::string Which = Args.positional();
+  if (Which.empty())
+    return usage();
 
   Trace Buggy, Fixed;
   if (Which == "bug1") {
@@ -319,12 +339,22 @@ int cmdCaseStudy(ArgList &Args) {
     return 1;
   }
 
-  PipelineResult RBuggy = runPerfPlay(Buggy);
-  PipelineResult RFixed = runPerfPlay(Fixed);
-  if (!RBuggy.ok() || !RFixed.ok()) {
-    std::fprintf(stderr, "error: pipeline failed\n");
+  // Buggy and fixed variants are independent: analyze them in parallel.
+  Engine Eng;
+  std::vector<Trace> Pair;
+  Pair.push_back(std::move(Buggy));
+  Pair.push_back(std::move(Fixed));
+  std::vector<Expected<PipelineResult>> Batch =
+      Eng.analyzeBatch(std::move(Pair), 2);
+  if (!Batch[0].ok() || !Batch[1].ok()) {
+    const PipelineError &E =
+        Batch[0].ok() ? Batch[1].error() : Batch[0].error();
+    std::fprintf(stderr, "error: %s [%s]\n", E.Message.c_str(),
+                 errorCodeName(E.Code));
     return 1;
   }
+  const PipelineResult &RBuggy = *Batch[0];
+  const PipelineResult &RFixed = *Batch[1];
   std::printf("%s @%u threads, scale %.2f\n", Which.c_str(), P.NumThreads,
               P.InputScale);
   std::printf("  buggy : %s (%llu ULCPs, spin waste %s)\n",
