@@ -2,6 +2,8 @@
 
 #include "core/AnalysisSession.h"
 
+#include <algorithm>
+
 using namespace perfplay;
 
 const char *perfplay::errorCodeName(ErrorCode Code) {
@@ -18,6 +20,8 @@ const char *perfplay::errorCodeName(ErrorCode Code) {
     return "transformed-replay-failed";
   case ErrorCode::BatchItemFailed:
     return "batch-item-failed";
+  case ErrorCode::IncompatibleOptions:
+    return "incompatible-options";
   }
   return "?";
 }
@@ -148,17 +152,32 @@ const ReplayResult &AnalysisSession::replayEntry(bool Transformed,
   ReplayKey Key{Transformed, Kind, Seed};
   auto It = Replays.find(Key);
   if (It != Replays.end()) {
+    // Touch: move to the front of the recency order.
+    LruOrder.splice(LruOrder.begin(), LruOrder, It->second.LruIt);
     emit(StageKind::Replay, /*FromCache=*/true);
-    return It->second;
+    return It->second.Result;
   }
   ReplayOptions RO = Opts.Replay;
   RO.Schedule = Kind;
   RO.Seed = Seed;
   const Trace &Target = Transformed ? Transformation->Transformed : Tr;
-  const ReplayResult &Entry =
-      Replays.emplace(Key, replayTrace(Target, RO)).first->second;
+  It = Replays
+           .emplace(Key, ReplayCacheEntry{replayTrace(Target, RO), {}})
+           .first;
+  LruOrder.push_front(Key);
+  It->second.LruIt = LruOrder.begin();
+  // Enforce the memory budget: evict least-recently-used results.  The
+  // floor of 2 keeps the session's current original + transformed pair
+  // (which report() and run() re-find) resident.
+  if (size_t Capacity = Opts.Replay.ReplayCacheCapacity) {
+    Capacity = std::max<size_t>(Capacity, 2);
+    while (Replays.size() > Capacity) {
+      Replays.erase(LruOrder.back());
+      LruOrder.pop_back();
+    }
+  }
   emit(StageKind::Replay, /*FromCache=*/false);
-  return Entry;
+  return It->second.Result;
 }
 
 Expected<const ReplayResult &>
@@ -191,6 +210,14 @@ Expected<const PerfDebugReport &> AnalysisSession::report() {
     emit(StageKind::Report, /*FromCache=*/true);
     return *Rpt;
   }
+  // A Sink/CountsOnly detection discards the per-pair list this stage
+  // ranks; building a report from it would silently claim "no
+  // contention" while Counts says otherwise.
+  if (Opts.Detect.CountsOnly || Opts.Detect.Sink)
+    return PipelineError(
+        ErrorCode::IncompatibleOptions,
+        "report() needs materialized detection pairs; the session's "
+        "DetectOptions use Sink/CountsOnly");
   Expected<const DetectResult &> Det = detect();
   if (!Det)
     return Det.error();
@@ -267,10 +294,11 @@ PipelineResult AnalysisSession::runImpl(bool Consume,
     auto It = Replays.find(
         ReplayKey{Transformed, Opts.Replay.Schedule, Opts.Replay.Seed});
     if (Consume) {
-      Dest = std::move(It->second);
+      Dest = std::move(It->second.Result);
+      LruOrder.erase(It->second.LruIt);
       Replays.erase(It);
     } else {
-      Dest = It->second;
+      Dest = It->second.Result;
     }
   };
   // Legacy assembly keeps a failed replay's partial result in place,
@@ -302,9 +330,16 @@ PipelineResult AnalysisSession::runImpl(bool Consume,
         PipelineError(ErrorCode::TransformedReplayFailed,
                       "ULCP-free replay failed: " + Free.Error));
 
-  Expected<const PerfDebugReport &> Report = report();
-  if (!Report)
-    return Fail(Report.error());
+  // Streaming detection (Sink/CountsOnly) deliberately discards the
+  // pair list, so the report stage cannot run; every other stage can.
+  // run() then delivers counts, transformation, and both replays with
+  // a default-constructed Report instead of failing the pipeline.
+  const bool Streaming = Opts.Detect.CountsOnly || Opts.Detect.Sink;
+  if (!Streaming) {
+    Expected<const PerfDebugReport &> Report = report();
+    if (!Report)
+      return Fail(Report.error());
+  }
   if (Opts.CheckRaces)
     if (Expected<const std::vector<RaceReport> &> Rc = races(); !Rc)
       return Fail(Rc.error());
@@ -315,7 +350,8 @@ PipelineResult AnalysisSession::runImpl(bool Consume,
   Take(Transformation, Result.Transformation);
   TakeReplay(/*Transformed=*/false, Result.Original);
   TakeReplay(/*Transformed=*/true, Result.UlcpFree);
-  Take(Rpt, Result.Report);
+  if (!Streaming)
+    Take(Rpt, Result.Report);
   if (Opts.CheckRaces)
     Take(Races, Result.Races);
   return Result;

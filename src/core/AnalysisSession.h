@@ -48,6 +48,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <map>
 #include <optional>
 #include <string>
@@ -183,7 +184,10 @@ public:
   /// Stage 4 (replay): a timing replay of the recorded trace under
   /// \p Kind.  \p Seed defaults to the session's ReplayOptions seed;
   /// results are memoized per {Kind, Seed} and repeated requests
-  /// return the same object.
+  /// return the same object.  The cache holds at most
+  /// ReplayOptions::ReplayCacheCapacity results (LRU eviction), so long
+  /// seed sweeps run in bounded memory; a returned reference stays
+  /// valid until its entry is evicted.
   Expected<const ReplayResult &> replay(ScheduleKind Kind,
                                         std::optional<uint64_t> Seed = {});
 
@@ -203,7 +207,10 @@ public:
   /// assembles the legacy PipelineResult, reusing anything already
   /// cached.  On failure the result carries the legacy Error string
   /// and whatever stages completed; when \p ErrOut is non-null it
-  /// receives the typed error.
+  /// receives the typed error.  With streaming detection
+  /// (DetectOptions::Sink/CountsOnly) the report stage — which needs
+  /// the discarded pair list — is skipped and Result.Report stays
+  /// default-constructed; all other stages run normally.
   PipelineResult run(PipelineError *ErrOut = nullptr);
 
   /// Consuming run(): moves the cached intermediates into the result
@@ -216,9 +223,19 @@ public:
   /// the first stage failure as a PipelineError.
   Expected<PipelineResult> analyze();
 
+  /// Number of ReplayResults currently cached (bounded by the
+  /// ReplayCacheCapacity budget).
+  size_t cachedReplayCount() const { return Replays.size(); }
+
 private:
   /// Replay-cache key: {transformed?, scheme, seed}.
   using ReplayKey = std::tuple<bool, ScheduleKind, uint64_t>;
+
+  struct ReplayCacheEntry {
+    ReplayResult Result;
+    /// Position in LruOrder (most-recent at front).
+    std::list<ReplayKey>::iterator LruIt;
+  };
 
   /// ensureRecorded() minus the cache-hit progress event — the form
   /// internal prerequisite checks use, so a single detect() call does
@@ -251,8 +268,10 @@ private:
   std::optional<DetectResult> Detection;
   std::optional<TransformResult> Transformation;
   /// std::map: node-stable, so handed-out references survive cache
-  /// growth.
-  std::map<ReplayKey, ReplayResult> Replays;
+  /// growth (they die only with their entry's LRU eviction).
+  std::map<ReplayKey, ReplayCacheEntry> Replays;
+  /// LRU recency order over Replays' keys; front = most recent.
+  std::list<ReplayKey> LruOrder;
   std::optional<PerfDebugReport> Rpt;
   std::optional<std::vector<RaceReport>> Races;
 };

@@ -2,9 +2,9 @@
 
 #include "core/Engine.h"
 
-#include <atomic>
+#include "support/ThreadPool.h"
+
 #include <mutex>
-#include <thread>
 
 using namespace perfplay;
 
@@ -17,14 +17,6 @@ Engine::analyzeBatch(std::vector<Trace> Traces, unsigned NumThreads) const {
   std::vector<Expected<PipelineResult>> Results;
   if (Traces.empty())
     return Results;
-
-  if (NumThreads == 0) {
-    NumThreads = std::thread::hardware_concurrency();
-    if (NumThreads == 0)
-      NumThreads = 1;
-  }
-  NumThreads = static_cast<unsigned>(
-      std::min<size_t>(NumThreads, Traces.size()));
 
   Results.reserve(Traces.size());
   for (size_t I = 0; I != Traces.size(); ++I)
@@ -41,27 +33,13 @@ Engine::analyzeBatch(std::vector<Trace> Traces, unsigned NumThreads) const {
       Progress(Event);
     };
 
-  std::atomic<size_t> Next{0};
-  auto Worker = [&] {
-    for (size_t I = Next.fetch_add(1); I < Traces.size();
-         I = Next.fetch_add(1)) {
-      AnalysisSession Session(std::move(Traces[I]), Defaults,
-                              SharedProgress);
-      Session.setTraceIndex(I);
-      Results[I] = Session.analyze();
-    }
-  };
-
-  if (NumThreads == 1) {
-    Worker();
-    return Results;
-  }
-  std::vector<std::thread> Workers;
-  Workers.reserve(NumThreads);
-  for (unsigned I = 0; I != NumThreads; ++I)
-    Workers.emplace_back(Worker);
-  for (std::thread &W : Workers)
-    W.join();
+  ThreadPool Pool(
+      ThreadPool::resolveThreadCount(NumThreads, Traces.size()));
+  Pool.parallelFor(Traces.size(), [&](size_t I) {
+    AnalysisSession Session(std::move(Traces[I]), Defaults, SharedProgress);
+    Session.setTraceIndex(I);
+    Results[I] = Session.analyze();
+  });
   return Results;
 }
 

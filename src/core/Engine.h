@@ -50,6 +50,13 @@ public:
   /// batch size).  The result vector parallels the input: each element
   /// is the trace's complete PipelineResult or the typed error of its
   /// first failing stage.  One trace's failure never aborts the rest.
+  ///
+  /// Thread budgets multiply: each worker's session honors
+  /// options().Detect.NumThreads for its own detection stage, so a
+  /// batch of B workers with N detection threads runs up to B*N busy
+  /// threads.  Prefer parallelizing across traces (leave
+  /// Detect.NumThreads at 1) unless the batch is smaller than the
+  /// machine.
   std::vector<Expected<PipelineResult>>
   analyzeBatch(std::vector<Trace> Traces, unsigned NumThreads = 0) const;
 

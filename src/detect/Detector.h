@@ -21,6 +21,7 @@
 #include "detect/Ulcp.h"
 #include "trace/Trace.h"
 
+#include <functional>
 #include <vector>
 
 namespace perfplay {
@@ -40,6 +41,9 @@ enum class PairModeKind {
 
 /// Detection options.
 struct DetectOptions {
+  /// Streaming pair consumer (see Sink below).
+  using PairSink = std::function<void(const UlcpPair &)>;
+
   PairModeKind PairMode = PairModeKind::AllCrossThread;
   /// Refine conflicting pairs via reversed replay.  When false, every
   /// statically conflicting pair counts as TrueContention.
@@ -48,12 +52,47 @@ struct DetectOptions {
   /// order are skipped in AllCrossThread mode (0 = unlimited).  Bounds
   /// the quadratic blow-up on lock-intensive traces.
   unsigned MaxPairDistance = 0;
+  /// Worker threads for pair classification: 1 = serial, 0 = one per
+  /// hardware thread.  Any value produces Pairs/Counts bit-identical
+  /// to the serial enumeration (pairs are merged back in serial order).
+  unsigned NumThreads = 1;
+  /// Classify each distinct canonical key pair (detect/SectionKey.h:
+  /// lock, site, value signature) once and reuse the verdict for every
+  /// dynamic pair with the same keys — the Table 2 grouping applied to
+  /// detection cost.  Verdicts are per-pair deterministic, so results
+  /// are identical with or without dedup.
+  bool DedupPairs = true;
+  /// When set, every classified pair is delivered here — in the serial
+  /// enumeration order, from the thread that called detectUlcps —
+  /// instead of being materialized in DetectResult::Pairs.  Lets
+  /// AllCrossThread detection over lock-heavy traces run in O(1) pair
+  /// memory.  A sink installed in an Engine's default options is
+  /// shared by every Engine::analyzeBatch worker (one concurrent
+  /// detection per trace), so it must be thread-safe in that setting.
+  PairSink Sink;
+  /// Accumulate only DetectResult::Counts; Pairs stays empty.  (A Sink,
+  /// when also set, still receives every pair.)
+  bool CountsOnly = false;
+};
+
+/// Side statistics of one detection run (for benchmarks and tuning;
+/// not part of the bit-identical result surface).
+struct DetectStats {
+  /// Distinct canonical section keys (0 when dedup was off).
+  uint64_t NumSectionKeys = 0;
+  /// Pair classifications actually computed.  With dedup this is at
+  /// most the number of distinct key pairs (parallel racing may
+  /// recompute a key pair; the verdict is identical either way).
+  uint64_t NumClassified = 0;
 };
 
 /// Detection output: every classified pair plus totals.
 struct DetectResult {
+  /// Classified pairs in per-lock enumeration order.  Empty when the
+  /// run used a Sink or CountsOnly.
   std::vector<UlcpPair> Pairs;
   UlcpCounts Counts;
+  DetectStats Stats;
 
   /// Only the unnecessary pairs (everything but TrueContention).
   std::vector<UlcpPair> unnecessaryPairs() const;

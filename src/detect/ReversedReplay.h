@@ -20,15 +20,18 @@
 #define PERFPLAY_DETECT_REVERSEDREPLAY_H
 
 #include "detect/CriticalSection.h"
+#include "support/FlatMap.h"
 #include "trace/Trace.h"
 
-#include <map>
 #include <vector>
 
 namespace perfplay {
 
 /// Abstract shared-memory image: address -> value.  Addresses absent
-/// from the map read as zero.
+/// from the map read as zero.  Backed by an open-addressing flat hash
+/// (support/FlatMap.h) — the image is copied and probed once per
+/// replayed pair, which made std::map's node allocations the detection
+/// hot spot.
 class MemoryImage {
 public:
   /// Builds the initial image of \p Tr: every address whose first
@@ -41,12 +44,20 @@ public:
   /// Applies \p Op with \p Operand at \p Addr.
   void apply(AddrId Addr, uint64_t Operand, WriteOpKind Op);
 
+  /// Copies \p Src's entries at \p Addrs into this image (addresses
+  /// absent from \p Src stay absent).  Used to build the per-pair
+  /// restricted image isBenignPair replays over.
+  void seedFrom(const MemoryImage &Src, const std::vector<AddrId> &Addrs);
+
+  /// Content equality: same address set with the same values (the
+  /// std::map semantics the reversed replay always relied on — both
+  /// orders write the same address set, so key sets coincide).
   bool operator==(const MemoryImage &RHS) const {
     return Cells == RHS.Cells;
   }
 
 private:
-  std::map<AddrId, uint64_t> Cells;
+  FlatMap<AddrId, uint64_t> Cells;
 };
 
 /// Outcome of running memory events of critical sections in one order.

@@ -1,0 +1,67 @@
+//===- detect/SectionKey.cpp - Canonical critical-section keys --------------===//
+
+#include "detect/SectionKey.h"
+
+#include "support/FlatMap.h"
+
+#include <unordered_map>
+
+using namespace perfplay;
+
+namespace {
+
+/// Full signature of one section, compared verbatim on hash collision.
+struct Signature {
+  std::vector<uint64_t> Words;
+
+  bool operator==(const Signature &RHS) const { return Words == RHS.Words; }
+};
+
+struct SignatureHash {
+  size_t operator()(const Signature &S) const {
+    uint64_t H = 0x2545f4914f6cdd1dULL;
+    for (uint64_t W : S.Words)
+      H = hashInteger(H ^ W);
+    return static_cast<size_t>(H);
+  }
+};
+
+Signature signatureOf(const Trace &Tr, const CriticalSection &Cs) {
+  Signature Sig;
+  const auto &Events = Tr.Threads[Cs.Ref.Thread].Events;
+  Sig.Words.reserve(2 + (Cs.ReleaseIdx - Cs.AcquireIdx) * 2);
+  Sig.Words.push_back(Cs.Lock);
+  Sig.Words.push_back(Cs.Site);
+  for (size_t I = Cs.AcquireIdx + 1; I != Cs.ReleaseIdx; ++I) {
+    const Event &E = Events[I];
+    if (E.Kind == EventKind::Read) {
+      Sig.Words.push_back(1);
+      Sig.Words.push_back(E.Addr);
+    } else if (E.Kind == EventKind::Write) {
+      Sig.Words.push_back(2 | (static_cast<uint64_t>(E.Op) << 8));
+      Sig.Words.push_back(E.Addr);
+      Sig.Words.push_back(E.Value);
+    }
+    // Nested acquire/release and Compute events are invisible to both
+    // Algorithm 1 and the reversed replay.
+  }
+  return Sig;
+}
+
+} // namespace
+
+SectionKeyTable perfplay::internSectionKeys(const Trace &Tr,
+                                            const CsIndex &Index) {
+  SectionKeyTable Table;
+  Table.KeyOf.resize(Index.size());
+  std::unordered_map<Signature, uint32_t, SignatureHash> Interned;
+  Interned.reserve(Index.size());
+  for (const CriticalSection &Cs : Index.all()) {
+    Signature Sig = signatureOf(Tr, Cs);
+    auto It = Interned.emplace(std::move(Sig), Table.NumKeys);
+    if (It.second)
+      ++Table.NumKeys;
+    Table.KeyOf[Cs.GlobalId] = It.first->second;
+  }
+  return Table;
+}

@@ -1,0 +1,59 @@
+//===- detect/SectionKey.h - Canonical critical-section keys ----*- C++ -*-===//
+//
+// Part of the PerfPlay reproduction of "On Performance Debugging of
+// Unnecessary Lock Contentions on Multicore Processors" (CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonical (interned) keys over critical sections: two sections get
+/// the same key iff they are indistinguishable to pair classification —
+/// same lock, same code site, and the same value signature (the ordered
+/// stream of shared-memory operations between acquire and release,
+/// which determines both the Algorithm-1 read/write sets and the
+/// reversed-replay outcome).  This is the code analogue of the paper's
+/// Table 2 grouping: dynamic pair counts are quadratic, but distinct
+/// key pairs are few, so the detector classifies each key pair once and
+/// reuses the verdict.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERFPLAY_DETECT_SECTIONKEY_H
+#define PERFPLAY_DETECT_SECTIONKEY_H
+
+#include "detect/CriticalSection.h"
+#include "trace/Trace.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace perfplay {
+
+/// Interned section keys for one trace: KeyOf[GlobalId] is a dense id
+/// in [0, numKeys) identifying the section's equivalence class.
+struct SectionKeyTable {
+  std::vector<uint32_t> KeyOf;
+  uint32_t NumKeys = 0;
+
+  /// Packs the key pair {A, B} order-independently (classification is
+  /// symmetric in the two sections) into one 64-bit verdict-cache key.
+  static uint64_t pairKey(uint32_t A, uint32_t B) {
+    if (A > B)
+      std::swap(A, B);
+    return (static_cast<uint64_t>(A) << 32) | B;
+  }
+};
+
+/// Interns every critical section of \p Index.
+///
+/// The signature covers (Lock, Site) plus each Read's address and each
+/// Write's (address, operand, operator).  Read *values* are excluded on
+/// purpose: the reversed replay feeds reads from the memory image, not
+/// from the recorded value, so they cannot influence a verdict — and
+/// excluding them merges more dynamic sections into one key.
+SectionKeyTable internSectionKeys(const Trace &Tr, const CsIndex &Index);
+
+} // namespace perfplay
+
+#endif // PERFPLAY_DETECT_SECTIONKEY_H

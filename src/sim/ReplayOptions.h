@@ -61,6 +61,14 @@ struct ReplayOptions {
   /// Relative amplitude of ORIG-S computation jitter (0.05 = +/-5%).
   double OrigJitter = 0.05;
   CostModel Costs;
+  /// Memory budget for an AnalysisSession's per-{transformed, scheme,
+  /// seed} ReplayResult cache: the maximum number of cached results
+  /// before least-recently-used entries are evicted (0 = unbounded).
+  /// Sessions clamp the bound to >= 2 so one original + one
+  /// transformed replay — what report() and run() revisit — always
+  /// survive.  References returned by replay()/replayTransformed() are
+  /// valid until their entry is evicted.
+  size_t ReplayCacheCapacity = 32;
 };
 
 } // namespace perfplay

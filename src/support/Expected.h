@@ -42,6 +42,10 @@ enum class ErrorCode : uint8_t {
   /// An Engine::analyzeBatch() item failed (placeholder while the
   /// batch runs; finished items carry the failing stage's own code).
   BatchItemFailed,
+  /// The requested stage cannot run under the session's options (e.g.
+  /// report() over a detection configured with Sink/CountsOnly, which
+  /// discards the per-pair list the report needs).
+  IncompatibleOptions,
 };
 
 /// Returns a stable identifier for \p Code ("invalid-trace", ...).

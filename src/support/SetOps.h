@@ -15,13 +15,58 @@
 #ifndef PERFPLAY_SUPPORT_SETOPS_H
 #define PERFPLAY_SUPPORT_SETOPS_H
 
+#include <algorithm>
+#include <cstddef>
 #include <vector>
 
 namespace perfplay {
 
+namespace detail {
+
+/// Intersection test for skewed sizes: every element of \p Small is
+/// located in \p Large by exponential (galloping) probing from the last
+/// position, so the cost is O(|Small| * log(gap)) instead of
+/// O(|Small| + |Large|).
+template <typename T>
+bool gallopingIntersects(const std::vector<T> &Small,
+                         const std::vector<T> &Large) {
+  auto Lo = Large.begin();
+  for (const T &Val : Small) {
+    // Exponentially widen [Lo, Hi) until *Hi >= Val (or Hi hits end);
+    // elements before Lo are known to be < Val.
+    size_t Step = 1;
+    auto Hi = Lo;
+    while (Hi != Large.end() && *Hi < Val) {
+      Lo = Hi + 1;
+      size_t Remain = static_cast<size_t>(Large.end() - Lo);
+      Hi = Lo + std::min(Step, Remain);
+      Step <<= 1;
+    }
+    Lo = std::lower_bound(Lo, Hi, Val);
+    if (Lo == Large.end())
+      return false;
+    if (!(Val < *Lo))
+      return true;
+  }
+  return false;
+}
+
+} // namespace detail
+
 /// Returns true if the sorted ranges \p A and \p B share an element.
+/// Skewed inputs (read/write sets of a tiny section against a huge one)
+/// take a galloping early-exit path; balanced inputs use a linear merge.
 template <typename T>
 bool sortedIntersects(const std::vector<T> &A, const std::vector<T> &B) {
+  if (A.empty() || B.empty())
+    return false;
+  // Disjoint value ranges cannot intersect.
+  if (A.back() < B.front() || B.back() < A.front())
+    return false;
+  if (A.size() * 8 < B.size())
+    return detail::gallopingIntersects(A, B);
+  if (B.size() * 8 < A.size())
+    return detail::gallopingIntersects(B, A);
   auto I = A.begin(), J = B.begin();
   while (I != A.end() && J != B.end()) {
     if (*I < *J)

@@ -1,0 +1,93 @@
+//===- support/ThreadPool.cpp - Fork-join worker pool -----------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace perfplay;
+
+unsigned ThreadPool::resolveThreadCount(unsigned Requested,
+                                        size_t NumItems) {
+  unsigned N = Requested;
+  if (N == 0) {
+    N = std::thread::hardware_concurrency();
+    if (N == 0)
+      N = 1;
+  }
+  // Hard ceiling: a wrapped/absurd request (e.g. -1 cast to unsigned)
+  // must not translate into thousands of OS threads.
+  N = std::min(N, 256u);
+  N = static_cast<unsigned>(std::min<size_t>(N, std::max<size_t>(NumItems, 1)));
+  return std::max(N, 1u);
+}
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  NumWorkers = resolveThreadCount(NumThreads, static_cast<size_t>(-1));
+  Workers.reserve(NumWorkers - 1);
+  for (unsigned I = 1; I != NumWorkers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Guard(Mu);
+    Stopping = true;
+  }
+  StartCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::workerLoop() {
+  uint64_t SeenGeneration = 0;
+  for (;;) {
+    const std::function<void(size_t)> *Fn;
+    size_t Items;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      StartCv.wait(Lock, [&] {
+        return Stopping || Generation != SeenGeneration;
+      });
+      if (Stopping)
+        return;
+      SeenGeneration = Generation;
+      Fn = Job;
+      Items = JobItems;
+    }
+    for (size_t I = NextItem.fetch_add(1); I < Items;
+         I = NextItem.fetch_add(1))
+      (*Fn)(I);
+    {
+      std::lock_guard<std::mutex> Guard(Mu);
+      if (--ActiveWorkers == 0)
+        DoneCv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallelFor(size_t NumItems,
+                             const std::function<void(size_t)> &Fn) {
+  if (NumItems == 0)
+    return;
+  if (Workers.empty()) {
+    for (size_t I = 0; I != NumItems; ++I)
+      Fn(I);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> Guard(Mu);
+    Job = &Fn;
+    JobItems = NumItems;
+    NextItem.store(0);
+    ActiveWorkers = static_cast<unsigned>(Workers.size());
+    ++Generation;
+  }
+  StartCv.notify_all();
+  // The caller is worker 0.
+  for (size_t I = NextItem.fetch_add(1); I < NumItems;
+       I = NextItem.fetch_add(1))
+    Fn(I);
+  std::unique_lock<std::mutex> Lock(Mu);
+  DoneCv.wait(Lock, [&] { return ActiveWorkers == 0; });
+  Job = nullptr;
+}

@@ -1,0 +1,80 @@
+//===- support/ThreadPool.h - Fork-join worker pool --------------*- C++ -*-===//
+//
+// Part of the PerfPlay reproduction of "On Performance Debugging of
+// Unnecessary Lock Contentions on Multicore Processors" (CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fork-join worker pool shared by Engine::analyzeBatch and the
+/// parallel ULCP detector.  One pool owns N-1 background threads; the
+/// calling thread participates as worker 0, so a pool of size 1 runs
+/// everything inline with no thread ever spawned.  parallelFor hands out
+/// items via an atomic counter (dynamic load balancing) and blocks until
+/// every item completed, which keeps the caller free to merge results
+/// deterministically afterwards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERFPLAY_SUPPORT_THREADPOOL_H
+#define PERFPLAY_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace perfplay {
+
+/// Fork-join pool.  Construction spawns size()-1 threads which idle
+/// until parallelFor is called; destruction joins them.  parallelFor
+/// calls must not be nested or issued concurrently from several threads.
+class ThreadPool {
+public:
+  /// A pool of \p NumThreads workers (including the calling thread).
+  /// 0 means one per hardware thread.
+  explicit ThreadPool(unsigned NumThreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Total workers, calling thread included.  Always >= 1.
+  unsigned size() const { return NumWorkers; }
+
+  /// Runs \p Fn(Index) for every Index in [0, NumItems), spread
+  /// dynamically over the pool plus the calling thread.  Returns when
+  /// all items finished.
+  void parallelFor(size_t NumItems, const std::function<void(size_t)> &Fn);
+
+  /// Resolves a user-facing thread-count knob: 0 = one per hardware
+  /// thread (at least 1), capped at 256 (absurd requests must not
+  /// spawn thousands of OS threads) and by \p NumItems so small inputs
+  /// never spawn idle workers.
+  static unsigned resolveThreadCount(unsigned Requested, size_t NumItems);
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::mutex Mu;
+  std::condition_variable StartCv;
+  std::condition_variable DoneCv;
+  /// Current job; valid while ActiveWorkers != 0.
+  const std::function<void(size_t)> *Job = nullptr;
+  size_t JobItems = 0;
+  std::atomic<size_t> NextItem{0};
+  /// Incremented per parallelFor call; wakes idle workers exactly once
+  /// per job.
+  uint64_t Generation = 0;
+  unsigned ActiveWorkers = 0;
+  bool Stopping = false;
+  unsigned NumWorkers = 1;
+};
+
+} // namespace perfplay
+
+#endif // PERFPLAY_SUPPORT_THREADPOOL_H

@@ -726,16 +726,28 @@ bool perfplay::parseTraceBinary(const std::vector<uint8_t> &Bytes,
 //===----------------------------------------------------------------------===//
 
 bool perfplay::saveTrace(const Trace &Tr, const std::string &Path,
-                         std::string &Err) {
-  std::string Text = writeTraceText(Tr);
+                         std::string &Err, TraceFormat Format) {
+  const char *Data;
+  size_t Size;
+  std::string Text;
+  std::vector<uint8_t> Bytes;
+  if (Format == TraceFormat::Binary) {
+    Bytes = writeTraceBinary(Tr);
+    Data = reinterpret_cast<const char *>(Bytes.data());
+    Size = Bytes.size();
+  } else {
+    Text = writeTraceText(Tr);
+    Data = Text.data();
+    Size = Text.size();
+  }
   FILE *F = std::fopen(Path.c_str(), "wb");
   if (!F) {
     Err = "cannot open '" + Path + "' for writing";
     return false;
   }
-  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+  size_t Written = std::fwrite(Data, 1, Size, F);
   std::fclose(F);
-  if (Written != Text.size()) {
+  if (Written != Size) {
     Err = "short write to '" + Path + "'";
     return false;
   }
@@ -749,8 +761,28 @@ bool perfplay::loadTrace(const std::string &Path, Trace &Out,
     Err = "cannot open '" + Path + "' for reading";
     return false;
   }
-  std::string Text;
+  // Format sniffing: the binary header's magic is not valid text-format
+  // prose, so the first eight bytes decide unambiguously.  Sniffing
+  // before slurping lets each path read straight into the container its
+  // parser wants — no whole-file copy.
+  uint8_t Head[sizeof(BinaryMagic)];
+  size_t HeadLen = std::fread(Head, 1, sizeof(Head), F);
+  bool Binary = HeadLen == sizeof(BinaryMagic) &&
+                std::memcmp(Head, BinaryMagic, sizeof(BinaryMagic)) == 0;
+
   char Buf[1 << 16];
+  if (Binary) {
+    std::vector<uint8_t> Bytes(Head, Head + HeadLen);
+    for (;;) {
+      size_t N = std::fread(Buf, 1, sizeof(Buf), F);
+      Bytes.insert(Bytes.end(), Buf, Buf + N);
+      if (N < sizeof(Buf))
+        break;
+    }
+    std::fclose(F);
+    return parseTraceBinary(Bytes, Out, Err);
+  }
+  std::string Text(reinterpret_cast<const char *>(Head), HeadLen);
   for (;;) {
     size_t N = std::fread(Buf, 1, sizeof(Buf), F);
     Text.append(Buf, N);

@@ -41,10 +41,21 @@ std::vector<uint8_t> writeTraceBinary(const Trace &Tr);
 bool parseTraceBinary(const std::vector<uint8_t> &Bytes, Trace &Out,
                       std::string &Err);
 
-/// Writes \p Tr to \p Path (text format).  Returns false on I/O error.
-bool saveTrace(const Trace &Tr, const std::string &Path, std::string &Err);
+/// On-disk trace encodings.
+enum class TraceFormat {
+  /// Line-oriented, human-readable; slow to parse at scale.
+  Text,
+  /// Compact little-endian binary for production-scale traces.
+  Binary,
+};
 
-/// Reads a text-format trace from \p Path.
+/// Writes \p Tr to \p Path in \p Format.  Returns false on I/O error.
+/// Both formats are recognized back by loadTrace.
+bool saveTrace(const Trace &Tr, const std::string &Path, std::string &Err,
+               TraceFormat Format = TraceFormat::Text);
+
+/// Reads a trace from \p Path, auto-detecting the format by its magic
+/// bytes (binary header vs. the text banner).
 bool loadTrace(const std::string &Path, Trace &Out, std::string &Err);
 
 } // namespace perfplay

@@ -1,0 +1,239 @@
+//===- tests/DetectParallelTest.cpp - parallel/dedup detection parity -------===//
+//
+// The detector's performance modes (worker threads, key-pair dedup,
+// streaming sinks, counts-only) must be invisible in the results:
+// Pairs and Counts bit-identical to the serial baseline on every
+// workload shape — nested locks, MaxPairDistance, AdjacentCrossThread,
+// generated applications.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/Detector.h"
+#include "detect/SectionKey.h"
+#include "sim/Replayer.h"
+#include "trace/TraceBuilder.h"
+#include "workloads/Apps.h"
+#include "workloads/WorkloadSpec.h"
+
+#include <gtest/gtest.h>
+
+using namespace perfplay;
+
+namespace {
+
+void expectSameResult(const DetectResult &Base, const DetectResult &Got,
+                      const char *Config) {
+  EXPECT_EQ(Base.Counts.NullLock, Got.Counts.NullLock) << Config;
+  EXPECT_EQ(Base.Counts.ReadRead, Got.Counts.ReadRead) << Config;
+  EXPECT_EQ(Base.Counts.DisjointWrite, Got.Counts.DisjointWrite) << Config;
+  EXPECT_EQ(Base.Counts.Benign, Got.Counts.Benign) << Config;
+  EXPECT_EQ(Base.Counts.TrueContention, Got.Counts.TrueContention)
+      << Config;
+  ASSERT_EQ(Base.Pairs.size(), Got.Pairs.size()) << Config;
+  for (size_t I = 0; I != Base.Pairs.size(); ++I) {
+    EXPECT_EQ(Base.Pairs[I].First, Got.Pairs[I].First)
+        << Config << " pair " << I;
+    EXPECT_EQ(Base.Pairs[I].Second, Got.Pairs[I].Second)
+        << Config << " pair " << I;
+    EXPECT_EQ(Base.Pairs[I].Kind, Got.Pairs[I].Kind)
+        << Config << " pair " << I;
+  }
+}
+
+/// A mixed workload: three threads, an outer/inner nested lock pair
+/// plus a hot lock whose sections cycle through every classification
+/// (redundant stores, commutative adds, read-only, disjoint writes,
+/// store-vs-read conflicts).
+Trace mixedTrace() {
+  TraceBuilder B;
+  LockId Hot = B.addLock("hot");
+  LockId Outer = B.addLock("outer");
+  LockId Inner = B.addLock("inner");
+  CodeSiteId Site = B.addSite("m.cc", "mixed", 1, 99);
+  std::vector<ThreadId> Ids = {B.addThread(), B.addThread(),
+                               B.addThread()};
+
+  for (unsigned Round = 0; Round != 4; ++Round)
+    for (unsigned T = 0; T != Ids.size(); ++T) {
+      ThreadId Id = Ids[T];
+      B.compute(Id, 10 + Round);
+      B.beginCs(Id, Hot, Site);
+      switch ((Round + T) % 5) {
+      case 0:
+        B.write(Id, 1, 42); // Redundant store.
+        break;
+      case 1:
+        B.write(Id, 2, 3, WriteOpKind::Add); // Commutative.
+        break;
+      case 2:
+        B.read(Id, 3, 0); // Read-only.
+        break;
+      case 3:
+        B.write(Id, 100 + T, 7); // Disjoint per-thread.
+        break;
+      default:
+        B.write(Id, 1, 50 + T); // Conflicting stores.
+        B.read(Id, 2, 0);
+        break;
+      }
+      B.endCs(Id);
+      // Nested sections: accesses belong to outer and inner.
+      B.beginCs(Id, Outer, Site);
+      B.write(Id, 5, 1, WriteOpKind::Or);
+      B.beginCs(Id, Inner);
+      B.read(Id, 6, 9);
+      B.endCs(Id);
+      B.endCs(Id);
+    }
+  return B.finish();
+}
+
+Trace generatedTrace() {
+  Trace Tr = generateWorkload(makeMysql(4, 0.3));
+  recordGrantSchedule(Tr, 42);
+  return Tr;
+}
+
+DetectResult detectWith(const Trace &Tr, const CsIndex &Index,
+                        DetectOptions Opts, unsigned Threads,
+                        bool Dedup) {
+  Opts.NumThreads = Threads;
+  Opts.DedupPairs = Dedup;
+  return detectUlcps(Tr, Index, Opts);
+}
+
+void checkAllConfigs(const Trace &Tr, const DetectOptions &Base) {
+  CsIndex Index = CsIndex::build(Tr);
+  DetectResult Serial = detectWith(Tr, Index, Base, 1, false);
+  ASSERT_GT(Serial.Counts.total(), 0u);
+  expectSameResult(Serial, detectWith(Tr, Index, Base, 4, false),
+                   "parallel");
+  expectSameResult(Serial, detectWith(Tr, Index, Base, 1, true), "dedup");
+  expectSameResult(Serial, detectWith(Tr, Index, Base, 4, true),
+                   "parallel+dedup");
+  expectSameResult(Serial, detectWith(Tr, Index, Base, 0, true),
+                   "hw-threads+dedup");
+}
+
+} // namespace
+
+TEST(DetectParallelTest, MixedTraceAllCrossThread) {
+  DetectOptions Opts;
+  Opts.PairMode = PairModeKind::AllCrossThread;
+  checkAllConfigs(mixedTrace(), Opts);
+}
+
+TEST(DetectParallelTest, MixedTraceAdjacent) {
+  DetectOptions Opts;
+  Opts.PairMode = PairModeKind::AdjacentCrossThread;
+  checkAllConfigs(mixedTrace(), Opts);
+}
+
+TEST(DetectParallelTest, MixedTraceMaxPairDistance) {
+  DetectOptions Opts;
+  Opts.PairMode = PairModeKind::AllCrossThread;
+  Opts.MaxPairDistance = 2;
+  checkAllConfigs(mixedTrace(), Opts);
+}
+
+TEST(DetectParallelTest, MixedTraceStaticOnly) {
+  DetectOptions Opts;
+  Opts.PairMode = PairModeKind::AllCrossThread;
+  Opts.UseReversedReplay = false;
+  checkAllConfigs(mixedTrace(), Opts);
+}
+
+TEST(DetectParallelTest, GeneratedWorkloadParity) {
+  DetectOptions Opts;
+  Opts.PairMode = PairModeKind::AllCrossThread;
+  checkAllConfigs(generatedTrace(), Opts);
+}
+
+TEST(DetectParallelTest, SinkStreamsPairsInSerialOrder) {
+  Trace Tr = mixedTrace();
+  CsIndex Index = CsIndex::build(Tr);
+  DetectOptions Base;
+  Base.PairMode = PairModeKind::AllCrossThread;
+  DetectResult Serial = detectUlcps(Tr, Index, Base);
+
+  for (unsigned Threads : {1u, 4u}) {
+    DetectOptions Opts = Base;
+    Opts.NumThreads = Threads;
+    std::vector<UlcpPair> Streamed;
+    Opts.Sink = [&](const UlcpPair &P) { Streamed.push_back(P); };
+    DetectResult R = detectUlcps(Tr, Index, Opts);
+    EXPECT_TRUE(R.Pairs.empty()) << "sink mode must not materialize";
+    ASSERT_EQ(Streamed.size(), Serial.Pairs.size());
+    for (size_t I = 0; I != Streamed.size(); ++I) {
+      EXPECT_EQ(Streamed[I].First, Serial.Pairs[I].First) << I;
+      EXPECT_EQ(Streamed[I].Second, Serial.Pairs[I].Second) << I;
+      EXPECT_EQ(Streamed[I].Kind, Serial.Pairs[I].Kind) << I;
+    }
+    EXPECT_EQ(R.Counts.total(), Serial.Counts.total());
+  }
+}
+
+TEST(DetectParallelTest, CountsOnlySkipsPairVector) {
+  Trace Tr = mixedTrace();
+  CsIndex Index = CsIndex::build(Tr);
+  DetectOptions Opts;
+  Opts.PairMode = PairModeKind::AllCrossThread;
+  DetectResult Full = detectUlcps(Tr, Index, Opts);
+  Opts.CountsOnly = true;
+  DetectResult Counted = detectUlcps(Tr, Index, Opts);
+  EXPECT_TRUE(Counted.Pairs.empty());
+  EXPECT_EQ(Counted.Counts.total(), Full.Counts.total());
+  EXPECT_EQ(Counted.Counts.TrueContention, Full.Counts.TrueContention);
+}
+
+TEST(DetectParallelTest, DedupClassifiesEachKeyPairOnce) {
+  // 2 threads x 6 identical sections: one key, one classification,
+  // many dynamic pairs.
+  TraceBuilder B;
+  LockId Mu = B.addLock("mu");
+  CodeSiteId Site = B.addSite("k.cc", "inc", 1, 5);
+  std::vector<ThreadId> Ids = {B.addThread(), B.addThread()};
+  for (unsigned I = 0; I != 6; ++I)
+    for (ThreadId T : Ids) {
+      B.beginCs(T, Mu, Site);
+      B.write(T, 9, 1, WriteOpKind::Add);
+      B.endCs(T);
+    }
+  Trace Tr = B.finish();
+  CsIndex Index = CsIndex::build(Tr);
+
+  DetectOptions Opts;
+  Opts.PairMode = PairModeKind::AllCrossThread;
+  Opts.DedupPairs = true;
+  DetectResult R = detectUlcps(Tr, Index, Opts);
+  EXPECT_EQ(R.Stats.NumSectionKeys, 1u);
+  EXPECT_EQ(R.Stats.NumClassified, 1u);
+  EXPECT_GT(R.Counts.total(), 1u);
+  EXPECT_EQ(R.Counts.Benign, R.Counts.total()); // Adds commute.
+}
+
+TEST(DetectParallelTest, SectionKeysSeparateDistinctBodies) {
+  TraceBuilder B;
+  LockId Mu = B.addLock("mu");
+  CodeSiteId Site = B.addSite("k.cc", "f", 1, 5);
+  ThreadId T0 = B.addThread();
+  ThreadId T1 = B.addThread();
+  B.beginCs(T0, Mu, Site);
+  B.write(T0, 1, 5);
+  B.endCs(T0);
+  B.beginCs(T0, Mu, Site);
+  B.write(T0, 1, 6); // Different operand: different key.
+  B.endCs(T0);
+  B.beginCs(T1, Mu, Site);
+  B.read(T1, 1, 5); // Read value excluded: same key as next.
+  B.endCs(T1);
+  B.beginCs(T1, Mu, Site);
+  B.read(T1, 1, 99);
+  B.endCs(T1);
+  Trace Tr = B.finish();
+  CsIndex Index = CsIndex::build(Tr);
+  SectionKeyTable Keys = internSectionKeys(Tr, Index);
+  EXPECT_EQ(Keys.NumKeys, 3u);
+  EXPECT_NE(Keys.KeyOf[0], Keys.KeyOf[1]);
+  EXPECT_EQ(Keys.KeyOf[2], Keys.KeyOf[3]);
+}

@@ -180,6 +180,68 @@ TEST(SessionTest, ReplayMemoizedPerSchemeAndSeed) {
   EXPECT_NE(&*A, &*E);
 }
 
+TEST(SessionTest, ReplayCacheEvictsLeastRecentlyUsed) {
+  PipelineOptions Opts;
+  Opts.Replay.ReplayCacheCapacity = 4;
+  AnalysisSession Session{figure1Trace(), Opts};
+  // A seed sweep larger than the budget stays bounded.
+  for (uint64_t Seed = 0; Seed != 20; ++Seed)
+    ASSERT_TRUE(Session.replay(ScheduleKind::ElscS, Seed).ok());
+  EXPECT_EQ(Session.cachedReplayCount(), 4u);
+
+  // Seeds 16..19 are resident; re-requesting them is a cache hit
+  // (same object back), while an evicted seed recomputes into a fresh
+  // entry with identical contents.
+  auto Hit1 = Session.replay(ScheduleKind::ElscS, 19);
+  auto Hit2 = Session.replay(ScheduleKind::ElscS, 19);
+  ASSERT_TRUE(Hit1.ok() && Hit2.ok());
+  EXPECT_EQ(&*Hit1, &*Hit2);
+  auto Evicted = Session.replay(ScheduleKind::ElscS, 0);
+  ASSERT_TRUE(Evicted.ok());
+  EXPECT_EQ(Session.cachedReplayCount(), 4u);
+
+  // LRU order: touching an old entry protects it from the next insert.
+  ASSERT_TRUE(Session.replay(ScheduleKind::ElscS, 19).ok());
+  ASSERT_TRUE(Session.replay(ScheduleKind::ElscS, 100).ok());
+  auto Touched = Session.replay(ScheduleKind::ElscS, 19);
+  auto Again = Session.replay(ScheduleKind::ElscS, 19);
+  ASSERT_TRUE(Touched.ok() && Again.ok());
+  EXPECT_EQ(&*Touched, &*Again);
+}
+
+TEST(SessionTest, ReplayCacheCapacityZeroIsUnbounded) {
+  PipelineOptions Opts;
+  Opts.Replay.ReplayCacheCapacity = 0;
+  AnalysisSession Session{figure1Trace(), Opts};
+  for (uint64_t Seed = 0; Seed != 10; ++Seed)
+    ASSERT_TRUE(Session.replay(ScheduleKind::ElscS, Seed).ok());
+  EXPECT_EQ(Session.cachedReplayCount(), 10u);
+}
+
+TEST(SessionTest, TinyReplayCacheStillRunsFullPipeline) {
+  // The clamp to two entries keeps run()'s original + transformed
+  // replays resident even under an absurd budget.
+  PipelineOptions Opts;
+  Opts.Replay.ReplayCacheCapacity = 1;
+  PipelineResult Mono = runPerfPlay(figure1Trace(), PipelineOptions());
+  AnalysisSession Session{figure1Trace(), Opts};
+  PipelineResult Budgeted = Session.run();
+  ASSERT_TRUE(Budgeted.ok()) << Budgeted.Error;
+  expectSameResult(Mono, Budgeted);
+}
+
+TEST(SessionTest, DetectKnobsPreserveSessionResults) {
+  // Parallel + dedup detection inside a session matches the default.
+  PipelineOptions Fast;
+  Fast.Detect.NumThreads = 4;
+  Fast.Detect.DedupPairs = true;
+  PipelineResult Base = runPerfPlay(figure1Trace(), PipelineOptions());
+  AnalysisSession Session{figure1Trace(), Fast};
+  PipelineResult Tuned = Session.run();
+  ASSERT_TRUE(Tuned.ok()) << Tuned.Error;
+  expectSameResult(Base, Tuned);
+}
+
 TEST(SessionTest, StageResultsMemoized) {
   AnalysisSession Session{figure1Trace()};
   auto D1 = Session.detect();
@@ -327,6 +389,62 @@ TEST(SessionTest, ErrorCodeNamesAreStable) {
                "original-replay-failed");
   EXPECT_STREQ(errorCodeName(ErrorCode::BatchItemFailed),
                "batch-item-failed");
+  EXPECT_STREQ(errorCodeName(ErrorCode::IncompatibleOptions),
+               "incompatible-options");
+}
+
+TEST(SessionTest, ReportRejectsCountsOnlyDetection) {
+  // A Sink/CountsOnly detection has no pair list for report() to rank;
+  // the stage must fail typed instead of silently reporting "no
+  // contention".
+  PipelineOptions Opts;
+  Opts.Detect.CountsOnly = true;
+  AnalysisSession Session{figure1Trace(), Opts};
+  ASSERT_TRUE(Session.detect().ok());
+  auto Report = Session.report();
+  ASSERT_FALSE(Report.ok());
+  EXPECT_EQ(Report.code(), ErrorCode::IncompatibleOptions);
+
+  PipelineOptions SinkOpts;
+  SinkOpts.Detect.Sink = [](const UlcpPair &) {};
+  AnalysisSession SinkSession{figure1Trace(), SinkOpts};
+  EXPECT_EQ(SinkSession.report().code(), ErrorCode::IncompatibleOptions);
+  // Stages that do not need the pair list still work.
+  EXPECT_TRUE(SinkSession.transform().ok());
+  EXPECT_TRUE(SinkSession.races().ok());
+}
+
+TEST(SessionTest, StreamingDetectionRunSkipsReportOnly) {
+  // run()/analyze()/analyzeBatch stay usable with streaming detection:
+  // every stage but the (impossible) report runs, and the counts match
+  // a materialized run.
+  PipelineResult Full = runPerfPlay(figure1Trace(), PipelineOptions());
+
+  PipelineOptions Opts;
+  Opts.Detect.CountsOnly = true;
+  AnalysisSession Session{figure1Trace(), Opts};
+  PipelineResult Streamed = Session.run();
+  ASSERT_TRUE(Streamed.ok()) << Streamed.Error;
+  EXPECT_TRUE(Streamed.Detection.Pairs.empty());
+  EXPECT_EQ(Streamed.Detection.Counts.total(),
+            Full.Detection.Counts.total());
+  EXPECT_EQ(Streamed.Original.TotalTime, Full.Original.TotalTime);
+  EXPECT_EQ(Streamed.UlcpFree.TotalTime, Full.UlcpFree.TotalTime);
+  EXPECT_TRUE(Streamed.Report.Groups.empty()) << "report stage skipped";
+
+  Engine Eng;
+  Eng.options().Detect.CountsOnly = true;
+  std::vector<Trace> Traces;
+  Traces.push_back(figure1Trace());
+  Traces.push_back(figure1Trace());
+  std::vector<Expected<PipelineResult>> Batch =
+      Eng.analyzeBatch(std::move(Traces), 2);
+  for (const Expected<PipelineResult> &Item : Batch) {
+    ASSERT_TRUE(Item.ok());
+    EXPECT_EQ(Item->Detection.Counts.total(),
+              Full.Detection.Counts.total());
+    EXPECT_TRUE(Item->Detection.Pairs.empty());
+  }
 }
 
 //===----------------------------------------------------------------------===//

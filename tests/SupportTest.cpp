@@ -1,14 +1,19 @@
 //===- tests/SupportTest.cpp - support library unit tests ------------------===//
 
+#include "support/FlatMap.h"
 #include "support/Format.h"
 #include "support/Interval.h"
 #include "support/Rng.h"
 #include "support/SetOps.h"
 #include "support/Stats.h"
 #include "support/Table.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <numeric>
 #include <set>
 
 using namespace perfplay;
@@ -195,6 +200,118 @@ TEST(SetOpsTest, IntersectsBasic) {
 TEST(SetOpsTest, IntersectionContents) {
   std::vector<int> A = {1, 2, 3, 7, 9}, B = {2, 3, 4, 9};
   EXPECT_EQ(sortedIntersection(A, B), (std::vector<int>{2, 3, 9}));
+}
+
+TEST(SetOpsTest, GallopingPathMatchesLinear) {
+  // Skewed sizes route through the galloping path; cross-check against
+  // a brute-force membership test on many shapes.
+  std::vector<int> Large(1000);
+  std::iota(Large.begin(), Large.end(), 0);
+  for (int V : Large)
+    Large[V] *= 3; // 0, 3, 6, ..., 2997.
+  auto brute = [&](const std::vector<int> &Small) {
+    for (int V : Small)
+      if (std::binary_search(Large.begin(), Large.end(), V))
+        return true;
+    return false;
+  };
+  std::vector<std::vector<int>> Smalls = {
+      {},          {1},         {3},           {2996},  {2997},
+      {2998},      {-5, 9000},  {1, 2, 4, 5},  {1, 30}, {2995, 2998},
+      {0},         {1, 2997},   {-1, 0},       {5000},  {1500},
+  };
+  for (const auto &Small : Smalls) {
+    EXPECT_EQ(sortedIntersects(Small, Large), brute(Small));
+    EXPECT_EQ(sortedIntersects(Large, Small), brute(Small));
+  }
+}
+
+TEST(SetOpsTest, GallopingDenseHitLateInLarge) {
+  std::vector<int> Small = {999};
+  std::vector<int> Large(1000);
+  std::iota(Large.begin(), Large.end(), 0);
+  EXPECT_TRUE(sortedIntersects(Small, Large));
+  EXPECT_TRUE(sortedIntersects(Large, Small));
+}
+
+//===----------------------------------------------------------------------===//
+// FlatMap
+//===----------------------------------------------------------------------===//
+
+TEST(FlatMapTest, InsertFindGrow) {
+  FlatMap<uint64_t, uint64_t> M;
+  EXPECT_TRUE(M.empty());
+  for (uint64_t I = 0; I != 1000; ++I)
+    M[I * 7] = I;
+  EXPECT_EQ(M.size(), 1000u);
+  for (uint64_t I = 0; I != 1000; ++I) {
+    const uint64_t *V = M.find(I * 7);
+    ASSERT_NE(V, nullptr);
+    EXPECT_EQ(*V, I);
+  }
+  EXPECT_EQ(M.find(1), nullptr);
+}
+
+TEST(FlatMapTest, InsertIsIdempotent) {
+  FlatMap<uint64_t, int> M;
+  EXPECT_TRUE(M.insert(5, 1));
+  EXPECT_FALSE(M.insert(5, 2));
+  EXPECT_EQ(*M.find(5), 1);
+}
+
+TEST(FlatMapTest, EqualityIsOrderIndependent) {
+  FlatMap<uint64_t, uint64_t> A, B;
+  for (uint64_t I = 0; I != 100; ++I)
+    A[I] = I * I;
+  for (uint64_t I = 100; I != 0; --I)
+    B[I - 1] = (I - 1) * (I - 1);
+  EXPECT_TRUE(A == B);
+  B[7] = 0;
+  EXPECT_TRUE(A != B);
+  FlatMap<uint64_t, uint64_t> C;
+  C[1] = 1;
+  EXPECT_TRUE(A != C);
+}
+
+TEST(FlatMapTest, ForEachVisitsEveryEntry) {
+  FlatMap<uint64_t, uint64_t> M;
+  uint64_t Sum = 0;
+  for (uint64_t I = 1; I <= 50; ++I)
+    M[I] = I;
+  M.forEach([&](uint64_t, uint64_t V) { Sum += V; });
+  EXPECT_EQ(Sum, 50u * 51 / 2);
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_EQ(ThreadPool::resolveThreadCount(4, 100), 4u);
+  EXPECT_EQ(ThreadPool::resolveThreadCount(4, 2), 2u);
+  EXPECT_EQ(ThreadPool::resolveThreadCount(4, 0), 1u);
+  EXPECT_GE(ThreadPool::resolveThreadCount(0, 100), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryItem) {
+  for (unsigned Threads : {1u, 2u, 4u}) {
+    ThreadPool Pool(Threads);
+    std::vector<std::atomic<int>> Hits(257);
+    Pool.parallelFor(Hits.size(),
+                     [&](size_t I) { Hits[I].fetch_add(1); });
+    for (const auto &H : Hits)
+      EXPECT_EQ(H.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossJobs) {
+  ThreadPool Pool(4);
+  std::atomic<int> Total{0};
+  for (int Round = 0; Round != 10; ++Round)
+    Pool.parallelFor(100, [&](size_t) { Total.fetch_add(1); });
+  EXPECT_EQ(Total.load(), 1000);
+  Pool.parallelFor(0, [&](size_t) { Total.fetch_add(1000); });
+  EXPECT_EQ(Total.load(), 1000);
 }
 
 //===----------------------------------------------------------------------===//

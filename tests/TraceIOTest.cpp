@@ -188,6 +188,18 @@ TEST(TraceIOTest, FileSaveAndLoad) {
   std::remove(Path.c_str());
 }
 
+TEST(TraceIOTest, BinaryFileSaveAndAutoDetectLoad) {
+  Trace Tr = makeRichTrace();
+  std::string Path = testing::TempDir() + "/perfplay_trace_io_test.btrace";
+  std::string Err;
+  ASSERT_TRUE(saveTrace(Tr, Path, Err, TraceFormat::Binary)) << Err;
+  // loadTrace sniffs the magic bytes: no format hint needed.
+  Trace Back;
+  ASSERT_TRUE(loadTrace(Path, Back, Err)) << Err;
+  expectTracesEqual(Tr, Back);
+  std::remove(Path.c_str());
+}
+
 TEST(TraceIOTest, LoadMissingFileFails) {
   Trace Out;
   std::string Err;

@@ -6,8 +6,10 @@
 // Subcommands:
 //   perfplay list-apps
 //   perfplay generate <app> [--threads N] [--scale S] [--seed N]
-//                     [--out FILE]
-//   perfplay analyze <trace> [--pairs adjacent|all] [--races]
+//                     [--out FILE] [--binary]
+//   perfplay analyze <trace> [<trace> ...] [--pairs adjacent|all]
+//                    [--races] [--threads N] [--detect-threads N]
+//                    [--no-dedup]
 //   perfplay replay <trace> [--scheme orig|elsc|sync|mem] [--seed N]
 //                   [--replays K]
 //   perfplay casestudy <bug1|bug2|mysql> [--threads N] [--scale S]
@@ -99,15 +101,35 @@ private:
   std::vector<std::string> Args;
 };
 
+/// Parses a non-negative thread-count option value; rejects negatives
+/// and garbage instead of letting them wrap to huge unsigned values.
+bool parseThreadCount(const std::string &S, const char *Name,
+                      unsigned &Out) {
+  errno = 0;
+  char *End = nullptr;
+  long long V = std::strtoll(S.c_str(), &End, 10);
+  if (End == S.c_str() || *End != '\0' || errno == ERANGE || V < 0 ||
+      V > 1 << 16) {
+    std::fprintf(stderr, "error: %s expects a non-negative thread count, "
+                         "got '%s'\n",
+                 Name, S.c_str());
+    return false;
+  }
+  Out = static_cast<unsigned>(V);
+  return true;
+}
+
 int usage() {
   std::fprintf(
       stderr,
       "usage:\n"
       "  perfplay list-apps\n"
       "  perfplay generate <app> [--threads N] [--scale S] [--seed N]"
-      " [--out FILE]\n"
-      "  perfplay analyze <trace> [--pairs adjacent|all] [--races]"
-      " [--timeline] [--csv] [--progress]\n"
+      " [--out FILE] [--binary]\n"
+      "  perfplay analyze <trace> [<trace> ...] [--pairs adjacent|all]"
+      " [--races]\n"
+      "                  [--timeline] [--csv] [--progress] [--threads N]\n"
+      "                  [--detect-threads N] [--no-dedup]\n"
       "  perfplay replay <trace> [--scheme orig|elsc|sync|mem]"
       " [--seed N] [--replays K]\n"
       "  perfplay casestudy <bug1|bug2|mysql> [--threads N] [--scale S]\n"
@@ -134,6 +156,7 @@ int cmdGenerate(ArgList &Args) {
   uint64_t Seed = std::strtoull(Args.option("--seed", "42").c_str(),
                                 nullptr, 10);
   std::string Out = Args.option("--out", "");
+  bool Binary = Args.flag("--binary");
   std::string Name = Args.positional();
   if (Name.empty())
     return usage();
@@ -158,7 +181,8 @@ int cmdGenerate(ArgList &Args) {
     return 1;
   }
   std::string Err;
-  if (!saveTrace(Tr, Out, Err)) {
+  if (!saveTrace(Tr, Out, Err,
+                 Binary ? TraceFormat::Binary : TraceFormat::Text)) {
     std::fprintf(stderr, "error: %s\n", Err.c_str());
     return 1;
   }
@@ -168,33 +192,102 @@ int cmdGenerate(ArgList &Args) {
   return 0;
 }
 
+/// Batch mode of `perfplay analyze`: several traces analyzed
+/// concurrently, reported per trace and as one aggregate
+/// (debug/MultiTrace.h).
+int analyzeBatchMode(Engine &Eng, const std::vector<std::string> &Paths,
+                     unsigned Threads, bool Races) {
+  std::vector<Trace> Traces(Paths.size());
+  for (size_t I = 0; I != Paths.size(); ++I) {
+    std::string Err;
+    if (!loadTrace(Paths[I], Traces[I], Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+  }
+  std::vector<Expected<PipelineResult>> Batch =
+      Eng.analyzeBatch(std::move(Traces), Threads);
+
+  int Status = 0;
+  for (size_t I = 0; I != Batch.size(); ++I) {
+    if (!Batch[I].ok()) {
+      std::fprintf(stderr, "%s: error: %s [%s]\n", Paths[I].c_str(),
+                   Batch[I].message().c_str(),
+                   errorCodeName(Batch[I].code()));
+      Status = 1;
+      continue;
+    }
+    const UlcpCounts &C = Batch[I]->Detection.Counts;
+    std::printf("%s: %llu ULCPs (NL=%llu RR=%llu DW=%llu benign=%llu), "
+                "true contention %llu\n",
+                Paths[I].c_str(),
+                static_cast<unsigned long long>(C.totalUnnecessary()),
+                static_cast<unsigned long long>(C.NullLock),
+                static_cast<unsigned long long>(C.ReadRead),
+                static_cast<unsigned long long>(C.DisjointWrite),
+                static_cast<unsigned long long>(C.Benign),
+                static_cast<unsigned long long>(C.TrueContention));
+    if (Races)
+      for (const RaceReport &Race : (*Batch[I]).Races)
+        std::printf("  race: addr %llu threads %u vs %u\n",
+                    static_cast<unsigned long long>(Race.Addr),
+                    Race.ThreadA, Race.ThreadB);
+  }
+  std::printf("\n%s", renderAggregatedReport(aggregateBatch(Batch)).c_str());
+  return Status;
+}
+
 int cmdAnalyze(ArgList &Args) {
   std::string PairMode = Args.option("--pairs", "adjacent");
   bool Races = Args.flag("--races");
   bool Timeline = Args.flag("--timeline");
   bool Csv = Args.flag("--csv");
   bool Progress = Args.flag("--progress");
-  std::string Path = Args.positional();
-  if (Path.empty())
+  unsigned Threads, DetectThreads;
+  if (!parseThreadCount(Args.option("--threads", "0"), "--threads",
+                        Threads) ||
+      !parseThreadCount(Args.option("--detect-threads", "1"),
+                        "--detect-threads", DetectThreads))
+    return 2;
+  bool NoDedup = Args.flag("--no-dedup");
+  std::vector<std::string> Paths;
+  for (std::string P = Args.positional(); !P.empty();
+       P = Args.positional())
+    Paths.push_back(P);
+  if (Paths.empty())
     return usage();
-
-  Trace Tr;
-  std::string Err;
-  if (!loadTrace(Path, Tr, Err)) {
-    std::fprintf(stderr, "error: %s\n", Err.c_str());
-    return 1;
-  }
 
   Engine Eng;
   Eng.options().Detect.PairMode = PairMode == "all"
                                       ? PairModeKind::AllCrossThread
                                       : PairModeKind::AdjacentCrossThread;
+  Eng.options().Detect.NumThreads = DetectThreads;
+  Eng.options().Detect.DedupPairs = !NoDedup;
   Eng.options().CheckRaces = Races;
   if (Progress)
     Eng.setProgressCallback([](const StageEvent &Event) {
       if (!Event.FromCache)
-        std::fprintf(stderr, "[stage] %s\n", stageKindName(Event.Stage));
+        std::fprintf(stderr, "[stage] #%zu %s\n", Event.TraceIndex,
+                     stageKindName(Event.Stage));
     });
+
+  if (Paths.size() > 1) {
+    if (Timeline || Csv)
+      std::fprintf(stderr, "warning: --timeline/--csv apply only to "
+                           "single-trace analyze; ignored\n");
+    return analyzeBatchMode(Eng, Paths, Threads, Races);
+  }
+  if (Threads != 0)
+    std::fprintf(stderr, "warning: --threads parallelizes across traces "
+                         "and is ignored for a single trace; use "
+                         "--detect-threads to parallelize detection\n");
+
+  Trace Tr;
+  std::string Err;
+  if (!loadTrace(Paths[0], Tr, Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
 
   AnalysisSession Session = Eng.openSession(std::move(Tr));
   PipelineError TypedErr;
