@@ -22,6 +22,8 @@ const char *perfplay::errorCodeName(ErrorCode Code) {
     return "batch-item-failed";
   case ErrorCode::IncompatibleOptions:
     return "incompatible-options";
+  case ErrorCode::TraceIOFailed:
+    return "trace-io-failed";
   }
   return "?";
 }

@@ -50,11 +50,14 @@
 #include <functional>
 #include <list>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 namespace perfplay {
+
+class MappedFile;
 
 /// Pipeline configuration.
 struct PipelineOptions {
@@ -149,6 +152,22 @@ public:
   /// Tags this session's progress events with \p Index (the trace's
   /// position in a batch).
   void setTraceIndex(size_t Index) { TraceIndex = Index; }
+
+  /// Pins \p Mapping (the file view the session's trace was parsed out
+  /// of) for the session's lifetime.  Installed by
+  /// Engine::openSessionFromFile on the zero-copy load path.  Today's
+  /// parsers copy every field into the Trace, so nothing reads the
+  /// mapping after construction — the pin exists purely so the planned
+  /// borrowed-storage parse (string views into the map, see ROADMAP)
+  /// can land without changing session lifetimes; a clean read-only
+  /// mapping costs address space only, the kernel reclaims its pages
+  /// freely.
+  void setBackingMapping(std::shared_ptr<const MappedFile> Mapping) {
+    Backing = std::move(Mapping);
+  }
+
+  /// The pinned file mapping, if any (see setBackingMapping).
+  const MappedFile *backingMapping() const { return Backing.get(); }
 
   /// Stage 1 (record): validates the trace, builds the global
   /// critical-section numbering, and — when the trace has critical
@@ -257,6 +276,8 @@ private:
   PipelineOptions Opts;
   ProgressCallback Progress;
   size_t TraceIndex = 0;
+  /// Keep-alive for the mmap the trace was parsed from (may be null).
+  std::shared_ptr<const MappedFile> Backing;
 
   /// Stage 1 state.
   bool SetupDone = false;

@@ -2,8 +2,11 @@
 
 #include "core/Engine.h"
 
+#include "support/MappedFile.h"
 #include "support/ThreadPool.h"
 
+#include <algorithm>
+#include <memory>
 #include <mutex>
 
 using namespace perfplay;
@@ -12,35 +15,165 @@ AnalysisSession Engine::openSession(Trace Tr) const {
   return AnalysisSession(std::move(Tr), Defaults, Progress);
 }
 
+/// Loads \p Path through the shared loadTraceKeepMapping policy and
+/// builds a session over \p Opts/\p Progress, pinning the mapping when
+/// the zero-copy path served the load.
+static Expected<AnalysisSession>
+openFileSession(const std::string &Path, TraceLoadMode Mode,
+                const PipelineOptions &Opts,
+                const ProgressCallback &Progress) {
+  auto Mapping = std::make_shared<MappedFile>();
+  Trace Tr;
+  std::string Err;
+  if (!loadTraceKeepMapping(Path, Tr, Err, *Mapping, Mode))
+    return PipelineError(ErrorCode::TraceIOFailed, std::move(Err));
+  AnalysisSession Session(std::move(Tr), Opts, Progress);
+  // Pin only real mmaps: their clean pages cost nothing the kernel
+  // cannot reclaim.  A read-fallback buffer would keep a second full
+  // copy of the file alive for no benefit, so let it die here.
+  if (Mapping->isMapped())
+    Session.setBackingMapping(std::move(Mapping));
+  return Session;
+}
+
+Expected<AnalysisSession>
+Engine::openSessionFromFile(const std::string &Path,
+                            TraceLoadMode Mode) const {
+  return openFileSession(Path, Mode, Defaults, Progress);
+}
+
+unsigned Engine::cappedDetectThreads(unsigned Requested,
+                                     unsigned BatchWorkers) {
+  unsigned Hardware =
+      ThreadPool::resolveThreadCount(0, static_cast<size_t>(-1));
+  unsigned Resolved =
+      ThreadPool::resolveThreadCount(Requested, static_cast<size_t>(-1));
+  unsigned Budget = std::max(1u, Hardware / std::max(BatchWorkers, 1u));
+  return std::min(Resolved, Budget);
+}
+
+void Engine::runBatch(
+    size_t NumItems, unsigned NumThreads, const SessionSource &Open,
+    const std::function<void(size_t, Expected<PipelineResult> &&)> &Deliver)
+    const {
+  if (NumItems == 0)
+    return;
+
+  // Progress callbacks and result delivery funnel through one mutex so
+  // user callbacks need no locking of their own.
+  std::mutex BatchMu;
+  ProgressCallback SharedProgress;
+  if (Progress)
+    SharedProgress = [this, &BatchMu](const StageEvent &Event) {
+      std::lock_guard<std::mutex> Guard(BatchMu);
+      Progress(Event);
+    };
+
+  ThreadPool Pool(ThreadPool::resolveThreadCount(NumThreads, NumItems));
+  // Nested-pool guard: each session's detection stage spins up its own
+  // pool, so cap its width such that batch-workers x detect-threads
+  // stays within the machine instead of oversubscribing to the product.
+  PipelineOptions BatchOpts = Defaults;
+  BatchOpts.Detect.NumThreads =
+      cappedDetectThreads(Defaults.Detect.NumThreads, Pool.size());
+  Pool.parallelFor(NumItems, [&](size_t I) {
+    Expected<AnalysisSession> SessionOr = Open(I, BatchOpts, SharedProgress);
+    Expected<PipelineResult> Item = [&]() -> Expected<PipelineResult> {
+      if (!SessionOr)
+        return SessionOr.error();
+      SessionOr->setTraceIndex(I);
+      // The session dies with this iteration: consume its caches into
+      // the result instead of copying them.
+      PipelineError Err;
+      PipelineResult R = SessionOr->takeRun(&Err);
+      if (!Err.isSuccess())
+        return Err;
+      return R;
+    }();
+    std::lock_guard<std::mutex> Guard(BatchMu);
+    Deliver(I, std::move(Item));
+  });
+}
+
+AggregatedReport Engine::streamBatch(size_t NumItems, unsigned NumThreads,
+                                     const SessionSource &Open,
+                                     const BatchResultConsumer &Consumer)
+    const {
+  // Only the lightweight per-trace reports are retained for the
+  // aggregate; the full results stream through the consumer and die.
+  std::vector<PerfDebugReport> Reports(NumItems);
+  std::vector<uint8_t> Succeeded(NumItems, 0);
+  runBatch(NumItems, NumThreads, Open,
+           [&](size_t I, Expected<PipelineResult> &&Item) {
+             if (Item.ok()) {
+               Succeeded[I] = 1;
+               Reports[I] = Item->Report;
+             }
+             if (Consumer)
+               Consumer(I, std::move(Item));
+           });
+
+  // Aggregate in trace order — deterministic no matter which worker
+  // finished first, and identical to aggregateBatch(analyzeBatch()).
+  std::vector<PerfDebugReport> Ordered;
+  unsigned NumFailed = 0;
+  for (size_t I = 0; I != NumItems; ++I) {
+    if (Succeeded[I])
+      Ordered.push_back(std::move(Reports[I]));
+    else
+      ++NumFailed;
+  }
+  AggregatedReport Out = aggregateReports(Ordered);
+  Out.NumFailed = NumFailed;
+  return Out;
+}
+
+/// Session source over a pre-loaded trace vector.
+static auto traceSource(std::vector<Trace> &Traces) {
+  return [&Traces](size_t I, const PipelineOptions &Opts,
+                   const ProgressCallback &Progress)
+             -> Expected<AnalysisSession> {
+    return AnalysisSession(std::move(Traces[I]), Opts, Progress);
+  };
+}
+
 std::vector<Expected<PipelineResult>>
 Engine::analyzeBatch(std::vector<Trace> Traces, unsigned NumThreads) const {
   std::vector<Expected<PipelineResult>> Results;
-  if (Traces.empty())
-    return Results;
-
   Results.reserve(Traces.size());
   for (size_t I = 0; I != Traces.size(); ++I)
     Results.emplace_back(
         PipelineError(ErrorCode::BatchItemFailed, "not analyzed"));
-
-  // Callbacks from concurrent sessions funnel through one mutex so
-  // user callbacks need no locking of their own.
-  std::mutex ProgressMu;
-  ProgressCallback SharedProgress;
-  if (Progress)
-    SharedProgress = [this, &ProgressMu](const StageEvent &Event) {
-      std::lock_guard<std::mutex> Guard(ProgressMu);
-      Progress(Event);
-    };
-
-  ThreadPool Pool(
-      ThreadPool::resolveThreadCount(NumThreads, Traces.size()));
-  Pool.parallelFor(Traces.size(), [&](size_t I) {
-    AnalysisSession Session(std::move(Traces[I]), Defaults, SharedProgress);
-    Session.setTraceIndex(I);
-    Results[I] = Session.analyze();
-  });
+  runBatch(Traces.size(), NumThreads, traceSource(Traces),
+           [&](size_t I, Expected<PipelineResult> &&Item) {
+             Results[I] = std::move(Item);
+           });
   return Results;
+}
+
+AggregatedReport
+Engine::analyzeBatchStreaming(std::vector<Trace> Traces,
+                              const BatchResultConsumer &Consumer,
+                              unsigned NumThreads) const {
+  return streamBatch(Traces.size(), NumThreads, traceSource(Traces),
+                     Consumer);
+}
+
+AggregatedReport
+Engine::analyzeBatchFilesStreaming(const std::vector<std::string> &Paths,
+                                   const BatchResultConsumer &Consumer,
+                                   unsigned NumThreads,
+                                   TraceLoadMode Mode) const {
+  return streamBatch(
+      Paths.size(), NumThreads,
+      [&Paths, Mode](size_t I, const PipelineOptions &Opts,
+                     const ProgressCallback &Progress) {
+        // Each worker loads its own file on demand — input memory is
+        // one trace (and one pinned mapping) per worker, not the sum
+        // of the batch.
+        return openFileSession(Paths[I], Mode, Opts, Progress);
+      },
+      Consumer);
 }
 
 AggregatedReport perfplay::aggregateBatch(

@@ -19,7 +19,9 @@
 
 #include "core/AnalysisSession.h"
 #include "debug/MultiTrace.h"
+#include "trace/TraceIO.h"
 
+#include <functional>
 #include <vector>
 
 namespace perfplay {
@@ -45,22 +47,96 @@ public:
   /// progress callback.  No work happens until a stage is called.
   AnalysisSession openSession(Trace Tr) const;
 
+  /// Opens a session over the trace stored at \p Path (format
+  /// auto-detected).  Under TraceLoadMode::Auto/Mmap the binary parse
+  /// borrows the file mapping directly (zero-copy), and the returned
+  /// session keeps that mapping alive for its lifetime
+  /// (AnalysisSession::setBackingMapping).  Load failures come back as
+  /// ErrorCode::TraceIOFailed.
+  Expected<AnalysisSession>
+  openSessionFromFile(const std::string &Path,
+                      TraceLoadMode Mode = TraceLoadMode::Auto) const;
+
   /// Analyzes every trace in \p Traces concurrently on up to
   /// \p NumThreads workers (0 = one per hardware thread, capped by the
   /// batch size).  The result vector parallels the input: each element
   /// is the trace's complete PipelineResult or the typed error of its
   /// first failing stage.  One trace's failure never aborts the rest.
   ///
-  /// Thread budgets multiply: each worker's session honors
-  /// options().Detect.NumThreads for its own detection stage, so a
-  /// batch of B workers with N detection threads runs up to B*N busy
-  /// threads.  Prefer parallelizing across traces (leave
-  /// Detect.NumThreads at 1) unless the batch is smaller than the
-  /// machine.
+  /// Thread budgets do not multiply: each worker session's detection
+  /// runs with options().Detect.NumThreads capped so that
+  /// batch-workers x detect-threads never exceeds the machine
+  /// (cappedDetectThreads).  With the defaults (Detect.NumThreads = 1)
+  /// parallelism is purely across traces.
   std::vector<Expected<PipelineResult>>
   analyzeBatch(std::vector<Trace> Traces, unsigned NumThreads = 0) const;
 
+  /// Streaming consumer for analyzeBatchStreaming: called once per
+  /// trace with its batch index and its finished result, in completion
+  /// order (NOT trace order).  Invocations are serialized by the
+  /// batch, so the consumer needs no locking of its own; the result is
+  /// moved in and destroyed after the call returns, which is the whole
+  /// point — no batch-sized result vector ever exists.
+  using BatchResultConsumer =
+      std::function<void(size_t TraceIndex, Expected<PipelineResult> Result)>;
+
+  /// Like analyzeBatch, but hands each Expected<PipelineResult> to
+  /// \p Consumer as it completes instead of materializing every result:
+  /// peak memory holds one in-flight result per worker plus the
+  /// lightweight per-trace reports the aggregate needs.  The returned
+  /// AggregatedReport is built from the per-trace reports in trace
+  /// order, so it is deterministic and identical to
+  /// aggregateBatch(analyzeBatch(...)) regardless of completion order.
+  AggregatedReport
+  analyzeBatchStreaming(std::vector<Trace> Traces,
+                        const BatchResultConsumer &Consumer,
+                        unsigned NumThreads = 0) const;
+
+  /// Fully streaming batch over trace *files*: each worker loads its
+  /// trace on demand (openSessionFromFile semantics — zero-copy mmap
+  /// under Auto/Mmap, mapping pinned for the session's lifetime) and
+  /// results stream through \p Consumer, so peak memory holds one
+  /// trace + one result per worker no matter how large the batch is.
+  /// A file that fails to load or parse becomes that index's
+  /// ErrorCode::TraceIOFailed result; the rest of the batch is
+  /// unaffected.
+  AggregatedReport
+  analyzeBatchFilesStreaming(const std::vector<std::string> &Paths,
+                             const BatchResultConsumer &Consumer,
+                             unsigned NumThreads = 0,
+                             TraceLoadMode Mode = TraceLoadMode::Auto)
+      const;
+
+  /// Detection-thread budget for one of \p BatchWorkers concurrent
+  /// sessions when the engine's options request \p Requested
+  /// (0 = one per hardware thread): the largest count that keeps
+  /// BatchWorkers x result <= hardware threads, floored at 1.
+  static unsigned cappedDetectThreads(unsigned Requested,
+                                      unsigned BatchWorkers);
+
 private:
+  /// Produces item \p Index's session for a batch run, built with the
+  /// batch's capped options and shared progress callback — from a
+  /// pre-loaded Trace or by loading a file on the worker.
+  using SessionSource = std::function<Expected<AnalysisSession>(
+      size_t Index, const PipelineOptions &BatchOpts,
+      const ProgressCallback &SharedProgress)>;
+
+  /// Shared fan-out of every batch entry point: analyzes \p NumItems
+  /// sessions from \p Open on the pool and hands each finished result
+  /// to \p Deliver under the batch mutex (serialized, completion
+  /// order).
+  void runBatch(size_t NumItems, unsigned NumThreads,
+                const SessionSource &Open,
+                const std::function<void(size_t, Expected<PipelineResult> &&)>
+                    &Deliver) const;
+
+  /// Streaming core: runBatch + per-item Consumer + the deterministic
+  /// trace-ordered aggregate.
+  AggregatedReport streamBatch(size_t NumItems, unsigned NumThreads,
+                               const SessionSource &Open,
+                               const BatchResultConsumer &Consumer) const;
+
   PipelineOptions Defaults;
   ProgressCallback Progress;
 };

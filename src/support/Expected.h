@@ -46,6 +46,11 @@ enum class ErrorCode : uint8_t {
   /// report() over a detection configured with Sink/CountsOnly, which
   /// discards the per-pair list the report needs).
   IncompatibleOptions,
+  /// A trace file could not be read or parsed (readTraceFile /
+  /// Engine::openSessionFromFile): missing file, I/O error, bad magic,
+  /// or a corrupt/truncated body.  The message carries the loader's
+  /// diagnostic.
+  TraceIOFailed,
 };
 
 /// Returns a stable identifier for \p Code ("invalid-trace", ...).

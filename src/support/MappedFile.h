@@ -1,0 +1,100 @@
+//===- support/MappedFile.h - Read-only memory-mapped file -------*- C++ -*-===//
+//
+// Part of the PerfPlay reproduction of "On Performance Debugging of
+// Unnecessary Lock Contentions on Multicore Processors" (CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An RAII read-only view of a file's bytes.  On POSIX systems the
+/// file is mmap'd (zero-copy: the parser reads straight out of the
+/// page cache, and the kernel drops clean pages under memory
+/// pressure); elsewhere the file is read into an owned buffer, so
+/// callers get the same data()/size() contract everywhere.
+///
+/// Production-scale binary traces are the motivating consumer: the
+/// borrowed-buffer parseTraceBinary overload (trace/TraceIO.h) walks
+/// the mapping directly, skipping the whole-file std::vector copy the
+/// stream loader makes.
+///
+/// Caveat inherent to mmap: if another process truncates the file
+/// while a mapping is live, touching pages past the new end raises
+/// SIGBUS (a crash, not a parse error).  Callers loading files that
+/// may be rewritten in place concurrently should prefer the stream
+/// path (TraceLoadMode::Stream / --no-mmap), which degrades to a
+/// typed parse error instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERFPLAY_SUPPORT_MAPPEDFILE_H
+#define PERFPLAY_SUPPORT_MAPPEDFILE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace perfplay {
+
+/// Read-only bytes of one file, memory-mapped when the platform
+/// supports it.  Movable, not copyable; the view dies with the object.
+class MappedFile {
+public:
+  MappedFile() = default;
+  ~MappedFile() { close(); }
+
+  MappedFile(MappedFile &&Other) noexcept { *this = std::move(Other); }
+  MappedFile &operator=(MappedFile &&Other) noexcept;
+  MappedFile(const MappedFile &) = delete;
+  MappedFile &operator=(const MappedFile &) = delete;
+
+  /// True when this build maps files instead of reading them.
+  static bool supportsMapping();
+
+  /// What \p Path names, for mapping purposes.
+  enum class PathKind {
+    /// stat() failed — let open() produce the diagnostic.
+    Missing,
+    /// A regular file; mapping works.
+    Regular,
+    /// Exists but cannot be usefully mapped (pipe, FIFO, device).
+    /// Opening one of these can block and consumes a pipe's read end,
+    /// so loaders must not even attempt it.
+    Other,
+  };
+  static PathKind classifyPath(const std::string &Path);
+
+  /// True when \p Path names something the platform can usefully mmap
+  /// (a regular file on a POSIX build).  Pipes, FIFOs, and devices
+  /// report false so Auto-mode loaders stream them instead of
+  /// consuming their read end on a doomed map attempt.
+  static bool isMappablePath(const std::string &Path) {
+    return classifyPath(Path) == PathKind::Regular;
+  }
+
+  /// Opens \p Path and makes its bytes addressable.  On failure
+  /// returns false, sets \p Err, and leaves the object closed.
+  /// Reopening an already-open object closes the previous view first.
+  bool open(const std::string &Path, std::string &Err);
+
+  /// Releases the mapping (or fallback buffer).  Idempotent.
+  void close();
+
+  /// First byte of the file; nullptr when closed or the file is empty.
+  const uint8_t *data() const { return Data; }
+  size_t size() const { return Size; }
+
+  /// True when data() points into a real mmap (not the read fallback).
+  bool isMapped() const { return Mapped; }
+
+private:
+  const uint8_t *Data = nullptr;
+  size_t Size = 0;
+  bool Mapped = false;
+  /// Owns the bytes on platforms without mmap (and for empty files).
+  std::vector<uint8_t> Fallback;
+};
+
+} // namespace perfplay
+
+#endif // PERFPLAY_SUPPORT_MAPPEDFILE_H

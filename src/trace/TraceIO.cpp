@@ -2,6 +2,9 @@
 
 #include "trace/TraceIO.h"
 
+#include "support/MappedFile.h"
+
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cstring>
@@ -337,6 +340,13 @@ bool perfplay::parseTraceText(const std::string &Text, Trace &Out,
   if (!C.nextLine(Err) || !C.expect("schedule", Err) ||
       !C.unsignedInt(N, Err))
     return false;
+  // Every per-lock order needs its own "sched" line of >= 9 chars, so
+  // a count beyond input-length/9 is forged — reject it before the
+  // resize allocates proportionally to it.
+  if (N > Text.size() / 9) {
+    Err = "schedule count exceeds input size";
+    return false;
+  }
   Out.LockSchedule.resize(N);
   for (uint64_t I = 0; I != N; ++I) {
     if (!C.nextLine(Err) || !C.expect("sched", Err))
@@ -367,8 +377,17 @@ bool perfplay::parseTraceText(const std::string &Text, Trace &Out,
     uint64_t NumEvents;
     if (!C.unsignedInt(NumEvents, Err))
       return false;
+    // The shortest event line ("ts\n") is 3 chars; a count the input
+    // cannot possibly hold must not size the reserve below — and the
+    // reserve itself is clamped by the in-memory event size so even an
+    // accepted count cannot allocate a multiple of the input.
+    if (NumEvents > Text.size() / 3) {
+      Err = "event count exceeds input size";
+      return false;
+    }
     ThreadTrace TT;
-    TT.Events.reserve(NumEvents);
+    TT.Events.reserve(std::min<size_t>(
+        NumEvents, Text.size() / sizeof(Event) + 1));
     for (uint64_t I = 0; I != NumEvents; ++I) {
       if (!C.nextLine(Err))
         return false;
@@ -464,43 +483,57 @@ private:
   std::vector<uint8_t> Bytes;
 };
 
+/// Cursor over a borrowed byte buffer — typically a read-only file
+/// mapping, so every accessor bounds-checks before touching memory and
+/// nothing here allocates.
 class ByteReader {
 public:
-  ByteReader(const std::vector<uint8_t> &Bytes) : Bytes(Bytes) {}
+  ByteReader(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
+
+  size_t remaining() const { return Size - Pos; }
+
+  /// True when a table of \p N entries, each occupying at least
+  /// \p MinEntryBytes on disk, can still fit in the unread suffix.
+  /// The guard every table loop runs before trusting an on-disk count:
+  /// a hostile 12-byte file must not drive a multi-gigabyte resize.
+  bool countFits(uint64_t N, size_t MinEntryBytes) const {
+    return N <= remaining() / MinEntryBytes;
+  }
 
   bool u8(uint8_t &V) {
-    if (Pos + 1 > Bytes.size())
+    if (remaining() < 1)
       return false;
-    V = Bytes[Pos++];
+    V = Data[Pos++];
     return true;
   }
   bool u32(uint32_t &V) {
-    if (Pos + 4 > Bytes.size())
+    if (remaining() < 4)
       return false;
     V = 0;
     for (int I = 0; I != 4; ++I)
-      V |= static_cast<uint32_t>(Bytes[Pos++]) << (8 * I);
+      V |= static_cast<uint32_t>(Data[Pos++]) << (8 * I);
     return true;
   }
   bool u64(uint64_t &V) {
-    if (Pos + 8 > Bytes.size())
+    if (remaining() < 8)
       return false;
     V = 0;
     for (int I = 0; I != 8; ++I)
-      V |= static_cast<uint64_t>(Bytes[Pos++]) << (8 * I);
+      V |= static_cast<uint64_t>(Data[Pos++]) << (8 * I);
     return true;
   }
   bool str(std::string &S) {
     uint32_t Len;
-    if (!u32(Len) || Pos + Len > Bytes.size())
+    if (!u32(Len) || Len > remaining())
       return false;
-    S.assign(reinterpret_cast<const char *>(Bytes.data()) + Pos, Len);
+    S.assign(reinterpret_cast<const char *>(Data) + Pos, Len);
     Pos += Len;
     return true;
   }
 
 private:
-  const std::vector<uint8_t> &Bytes;
+  const uint8_t *Data;
+  size_t Size;
   size_t Pos = 0;
 };
 
@@ -584,10 +617,10 @@ std::vector<uint8_t> perfplay::writeTraceBinary(const Trace &Tr) {
   return W.take();
 }
 
-bool perfplay::parseTraceBinary(const std::vector<uint8_t> &Bytes,
+bool perfplay::parseTraceBinary(const uint8_t *Data, size_t Size,
                                 Trace &Out, std::string &Err) {
   Out = Trace();
-  ByteReader R(Bytes);
+  ByteReader R(Data, Size);
   auto fail = [&](const char *Msg) {
     Err = Msg;
     return false;
@@ -599,9 +632,19 @@ bool perfplay::parseTraceBinary(const std::vector<uint8_t> &Bytes,
       return fail("not a perfplay binary trace (bad magic)");
   }
 
+  // Every table below validates its on-disk count against the unread
+  // byte budget (using each entry's minimum encoded size) before any
+  // container is sized.  Corrupt or hostile headers therefore fail
+  // with a typed "count exceeds file size" diagnostic instead of
+  // triggering an allocation proportional to the forged count — peak
+  // memory stays bounded by the real file size.
+
   uint32_t N;
   if (!R.u32(N))
     return fail("truncated lock table");
+  if (!R.countFits(N, 5)) // u8 spin + u32 name length
+    return fail("lock table count exceeds file size");
+  Out.Locks.reserve(N);
   for (uint32_t I = 0; I != N; ++I) {
     LockInfo L;
     uint8_t Spin;
@@ -613,6 +656,9 @@ bool perfplay::parseTraceBinary(const std::vector<uint8_t> &Bytes,
 
   if (!R.u32(N))
     return fail("truncated site table");
+  if (!R.countFits(N, 16)) // two u32 lines + two u32 string lengths
+    return fail("site table count exceeds file size");
+  Out.Sites.reserve(N);
   for (uint32_t I = 0; I != N; ++I) {
     CodeSite S;
     if (!R.u32(S.BeginLine) || !R.u32(S.EndLine) || !R.str(S.File) ||
@@ -623,11 +669,17 @@ bool perfplay::parseTraceBinary(const std::vector<uint8_t> &Bytes,
 
   if (!R.u32(N))
     return fail("truncated lockset table");
+  if (!R.countFits(N, 4)) // u32 entry count per lockset
+    return fail("lockset table count exceeds file size");
+  Out.Locksets.reserve(N);
   for (uint32_t I = 0; I != N; ++I) {
     uint32_t K;
     if (!R.u32(K))
       return fail("truncated lockset");
+    if (!R.countFits(K, 8)) // u32 lock + u32 source section
+      return fail("lockset entry count exceeds file size");
     Lockset LS;
+    LS.Entries.reserve(K);
     for (uint32_t J = 0; J != K; ++J) {
       LocksetEntry E;
       if (!R.u32(E.Lock) || !R.u32(E.SourceCs))
@@ -639,6 +691,9 @@ bool perfplay::parseTraceBinary(const std::vector<uint8_t> &Bytes,
 
   if (!R.u32(N))
     return fail("truncated constraint table");
+  if (!R.countFits(N, 8)) // u32 before + u32 after
+    return fail("constraint table count exceeds file size");
+  Out.Constraints.reserve(N);
   for (uint32_t I = 0; I != N; ++I) {
     OrderConstraint C;
     if (!R.u32(C.Before) || !R.u32(C.After))
@@ -648,11 +703,16 @@ bool perfplay::parseTraceBinary(const std::vector<uint8_t> &Bytes,
 
   if (!R.u32(N))
     return fail("truncated schedule");
+  if (!R.countFits(N, 4)) // u32 entry count per per-lock order
+    return fail("schedule count exceeds file size");
   Out.LockSchedule.resize(N);
   for (uint32_t I = 0; I != N; ++I) {
     uint32_t K;
     if (!R.u32(K))
       return fail("truncated schedule order");
+    if (!R.countFits(K, 8)) // u32 thread + u32 index
+      return fail("schedule entry count exceeds file size");
+    Out.LockSchedule[I].reserve(K);
     for (uint32_t J = 0; J != K; ++J) {
       CsRef Ref;
       if (!R.u32(Ref.Thread) || !R.u32(Ref.Index))
@@ -663,12 +723,23 @@ bool perfplay::parseTraceBinary(const std::vector<uint8_t> &Bytes,
 
   if (!R.u32(N))
     return fail("truncated thread table");
+  if (!R.countFits(N, 4)) // u32 event count per thread
+    return fail("thread table count exceeds file size");
+  Out.Threads.reserve(N);
   for (uint32_t T = 0; T != N; ++T) {
     uint32_t NumEvents;
     if (!R.u32(NumEvents))
       return fail("truncated thread header");
+    if (!R.countFits(NumEvents, 1)) // u8 kind tag per event
+      return fail("event count exceeds file size");
     ThreadTrace TT;
-    TT.Events.reserve(NumEvents);
+    // The count check above uses the 1-byte on-disk minimum
+    // (ThreadStart/End are bare tags), but events occupy sizeof(Event)
+    // in memory — clamp the reserve so a dense forged count cannot
+    // multiply the file size; oversized legitimate threads just grow
+    // geometrically past the hint.
+    TT.Events.reserve(std::min<size_t>(
+        NumEvents, R.remaining() / sizeof(Event) + 1));
     for (uint32_t I = 0; I != NumEvents; ++I) {
       uint8_t KindByte;
       if (!R.u8(KindByte))
@@ -721,6 +792,29 @@ bool perfplay::parseTraceBinary(const std::vector<uint8_t> &Bytes,
   return true;
 }
 
+bool perfplay::parseTraceBinary(const std::vector<uint8_t> &Bytes,
+                                Trace &Out, std::string &Err) {
+  return parseTraceBinary(Bytes.data(), Bytes.size(), Out, Err);
+}
+
+/// The binary header's magic is not valid text-format prose, so the
+/// first eight bytes decide the format unambiguously.
+static bool hasBinaryMagic(const uint8_t *Data, size_t Size) {
+  return Size >= sizeof(BinaryMagic) &&
+         std::memcmp(Data, BinaryMagic, sizeof(BinaryMagic)) == 0;
+}
+
+bool perfplay::parseTraceBuffer(const uint8_t *Data, size_t Size,
+                                Trace &Out, std::string &Err) {
+  if (hasBinaryMagic(Data, Size))
+    return parseTraceBinary(Data, Size, Out, Err);
+  // The line parser tokenizes out of a string; one copy, text only.
+  std::string Text;
+  if (Size != 0)
+    Text.assign(reinterpret_cast<const char *>(Data), Size);
+  return parseTraceText(Text, Out, Err);
+}
+
 //===----------------------------------------------------------------------===//
 // File helpers
 //===----------------------------------------------------------------------===//
@@ -754,8 +848,10 @@ bool perfplay::saveTrace(const Trace &Tr, const std::string &Path,
   return true;
 }
 
-bool perfplay::loadTrace(const std::string &Path, Trace &Out,
-                         std::string &Err) {
+/// The legacy copying loader: stream the file through stdio into the
+/// container its parser wants.
+static bool loadTraceStream(const std::string &Path, Trace &Out,
+                            std::string &Err) {
   FILE *F = std::fopen(Path.c_str(), "rb");
   if (!F) {
     Err = "cannot open '" + Path + "' for reading";
@@ -791,4 +887,67 @@ bool perfplay::loadTrace(const std::string &Path, Trace &Out,
   }
   std::fclose(F);
   return parseTraceText(Text, Out, Err);
+}
+
+bool perfplay::loadTraceKeepMapping(const std::string &Path, Trace &Out,
+                                    std::string &Err, MappedFile &File,
+                                    TraceLoadMode Mode) {
+  File.close();
+  if (Mode == TraceLoadMode::Stream)
+    return loadTraceStream(Path, Out, Err);
+  // Auto streams anything unmappable — pipes and FIFOs must not have
+  // their read end consumed by a doomed map attempt, and platforms
+  // without mmap gain nothing from the fallback's extra copy.
+  if (Mode == TraceLoadMode::Auto && !MappedFile::isMappablePath(Path))
+    return loadTraceStream(Path, Out, Err);
+  // Explicit Mmap on an existing non-regular source is rejected up
+  // front: opening a pipe can block and consumes its read end, and a
+  // misleading empty-input parse error would follow.  Missing files
+  // fall through so open() reports them.
+  if (Mode == TraceLoadMode::Mmap && MappedFile::supportsMapping() &&
+      MappedFile::classifyPath(Path) == MappedFile::PathKind::Other) {
+    Err = "cannot mmap '" + Path +
+          "': not a regular file (use the stream loader)";
+    return false;
+  }
+  // Map the file and parse in place — binary traces come straight out
+  // of the page cache with no intermediate byte-vector copy.  The
+  // Trace owns its storage; the caller decides whether the mapping
+  // outlives this call.
+  bool Opened = File.open(Path, Err);
+  if (!Opened || File.size() == 0) {
+    // Some network/FUSE mounts refuse mmap on regular files; Auto
+    // keeps those working by dropping to the stdio loader.  Explicit
+    // Mmap stays strict.
+    File.close();
+    if (Mode == TraceLoadMode::Auto)
+      return loadTraceStream(Path, Out, Err);
+    if (!Opened)
+      return false;
+  }
+  if (hasBinaryMagic(File.data(), File.size()))
+    return parseTraceBinary(File.data(), File.size(), Out, Err);
+  // Text parses out of its own string copy, so there is nothing the
+  // caller could ever borrow from the mapping — release it now rather
+  // than letting a session pin a whole text file for no benefit.
+  std::string Text;
+  if (File.size() != 0)
+    Text.assign(reinterpret_cast<const char *>(File.data()), File.size());
+  File.close();
+  return parseTraceText(Text, Out, Err);
+}
+
+bool perfplay::loadTrace(const std::string &Path, Trace &Out,
+                         std::string &Err, TraceLoadMode Mode) {
+  MappedFile File;
+  return loadTraceKeepMapping(Path, Out, Err, File, Mode);
+}
+
+Expected<Trace> perfplay::readTraceFile(const std::string &Path,
+                                        TraceLoadMode Mode) {
+  Trace Out;
+  std::string Err;
+  if (!loadTrace(Path, Out, Err, Mode))
+    return PipelineError(ErrorCode::TraceIOFailed, std::move(Err));
+  return Out;
 }

@@ -20,6 +20,7 @@
 #ifndef PERFPLAY_TRACE_TRACEIO_H
 #define PERFPLAY_TRACE_TRACEIO_H
 
+#include "support/Expected.h"
 #include "trace/Trace.h"
 
 #include <cstdint>
@@ -37,8 +38,26 @@ bool parseTraceText(const std::string &Text, Trace &Out, std::string &Err);
 /// Serializes \p Tr into the binary format.
 std::vector<uint8_t> writeTraceBinary(const Trace &Tr);
 
+/// Parses the binary format from a borrowed buffer — the zero-copy
+/// entry point: \p Data may point into a read-only file mapping
+/// (support/MappedFile.h) and is never modified or retained; the
+/// parsed Trace owns all of its storage.  Every table count in the
+/// header is validated against the remaining byte budget before
+/// anything is allocated, so a truncated or hostile file fails with a
+/// "count exceeds file size" diagnostic instead of attempting a
+/// multi-gigabyte allocation.  On failure returns false and sets
+/// \p Err.
+bool parseTraceBinary(const uint8_t *Data, size_t Size, Trace &Out,
+                      std::string &Err);
+
 /// Parses the binary format.  On failure returns false and sets \p Err.
 bool parseTraceBinary(const std::vector<uint8_t> &Bytes, Trace &Out,
+                      std::string &Err);
+
+/// Parses \p Data as either trace format, sniffing by magic bytes.
+/// Binary traces parse straight out of the borrowed buffer; text
+/// traces are copied once into the line parser's working string.
+bool parseTraceBuffer(const uint8_t *Data, size_t Size, Trace &Out,
                       std::string &Err);
 
 /// On-disk trace encodings.
@@ -54,9 +73,46 @@ enum class TraceFormat {
 bool saveTrace(const Trace &Tr, const std::string &Path, std::string &Err,
                TraceFormat Format = TraceFormat::Text);
 
+/// How loadTrace brings a file's bytes into memory.
+enum class TraceLoadMode {
+  /// Memory-map when the platform supports it (zero-copy for binary
+  /// traces), otherwise stream.  The default.
+  Auto,
+  /// Memory-map unconditionally (read-fallback on platforms without
+  /// mmap).  Text traces still pay one copy into the line parser.
+  Mmap,
+  /// Stream the file into an owned buffer with stdio — the legacy
+  /// copying path.
+  Stream,
+};
+
 /// Reads a trace from \p Path, auto-detecting the format by its magic
-/// bytes (binary header vs. the text banner).
-bool loadTrace(const std::string &Path, Trace &Out, std::string &Err);
+/// bytes (binary header vs. the text banner).  Under Auto/Mmap the
+/// binary parser runs directly over the file mapping, so
+/// production-scale traces never make the intermediate whole-file
+/// byte-vector copy; the mapping is released before returning (the
+/// Trace owns its storage).
+bool loadTrace(const std::string &Path, Trace &Out, std::string &Err,
+               TraceLoadMode Mode = TraceLoadMode::Auto);
+
+/// Typed-error variant of loadTrace for the staged Engine API: the
+/// parsed trace, or a PipelineError with ErrorCode::TraceIOFailed
+/// carrying the loader diagnostic.
+Expected<Trace> readTraceFile(const std::string &Path,
+                              TraceLoadMode Mode = TraceLoadMode::Auto);
+
+class MappedFile;
+
+/// loadTrace with the mapping handed to the caller: when the zero-copy
+/// path served the load, \p File is left open over the source bytes so
+/// the caller can pin it (Engine::openSessionFromFile keeps it for the
+/// session's lifetime); when the stream path served it (Stream mode,
+/// or Auto over something unmappable), \p File ends closed.  This is
+/// the single home of the mode policy — loadTrace wraps it with a
+/// throwaway mapping.
+bool loadTraceKeepMapping(const std::string &Path, Trace &Out,
+                          std::string &Err, MappedFile &File,
+                          TraceLoadMode Mode = TraceLoadMode::Auto);
 
 } // namespace perfplay
 

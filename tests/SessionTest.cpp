@@ -15,7 +15,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <set>
+#include <thread>
 
 using namespace perfplay;
 
@@ -517,4 +520,186 @@ TEST(SessionTest, BatchTagsProgressWithTraceIndex) {
   for (const auto &Item : Batch)
     EXPECT_TRUE(Item.ok());
   EXPECT_EQ(SeenIndices, (std::set<size_t>{0, 1, 2, 3}));
+}
+
+//===----------------------------------------------------------------------===//
+// Streaming batch analysis
+//===----------------------------------------------------------------------===//
+
+TEST(SessionTest, StreamingBatchMatchesMaterializedBatch) {
+  CaseStudyParams P;
+  P.NumThreads = 4;
+  auto MakeTraces = [&] {
+    std::vector<Trace> Traces;
+    Traces.push_back(figure1Trace());
+    Traces.push_back(makePbzip2Consumer(P));
+    Traces.push_back(generateWorkload(makeOpenldap(2, 0.5)));
+    return Traces;
+  };
+
+  Engine Eng;
+  std::vector<Expected<PipelineResult>> Batch =
+      Eng.analyzeBatch(MakeTraces(), 3);
+
+  // Each result streams through the consumer exactly once with the
+  // right index, carrying the same values the materialized batch has.
+  std::set<size_t> Delivered;
+  AggregatedReport Agg = Eng.analyzeBatchStreaming(
+      MakeTraces(),
+      [&](size_t I, Expected<PipelineResult> Item) {
+        EXPECT_TRUE(Delivered.insert(I).second) << "duplicate " << I;
+        ASSERT_LT(I, Batch.size());
+        ASSERT_TRUE(Item.ok()) << Item.message();
+        expectSameResult(*Item, *Batch[I]);
+      },
+      3);
+  EXPECT_EQ(Delivered, (std::set<size_t>{0, 1, 2}));
+
+  // The aggregate is assembled in trace order, so it is identical to
+  // aggregating the materialized batch — regardless of which worker
+  // finished first.
+  AggregatedReport Materialized = aggregateBatch(Batch);
+  EXPECT_EQ(Agg.NumRuns, Materialized.NumRuns);
+  EXPECT_EQ(Agg.NumFailed, Materialized.NumFailed);
+  EXPECT_DOUBLE_EQ(Agg.MeanDegradation, Materialized.MeanDegradation);
+  EXPECT_EQ(renderAggregatedReport(Agg),
+            renderAggregatedReport(Materialized));
+}
+
+TEST(SessionTest, StreamingBatchIsolatesFailures) {
+  std::vector<Trace> Traces;
+  Traces.push_back(figure1Trace());
+  Traces.push_back(invalidTrace());
+  Traces.push_back(figure1Trace());
+
+  Engine Eng;
+  unsigned NumOk = 0, NumFailed = 0;
+  AggregatedReport Agg = Eng.analyzeBatchStreaming(
+      std::move(Traces),
+      [&](size_t I, Expected<PipelineResult> Item) {
+        if (I == 1) {
+          ASSERT_FALSE(Item.ok());
+          EXPECT_EQ(Item.code(), ErrorCode::InvalidTrace);
+          ++NumFailed;
+        } else {
+          EXPECT_TRUE(Item.ok()) << Item.message();
+          ++NumOk;
+        }
+      },
+      2);
+  EXPECT_EQ(NumOk, 2u);
+  EXPECT_EQ(NumFailed, 1u);
+  EXPECT_EQ(Agg.NumRuns, 2u);
+  EXPECT_EQ(Agg.NumFailed, 1u);
+}
+
+TEST(SessionTest, StreamingBatchToleratesNullConsumerAndEmptyBatch) {
+  Engine Eng;
+  AggregatedReport Empty =
+      Eng.analyzeBatchStreaming({}, Engine::BatchResultConsumer());
+  EXPECT_EQ(Empty.NumRuns, 0u);
+  std::vector<Trace> One;
+  One.push_back(figure1Trace());
+  AggregatedReport Agg = Eng.analyzeBatchStreaming(
+      std::move(One), Engine::BatchResultConsumer(), 1);
+  EXPECT_EQ(Agg.NumRuns, 1u);
+  EXPECT_EQ(Agg.NumFailed, 0u);
+}
+
+// Batch workers multiplied by per-session detection threads must never
+// oversubscribe the machine (the nested-pool fix).
+TEST(SessionTest, CappedDetectThreadsBoundsTheProduct) {
+  unsigned Hardware = std::thread::hardware_concurrency();
+  if (Hardware == 0)
+    Hardware = 1;
+  Hardware = std::min(Hardware, 256u);
+  for (unsigned Requested : {0u, 1u, 2u, 8u, 64u})
+    for (unsigned Workers : {1u, 2u, 4u, 16u, 300u}) {
+      unsigned Capped = Engine::cappedDetectThreads(Requested, Workers);
+      EXPECT_GE(Capped, 1u);
+      EXPECT_LE(static_cast<uint64_t>(Capped) * Workers,
+                static_cast<uint64_t>(std::max(Hardware, Workers)))
+          << "req " << Requested << " workers " << Workers;
+      if (Requested == 1)
+        EXPECT_EQ(Capped, 1u);
+    }
+  // A lone session keeps its full requested width.
+  EXPECT_EQ(Engine::cappedDetectThreads(0, 1), Hardware);
+}
+
+//===----------------------------------------------------------------------===//
+// File-backed sessions
+//===----------------------------------------------------------------------===//
+
+TEST(SessionTest, OpenSessionFromFileMatchesInMemorySession) {
+  std::string Path = testing::TempDir() + "perfplay_session.btrace";
+  std::string Err;
+  ASSERT_TRUE(
+      saveTrace(figure1Trace(), Path, Err, TraceFormat::Binary))
+      << Err;
+
+  Engine Eng;
+  Expected<AnalysisSession> FromFile = Eng.openSessionFromFile(Path);
+  ASSERT_TRUE(FromFile.ok()) << FromFile.message();
+  // The zero-copy load path pins the mapping for the session's life.
+  EXPECT_NE(FromFile->backingMapping(), nullptr);
+
+  PipelineResult FileRun = FromFile->run();
+  ASSERT_TRUE(FileRun.ok()) << FileRun.Error;
+  expectSameResult(FileRun, runPerfPlay(figure1Trace()));
+
+  // The explicit streaming mode carries no mapping.
+  Expected<AnalysisSession> Streamed =
+      Eng.openSessionFromFile(Path, TraceLoadMode::Stream);
+  ASSERT_TRUE(Streamed.ok()) << Streamed.message();
+  EXPECT_EQ(Streamed->backingMapping(), nullptr);
+  std::remove(Path.c_str());
+
+  // Text traces parse out of their own copy; nothing to pin.
+  std::string TextPath = testing::TempDir() + "perfplay_session.trace";
+  ASSERT_TRUE(saveTrace(figure1Trace(), TextPath, Err, TraceFormat::Text))
+      << Err;
+  Expected<AnalysisSession> FromText = Eng.openSessionFromFile(TextPath);
+  ASSERT_TRUE(FromText.ok()) << FromText.message();
+  EXPECT_EQ(FromText->backingMapping(), nullptr);
+  std::remove(TextPath.c_str());
+
+  Expected<AnalysisSession> Missing = Eng.openSessionFromFile(Path);
+  ASSERT_FALSE(Missing.ok());
+  EXPECT_EQ(Missing.code(), ErrorCode::TraceIOFailed);
+}
+
+TEST(SessionTest, FileStreamingBatchLoadsLazilyAndIsolatesLoadFailures) {
+  std::string Dir = testing::TempDir();
+  std::string Good1 = Dir + "perfplay_batch1.btrace";
+  std::string Good2 = Dir + "perfplay_batch2.trace";
+  std::string Missing = Dir + "perfplay_batch_missing.trace";
+  std::string Err;
+  ASSERT_TRUE(saveTrace(figure1Trace(), Good1, Err, TraceFormat::Binary))
+      << Err;
+  ASSERT_TRUE(saveTrace(figure1Trace(), Good2, Err, TraceFormat::Text))
+      << Err;
+  std::remove(Missing.c_str());
+
+  Engine Eng;
+  PipelineResult Reference = runPerfPlay(figure1Trace());
+  std::set<size_t> Delivered;
+  AggregatedReport Agg = Eng.analyzeBatchFilesStreaming(
+      {Good1, Missing, Good2},
+      [&](size_t I, Expected<PipelineResult> Item) {
+        EXPECT_TRUE(Delivered.insert(I).second);
+        if (I == 1) {
+          ASSERT_FALSE(Item.ok());
+          EXPECT_EQ(Item.code(), ErrorCode::TraceIOFailed);
+        } else {
+          ASSERT_TRUE(Item.ok()) << Item.message();
+          expectSameResult(*Item, Reference);
+        }
+      },
+      2);
+  EXPECT_EQ(Delivered, (std::set<size_t>{0, 1, 2}));
+  EXPECT_EQ(Agg.NumRuns, 2u);
+  EXPECT_EQ(Agg.NumFailed, 1u);
+  std::remove(Good1.c_str());
+  std::remove(Good2.c_str());
 }

@@ -34,6 +34,7 @@
 #include <cstddef>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 using namespace perfplay;
@@ -129,13 +130,28 @@ int usage() {
       "  perfplay analyze <trace> [<trace> ...] [--pairs adjacent|all]"
       " [--races]\n"
       "                  [--timeline] [--csv] [--progress] [--threads N]\n"
-      "                  [--detect-threads N] [--no-dedup]\n"
+      "                  [--detect-threads N] [--no-dedup]"
+      " [--mmap|--no-mmap]\n"
       "  perfplay replay <trace> [--scheme orig|elsc|sync|mem]"
       " [--seed N] [--replays K]\n"
+      "                 [--mmap|--no-mmap]\n"
       "  perfplay casestudy <bug1|bug2|mysql> [--threads N] [--scale S]\n"
-      "  perfplay stats <trace>\n"
-      "options accept both '--name value' and '--name=value'\n");
+      "  perfplay stats <trace> [--mmap|--no-mmap]\n"
+      "options accept both '--name value' and '--name=value';\n"
+      "trace files are memory-mapped by default (zero-copy for binary"
+      " traces),\n"
+      "--no-mmap streams them through stdio instead\n");
   return 2;
+}
+
+/// Consumes the loader-mode flags: the default memory-maps trace files
+/// (zero-copy for binary traces), --no-mmap forces the stdio streaming
+/// path, --mmap forces mapping even where Auto would not help.
+TraceLoadMode loadModeFromArgs(ArgList &Args) {
+  bool ForceMmap = Args.flag("--mmap");
+  if (Args.flag("--no-mmap"))
+    return TraceLoadMode::Stream;
+  return ForceMmap ? TraceLoadMode::Mmap : TraceLoadMode::Auto;
 }
 
 int cmdListApps() {
@@ -193,47 +209,70 @@ int cmdGenerate(ArgList &Args) {
 }
 
 /// Batch mode of `perfplay analyze`: several traces analyzed
-/// concurrently, reported per trace and as one aggregate
-/// (debug/MultiTrace.h).
+/// concurrently via Engine::analyzeBatchFilesStreaming — each worker
+/// loads its own file on demand (zero-copy mmap by default) and each
+/// result is formatted and discarded as it completes, so the batch
+/// never holds every trace or every PipelineResult at once.  A small
+/// reorder buffer of formatted lines flushes them in trace order,
+/// keeping the output deterministic across runs and thread counts.
+/// An unreadable or corrupt file fails only its own line.
 int analyzeBatchMode(Engine &Eng, const std::vector<std::string> &Paths,
-                     unsigned Threads, bool Races) {
-  std::vector<Trace> Traces(Paths.size());
-  for (size_t I = 0; I != Paths.size(); ++I) {
-    std::string Err;
-    if (!loadTrace(Paths[I], Traces[I], Err)) {
-      std::fprintf(stderr, "error: %s\n", Err.c_str());
-      return 1;
-    }
-  }
-  std::vector<Expected<PipelineResult>> Batch =
-      Eng.analyzeBatch(std::move(Traces), Threads);
-
+                     unsigned Threads, bool Races, TraceLoadMode Mode) {
+  struct PendingLine {
+    bool Ready = false;
+    bool IsError = false;
+    std::string Text;
+  };
+  std::vector<PendingLine> Pending(Paths.size());
+  size_t NextToFlush = 0;
   int Status = 0;
-  for (size_t I = 0; I != Batch.size(); ++I) {
-    if (!Batch[I].ok()) {
-      std::fprintf(stderr, "%s: error: %s [%s]\n", Paths[I].c_str(),
-                   Batch[I].message().c_str(),
-                   errorCodeName(Batch[I].code()));
+
+  // Serialized by the batch: format, then flush every line whose
+  // predecessors have all arrived.  Paths and diagnostics are appended
+  // as strings (arbitrary length); only the numeric tails go through
+  // the fixed snprintf buffer.
+  auto Consumer = [&](size_t I, Expected<PipelineResult> Item) {
+    char Buf[192];
+    PendingLine &P = Pending[I];
+    if (!Item.ok()) {
+      P.Text = Paths[I] + ": error: " + Item.message() + " [" +
+               errorCodeName(Item.code()) + "]\n";
+      P.IsError = true;
       Status = 1;
-      continue;
+    } else {
+      const UlcpCounts &C = Item->Detection.Counts;
+      std::snprintf(Buf, sizeof(Buf),
+                    ": %llu ULCPs (NL=%llu RR=%llu DW=%llu "
+                    "benign=%llu), true contention %llu\n",
+                    static_cast<unsigned long long>(C.totalUnnecessary()),
+                    static_cast<unsigned long long>(C.NullLock),
+                    static_cast<unsigned long long>(C.ReadRead),
+                    static_cast<unsigned long long>(C.DisjointWrite),
+                    static_cast<unsigned long long>(C.Benign),
+                    static_cast<unsigned long long>(C.TrueContention));
+      P.Text = Paths[I] + Buf;
+      if (Races)
+        for (const RaceReport &Race : Item->Races) {
+          std::snprintf(Buf, sizeof(Buf),
+                        "  race: addr %llu threads %u vs %u\n",
+                        static_cast<unsigned long long>(Race.Addr),
+                        Race.ThreadA, Race.ThreadB);
+          P.Text += Buf;
+        }
     }
-    const UlcpCounts &C = Batch[I]->Detection.Counts;
-    std::printf("%s: %llu ULCPs (NL=%llu RR=%llu DW=%llu benign=%llu), "
-                "true contention %llu\n",
-                Paths[I].c_str(),
-                static_cast<unsigned long long>(C.totalUnnecessary()),
-                static_cast<unsigned long long>(C.NullLock),
-                static_cast<unsigned long long>(C.ReadRead),
-                static_cast<unsigned long long>(C.DisjointWrite),
-                static_cast<unsigned long long>(C.Benign),
-                static_cast<unsigned long long>(C.TrueContention));
-    if (Races)
-      for (const RaceReport &Race : (*Batch[I]).Races)
-        std::printf("  race: addr %llu threads %u vs %u\n",
-                    static_cast<unsigned long long>(Race.Addr),
-                    Race.ThreadA, Race.ThreadB);
-  }
-  std::printf("\n%s", renderAggregatedReport(aggregateBatch(Batch)).c_str());
+    P.Ready = true;
+    while (NextToFlush != Pending.size() && Pending[NextToFlush].Ready) {
+      PendingLine &Out = Pending[NextToFlush];
+      std::fputs(Out.Text.c_str(), Out.IsError ? stderr : stdout);
+      Out.Text.clear();
+      Out.Text.shrink_to_fit();
+      ++NextToFlush;
+    }
+  };
+
+  AggregatedReport Agg =
+      Eng.analyzeBatchFilesStreaming(Paths, Consumer, Threads, Mode);
+  std::printf("\n%s", renderAggregatedReport(Agg).c_str());
   return Status;
 }
 
@@ -250,6 +289,7 @@ int cmdAnalyze(ArgList &Args) {
                         "--detect-threads", DetectThreads))
     return 2;
   bool NoDedup = Args.flag("--no-dedup");
+  TraceLoadMode Mode = loadModeFromArgs(Args);
   std::vector<std::string> Paths;
   for (std::string P = Args.positional(); !P.empty();
        P = Args.positional())
@@ -275,21 +315,22 @@ int cmdAnalyze(ArgList &Args) {
     if (Timeline || Csv)
       std::fprintf(stderr, "warning: --timeline/--csv apply only to "
                            "single-trace analyze; ignored\n");
-    return analyzeBatchMode(Eng, Paths, Threads, Races);
+    return analyzeBatchMode(Eng, Paths, Threads, Races, Mode);
   }
   if (Threads != 0)
     std::fprintf(stderr, "warning: --threads parallelizes across traces "
                          "and is ignored for a single trace; use "
                          "--detect-threads to parallelize detection\n");
 
-  Trace Tr;
-  std::string Err;
-  if (!loadTrace(Paths[0], Tr, Err)) {
-    std::fprintf(stderr, "error: %s\n", Err.c_str());
+  // The session pins the file mapping (zero-copy binary loads) for as
+  // long as it analyzes the trace.
+  Expected<AnalysisSession> SessionOr =
+      Eng.openSessionFromFile(Paths[0], Mode);
+  if (!SessionOr) {
+    std::fprintf(stderr, "error: %s\n", SessionOr.message().c_str());
     return 1;
   }
-
-  AnalysisSession Session = Eng.openSession(std::move(Tr));
+  AnalysisSession Session = std::move(*SessionOr);
   PipelineError TypedErr;
   PipelineResult R = Session.run(&TypedErr);
   if (!R.ok()) {
@@ -346,6 +387,7 @@ int cmdReplay(ArgList &Args) {
       std::strtoull(Args.option("--seed", "1").c_str(), nullptr, 10);
   unsigned Replays =
       static_cast<unsigned>(std::atoi(Args.option("--replays", "1").c_str()));
+  TraceLoadMode Mode = loadModeFromArgs(Args);
   std::string Path = Args.positional();
   if (Path.empty())
     return usage();
@@ -359,7 +401,7 @@ int cmdReplay(ArgList &Args) {
 
   Trace Tr;
   std::string Err;
-  if (!loadTrace(Path, Tr, Err)) {
+  if (!loadTrace(Path, Tr, Err, Mode)) {
     std::fprintf(stderr, "error: %s\n", Err.c_str());
     return 1;
   }
@@ -393,12 +435,13 @@ int cmdReplay(ArgList &Args) {
 }
 
 int cmdStats(ArgList &Args) {
+  TraceLoadMode Mode = loadModeFromArgs(Args);
   std::string Path = Args.positional();
   if (Path.empty())
     return usage();
   Trace Tr;
   std::string Err;
-  if (!loadTrace(Path, Tr, Err)) {
+  if (!loadTrace(Path, Tr, Err, Mode)) {
     std::fprintf(stderr, "error: %s\n", Err.c_str());
     return 1;
   }
