@@ -80,18 +80,33 @@ struct PipelineOptions {
   bool CheckRaces = false;
 };
 
-/// Everything the pipeline produced.
+/// Everything the pipeline produced.  Part of the frozen back-compat
+/// surface (see README "API stability"): fields may be appended, never
+/// changed or removed.
 struct PipelineResult {
-  /// Empty on success.
+  /// Empty on success; otherwise the first failing stage's diagnostic
+  /// (the staged API returns the same failure as a typed
+  /// PipelineError).
   std::string Error;
 
+  /// Stage 2 output: classified ULCP pairs / per-category counts.
   DetectResult Detection;
+  /// Stage 3 output: the ULCP-free transformed trace and its topology.
+  /// Self-contained — the transformed trace owns all of its storage,
+  /// including pooled names, and never references the session's trace
+  /// or a backing file mapping.
   TransformResult Transformation;
+  /// Stage 4 output: the timing replay of the recorded trace.
   ReplayResult Original;
+  /// Stage 4 output: the timing replay of the transformed trace.
   ReplayResult UlcpFree;
+  /// Stage 5 output: Equation 1 / Algorithm 2 / Equation 2 ranking.
   PerfDebugReport Report;
+  /// Theorem-1 race check findings (empty unless
+  /// PipelineOptions::CheckRaces).
   std::vector<RaceReport> Races;
 
+  /// True when every requested stage completed.
   bool ok() const { return Error.empty(); }
 };
 
@@ -155,13 +170,15 @@ public:
 
   /// Pins \p Mapping (the file view the session's trace was parsed out
   /// of) for the session's lifetime.  Installed by
-  /// Engine::openSessionFromFile on the zero-copy load path.  Today's
-  /// parsers copy every field into the Trace, so nothing reads the
-  /// mapping after construction — the pin exists purely so the planned
-  /// borrowed-storage parse (string views into the map, see ROADMAP)
-  /// can land without changing session lifetimes; a clean read-only
-  /// mapping costs address space only, the kernel reclaims its pages
-  /// freely.
+  /// Engine::openSessionFromFile on the zero-copy load path.  The pin
+  /// is load-bearing: binary traces parsed off a real mmap intern
+  /// their lock/site names as `string_view`s pointing straight into
+  /// the mapping (NameStorage::Borrowed, trace/TraceIO.h), so the
+  /// mapping must outlive the Trace.  A clean read-only mapping costs
+  /// address space only; the kernel reclaims its pages freely.
+  /// Traces that leave the session (e.g. the transformed copy inside a
+  /// consumed PipelineResult) re-own their names on copy and carry no
+  /// dependency on the mapping.
   void setBackingMapping(std::shared_ptr<const MappedFile> Mapping) {
     Backing = std::move(Mapping);
   }

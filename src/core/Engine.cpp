@@ -25,7 +25,13 @@ openFileSession(const std::string &Path, TraceLoadMode Mode,
   auto Mapping = std::make_shared<MappedFile>();
   Trace Tr;
   std::string Err;
-  if (!loadTraceKeepMapping(Path, Tr, Err, *Mapping, Mode))
+  // Borrowed name storage: a binary trace served by a real mmap interns
+  // its lock/site names as views into the mapping — zero per-name heap
+  // copies — which is safe exactly because the session pins the
+  // mapping below.  Loads that close the mapping fall back to owned
+  // names inside loadTraceKeepMapping.
+  if (!loadTraceKeepMapping(Path, Tr, Err, *Mapping, Mode,
+                            NameStorage::Borrowed))
     return PipelineError(ErrorCode::TraceIOFailed, std::move(Err));
   AnalysisSession Session(std::move(Tr), Opts, Progress);
   // Pin only real mmaps: their clean pages cost nothing the kernel

@@ -27,12 +27,15 @@ CodeRegion perfplay::regionOfSection(const Trace &Tr,
   if (Cs.Site == InvalidId) {
     // Sections without a site fuse only with themselves; synthesize a
     // per-lock pseudo-file so unrelated sections stay apart.
-    Region.File = "<unknown:" + Tr.Locks[Cs.Lock].Name + ">";
+    Region.File = "<unknown:" + std::string(Tr.lockName(Cs.Lock)) + ">";
     Region.Lines = LineInterval(1, 1);
     return Region;
   }
+  // CodeRegion materializes the pooled name: reports are part of the
+  // frozen PipelineResult surface and must outlive the trace (and any
+  // mmap its pool borrows from).
   const CodeSite &Site = Tr.Sites[Cs.Site];
-  Region.File = Site.File;
+  Region.File = std::string(Tr.siteFile(Cs.Site));
   Region.Lines = LineInterval(Site.BeginLine, Site.EndLine);
   return Region;
 }

@@ -16,6 +16,12 @@
 /// key pairs are few, so the detector classifies each key pair once and
 /// reuses the verdict.
 ///
+/// Signatures are pure integers end to end: the lock and site words are
+/// table ids whose *names* live in the trace's string pool
+/// (support/StringPool.h), so no string is hashed or compared anywhere
+/// in the dedup hot path — name equality collapsed to id equality the
+/// moment the parser interned the tables.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PERFPLAY_DETECT_SECTIONKEY_H

@@ -12,9 +12,9 @@ LockId Recorder::registerLock(std::string Name, bool IsSpin) {
   std::lock_guard<std::mutex> Guard(Registry);
   assert(!Finished && "recorder already finished");
   LockInfo Info;
-  Info.Name = std::move(Name);
+  Info.Name = Result.Names.intern(Name);
   Info.IsSpin = IsSpin;
-  Result.Locks.push_back(std::move(Info));
+  Result.Locks.push_back(Info);
   return static_cast<LockId>(Result.Locks.size() - 1);
 }
 
@@ -22,18 +22,22 @@ CodeSiteId Recorder::registerSite(std::string File, std::string Function,
                                   uint32_t BeginLine, uint32_t EndLine) {
   std::lock_guard<std::mutex> Guard(Registry);
   assert(!Finished && "recorder already finished");
+  // Interning first makes the dedup scan a pure integer compare: equal
+  // names share a StringId, so no characters are touched per candidate.
+  StringId FileId = Result.Names.intern(File);
+  StringId FunctionId = Result.Names.intern(Function);
   for (size_t I = 0; I != Result.Sites.size(); ++I) {
     const CodeSite &S = Result.Sites[I];
-    if (S.File == File && S.Function == Function &&
+    if (S.File == FileId && S.Function == FunctionId &&
         S.BeginLine == BeginLine && S.EndLine == EndLine)
       return static_cast<CodeSiteId>(I);
   }
   CodeSite Site;
-  Site.File = std::move(File);
-  Site.Function = std::move(Function);
+  Site.File = FileId;
+  Site.Function = FunctionId;
   Site.BeginLine = BeginLine;
   Site.EndLine = EndLine;
-  Result.Sites.push_back(std::move(Site));
+  Result.Sites.push_back(Site);
   return static_cast<CodeSiteId>(Result.Sites.size() - 1);
 }
 

@@ -71,13 +71,21 @@ struct PipelineError {
 
 /// Value-or-error: holds either a successfully computed T or the
 /// PipelineError that prevented computing it.
+///
+/// Accessors follow one contract across all three specializations:
+/// `ok()` / `operator bool` test for success, `*`/`->`/`value()`
+/// require success, `error()`/`message()` require failure, and
+/// `code()` is always callable (ErrorCode::Success when ok).
 template <typename T> class Expected {
 public:
+  /// Success: wraps the computed value.
   Expected(T Value) : Storage(std::move(Value)) {}
+  /// Failure: wraps the error (which must carry a non-Success code).
   Expected(PipelineError Err) : Storage(std::move(Err)) {
     assert(!error().isSuccess() && "error-state Expected needs a code");
   }
 
+  /// True when a value is present.
   bool ok() const { return std::holds_alternative<T>(Storage); }
   explicit operator bool() const { return ok(); }
 

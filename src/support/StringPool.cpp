@@ -1,0 +1,60 @@
+//===- support/StringPool.cpp - Arena-backed string interner ---------------===//
+
+#include "support/StringPool.h"
+
+#include <cstring>
+
+using namespace perfplay;
+
+/// Arena block size.  Large enough that symbol-heavy traces allocate a
+/// handful of blocks, small enough that a near-empty pool stays cheap.
+static constexpr size_t ChunkSize = 1 << 16;
+
+std::string_view StringPool::copyToArena(std::string_view S) {
+  if (S.empty())
+    return std::string_view();
+  if (S.size() > ChunkCap - ChunkUsed) {
+    size_t Cap = S.size() > ChunkSize ? S.size() : ChunkSize;
+    Chunks.push_back(std::make_unique<char[]>(Cap));
+    ChunkCap = Cap;
+    ChunkUsed = 0;
+  }
+  char *Dst = Chunks.back().get() + ChunkUsed;
+  std::memcpy(Dst, S.data(), S.size());
+  ChunkUsed += S.size();
+  return std::string_view(Dst, S.size());
+}
+
+StringId StringPool::insert(std::string_view S, bool Borrow) {
+  auto It = Index.find(S);
+  if (It != Index.end())
+    return It->second;
+  std::string_view Stored = Borrow ? S : copyToArena(S);
+  StringId Id = static_cast<StringId>(Strings.size());
+  Strings.push_back(Stored);
+  Index.emplace(Stored, Id);
+  if (Borrow) {
+    Accounting.BorrowedBytes += S.size();
+    ++Accounting.NumBorrowed;
+  } else {
+    Accounting.OwnedBytes += S.size();
+    ++Accounting.NumOwned;
+  }
+  return Id;
+}
+
+void StringPool::copyFrom(const StringPool &Other) {
+  // Deep copy preserving ids: every string — borrowed or owned in the
+  // source — is re-owned by this pool's arena, so the copy carries no
+  // lifetime dependency on the source's backing buffers.
+  Strings.reserve(Other.Strings.size());
+  Index.reserve(Other.Strings.size());
+  for (std::string_view S : Other.Strings) {
+    std::string_view Stored = copyToArena(S);
+    StringId Id = static_cast<StringId>(Strings.size());
+    Strings.push_back(Stored);
+    Index.emplace(Stored, Id);
+    Accounting.OwnedBytes += S.size();
+    ++Accounting.NumOwned;
+  }
+}

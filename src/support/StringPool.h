@@ -1,0 +1,170 @@
+//===- support/StringPool.h - Arena-backed string interner ------*- C++ -*-===//
+//
+// Part of the PerfPlay reproduction of "On Performance Debugging of
+// Unnecessary Lock Contentions on Multicore Processors" (CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An arena-backed string interner handing out stable integer handles.
+///
+/// Symbol-heavy traces (the paper's Table 1 / Table 2 workloads, where
+/// every lock and callsite carries a name) used to pay one
+/// `std::string` heap allocation per name per parse.  The pool
+/// collapses that: each distinct string is stored once and referred to
+/// everywhere by a dense `StringId`, so
+///
+///  - name *equality* is an integer compare (the detector's dedup path
+///    and the recorder's site lookup never touch characters),
+///  - name *storage* is one arena, freed wholesale with the pool,
+///  - and in *borrowed* mode a string is not copied at all: the pool
+///    records a `std::string_view` into caller-owned bytes — the
+///    zero-copy trace parse interns views pointing straight into the
+///    `support/MappedFile` mapping that the session pins
+///    (`Engine::openSessionFromFile`).
+///
+/// Interning is content-based: `intern()` and `internBorrowed()` return
+/// the same id for equal strings regardless of how the first occurrence
+/// was stored.  Handed-out `std::string_view`s point into heap chunks
+/// (or the caller's borrowed buffer), so they remain valid when the
+/// pool — or a `Trace` owning it — is moved.
+///
+/// Copying a pool deep-copies every string into the copy's own arena
+/// (borrowed strings become owned), so a copied `Trace` — e.g. the
+/// transformed trace `transformTrace` builds — never extends the
+/// lifetime requirements of the original's backing buffer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERFPLAY_SUPPORT_STRINGPOOL_H
+#define PERFPLAY_SUPPORT_STRINGPOOL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace perfplay {
+
+/// Dense handle of one interned string; indexes the pool that produced
+/// it.  Ids are assigned in first-intern order, starting at 0.
+using StringId = uint32_t;
+
+/// Sentinel for "no string" (e.g. a default-constructed LockInfo).
+inline constexpr StringId InvalidStringId = 0xFFFFFFFFu;
+
+/// Arena-backed string interner.  Movable and copyable (copies re-own
+/// every string); not thread-safe — one pool belongs to one Trace.
+class StringPool {
+public:
+  StringPool() = default;
+
+  // Moves must reset the source's arena cursor: with defaulted moves
+  // the source's Chunks vector empties but ChunkUsed/ChunkCap would
+  // keep their old values, so a later intern() on the moved-from pool
+  // would take the "fits in current chunk" path and dereference
+  // Chunks.back() on an empty vector.
+  StringPool(StringPool &&Other) noexcept
+      : Strings(std::move(Other.Strings)), Index(std::move(Other.Index)),
+        Chunks(std::move(Other.Chunks)), ChunkUsed(Other.ChunkUsed),
+        ChunkCap(Other.ChunkCap), Accounting(Other.Accounting) {
+    Other.reset();
+  }
+  StringPool &operator=(StringPool &&Other) noexcept {
+    if (this != &Other) {
+      Strings = std::move(Other.Strings);
+      Index = std::move(Other.Index);
+      Chunks = std::move(Other.Chunks);
+      ChunkUsed = Other.ChunkUsed;
+      ChunkCap = Other.ChunkCap;
+      Accounting = Other.Accounting;
+      Other.reset();
+    }
+    return *this;
+  }
+
+  StringPool(const StringPool &Other) { copyFrom(Other); }
+  StringPool &operator=(const StringPool &Other) {
+    if (this != &Other) {
+      *this = StringPool();
+      copyFrom(Other);
+    }
+    return *this;
+  }
+
+  /// Interns \p S with owned storage: the first occurrence is copied
+  /// into the pool's arena.  Returns the id of the (possibly
+  /// pre-existing) entry with this content.
+  StringId intern(std::string_view S) { return insert(S, /*Borrow=*/false); }
+
+  /// Interns \p S with borrowed storage: the first occurrence stores
+  /// the view as-is, copying nothing.  The caller guarantees the
+  /// pointed-to bytes outlive the pool (the mmap-parse path pins the
+  /// file mapping in the session for exactly this reason).  Content
+  /// already interned — owned or borrowed — is returned unchanged.
+  StringId internBorrowed(std::string_view S) {
+    return insert(S, /*Borrow=*/true);
+  }
+
+  /// The string behind \p Id.  InvalidStringId (and any out-of-range
+  /// id) resolves to the empty view, so renderers need no special
+  /// casing for unnamed entries.
+  std::string_view str(StringId Id) const {
+    return Id < Strings.size() ? Strings[Id] : std::string_view();
+  }
+
+  /// Number of distinct strings interned.
+  uint32_t size() const { return static_cast<uint32_t>(Strings.size()); }
+
+  bool empty() const { return Strings.empty(); }
+
+  /// Storage accounting, used by the ingest bench to assert the
+  /// zero-copy property: a borrowed-mode parse must report
+  /// OwnedBytes == 0 (no per-name heap copy was made).
+  struct Stats {
+    /// Bytes copied into the arena (owned strings only).
+    size_t OwnedBytes = 0;
+    /// Bytes referenced in caller-owned buffers (borrowed strings).
+    size_t BorrowedBytes = 0;
+    uint32_t NumOwned = 0;
+    uint32_t NumBorrowed = 0;
+  };
+  Stats stats() const { return Accounting; }
+
+private:
+  /// Returns the pool to its freshly-constructed state (used on the
+  /// source of a move so it remains safely usable).
+  void reset() {
+    Strings.clear();
+    Index.clear();
+    Chunks.clear();
+    ChunkUsed = 0;
+    ChunkCap = 0;
+    Accounting = Stats();
+  }
+
+  StringId insert(std::string_view S, bool Borrow);
+
+  /// Copies \p S into the arena and returns the stable view.
+  std::string_view copyToArena(std::string_view S);
+
+  void copyFrom(const StringPool &Other);
+
+  /// Id-indexed views: into Chunks for owned strings, into the
+  /// caller's buffer for borrowed ones.
+  std::vector<std::string_view> Strings;
+  /// Content -> id; keys view the same storage as Strings.
+  std::unordered_map<std::string_view, StringId> Index;
+  /// Arena blocks.  unique_ptr-held so views stay valid across pool
+  /// moves and vector growth.
+  std::vector<std::unique_ptr<char[]>> Chunks;
+  size_t ChunkUsed = 0;
+  size_t ChunkCap = 0;
+  Stats Accounting;
+};
+
+} // namespace perfplay
+
+#endif // PERFPLAY_SUPPORT_STRINGPOOL_H

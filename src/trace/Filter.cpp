@@ -18,6 +18,9 @@ Trace perfplay::filterTraceByLocks(const Trace &Tr,
   Trace Out;
   Out.Locks = Tr.Locks;
   Out.Sites = Tr.Sites;
+  // Lock/site entries carry pooled name ids, so the projection must
+  // carry the pool those ids index.
+  Out.Names = Tr.Names;
 
   // Per-thread surviving CS index (for the schedule rewrite): maps the
   // original per-thread CS index to the new one, or InvalidId.
@@ -74,6 +77,9 @@ Trace perfplay::sliceTraceByEvents(const Trace &Tr,
   Trace Out;
   Out.Locks = Tr.Locks;
   Out.Sites = Tr.Sites;
+  // Lock/site entries carry pooled name ids, so the projection must
+  // carry the pool those ids index.
+  Out.Names = Tr.Names;
 
   std::vector<std::vector<uint32_t>> IndexMap(Tr.Threads.size());
 

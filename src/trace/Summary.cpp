@@ -84,7 +84,8 @@ std::string perfplay::renderSummary(const Trace &Tr,
   for (const LockSummary &Row : S.Locks) {
     if (Row.Acquisitions == 0 || Shown++ == MaxLocks)
       break;
-    T.addRow({Tr.Locks[Row.Lock].Name, std::to_string(Row.Acquisitions),
+    T.addRow({std::string(Tr.lockName(Row.Lock)),
+              std::to_string(Row.Acquisitions),
               std::to_string(Row.Threads), Row.IsSpin ? "yes" : "no"});
   }
   if (T.numRows() > 1)

@@ -64,6 +64,18 @@ CsRef Trace::csRefOf(uint32_t GlobalId) const {
 std::string Trace::validate() const {
   auto err = [](const std::string &Msg) { return Msg; };
 
+  // Pooled-name integrity: a name handle is either the "unnamed"
+  // sentinel or resolves inside this trace's pool.
+  for (const LockInfo &L : Locks)
+    if (L.Name != InvalidStringId && L.Name >= Names.size())
+      return err("lock name not in string pool");
+  for (const CodeSite &S : Sites) {
+    if (S.File != InvalidStringId && S.File >= Names.size())
+      return err("code site file not in string pool");
+    if (S.Function != InvalidStringId && S.Function >= Names.size())
+      return err("code site function not in string pool");
+  }
+
   size_t TotalCs = 0;
   std::vector<uint32_t> CsPerThread(Threads.size(), 0);
   for (size_t T = 0; T != Threads.size(); ++T) {

@@ -17,25 +17,32 @@
 #ifndef PERFPLAY_TRACE_TRACE_H
 #define PERFPLAY_TRACE_TRACE_H
 
+#include "support/StringPool.h"
 #include "trace/Event.h"
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace perfplay {
 
-/// Static source location of a critical section's code region.
+/// Static source location of a critical section's code region.  Names
+/// are pooled: File/Function are handles into the owning
+/// Trace::Names interner (Trace::siteFile / Trace::siteFunction
+/// resolve them), so comparing two sites' names is an integer compare
+/// and parsing a site allocates no per-name storage.
 struct CodeSite {
-  std::string File;
-  std::string Function;
+  StringId File = InvalidStringId;
+  StringId Function = InvalidStringId;
   uint32_t BeginLine = 0;
   uint32_t EndLine = 0;
 };
 
 /// Metadata of one lock.  Spin locks burn CPU while waiting (the paper's
-/// "resource wasting"); blocking locks idle.
+/// "resource wasting"); blocking locks idle.  Name is a handle into the
+/// owning Trace::Names pool (resolve with Trace::lockName).
 struct LockInfo {
-  std::string Name;
+  StringId Name = InvalidStringId;
   bool IsSpin = false;
 };
 
@@ -94,6 +101,35 @@ public:
   std::vector<ThreadTrace> Threads;
   std::vector<CodeSite> Sites;
   std::vector<LockInfo> Locks;
+
+  /// The interner backing every name in this trace (lock names, site
+  /// files/functions).  Views handed out by the accessors below point
+  /// into the pool's arena — or, for traces parsed in borrowed mode,
+  /// straight into the memory-mapped trace file the session pins — and
+  /// stay valid when the Trace is moved.  Copying a Trace re-owns all
+  /// names (see support/StringPool.h).
+  StringPool Names;
+
+  /// Interns \p S into this trace's pool (owned storage).
+  StringId intern(std::string_view S) { return Names.intern(S); }
+
+  /// Resolves a pooled name; InvalidStringId yields "".
+  std::string_view name(StringId Id) const { return Names.str(Id); }
+
+  /// Name of lock \p L.
+  std::string_view lockName(LockId L) const {
+    return Names.str(Locks[L].Name);
+  }
+
+  /// Source file of code site \p S.
+  std::string_view siteFile(CodeSiteId S) const {
+    return Names.str(Sites[S].File);
+  }
+
+  /// Function of code site \p S.
+  std::string_view siteFunction(CodeSiteId S) const {
+    return Names.str(Sites[S].Function);
+  }
 
   /// Transformed-trace side tables (empty in freshly recorded traces).
   std::vector<Lockset> Locksets;

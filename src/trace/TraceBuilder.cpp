@@ -9,9 +9,9 @@ using namespace perfplay;
 LockId TraceBuilder::addLock(std::string Name, bool IsSpin) {
   assert(!Finished && "builder already finished");
   LockInfo Info;
-  Info.Name = std::move(Name);
+  Info.Name = Result.Names.intern(Name);
   Info.IsSpin = IsSpin;
-  Result.Locks.push_back(std::move(Info));
+  Result.Locks.push_back(Info);
   return static_cast<LockId>(Result.Locks.size() - 1);
 }
 
@@ -20,11 +20,11 @@ CodeSiteId TraceBuilder::addSite(std::string File, std::string Function,
   assert(!Finished && "builder already finished");
   assert(BeginLine <= EndLine && "inverted code region");
   CodeSite Site;
-  Site.File = std::move(File);
-  Site.Function = std::move(Function);
+  Site.File = Result.Names.intern(File);
+  Site.Function = Result.Names.intern(Function);
   Site.BeginLine = BeginLine;
   Site.EndLine = EndLine;
-  Result.Sites.push_back(std::move(Site));
+  Result.Sites.push_back(Site);
   return static_cast<CodeSiteId>(Result.Sites.size() - 1);
 }
 

@@ -19,7 +19,7 @@ using namespace perfplay;
 static const char *TextMagic = "perfplay-trace-v1";
 
 /// Escapes whitespace and '%' so names and paths stay single tokens.
-static std::string escapeToken(const std::string &S) {
+static std::string escapeToken(std::string_view S) {
   std::string Out;
   Out.reserve(S.size());
   for (char C : S) {
@@ -74,13 +74,14 @@ std::string perfplay::writeTraceText(const Trace &Tr) {
 
   OS << "locks " << Tr.Locks.size() << "\n";
   for (const auto &L : Tr.Locks)
-    OS << "lock " << (L.IsSpin ? 1 : 0) << " " << escapeToken(L.Name)
-       << "\n";
+    OS << "lock " << (L.IsSpin ? 1 : 0) << " "
+       << escapeToken(Tr.Names.str(L.Name)) << "\n";
 
   OS << "sites " << Tr.Sites.size() << "\n";
   for (const auto &S : Tr.Sites)
     OS << "site " << S.BeginLine << " " << S.EndLine << " "
-       << escapeToken(S.File) << " " << escapeToken(S.Function) << "\n";
+       << escapeToken(Tr.Names.str(S.File)) << " "
+       << escapeToken(Tr.Names.str(S.Function)) << "\n";
 
   OS << "locksets " << Tr.Locksets.size() << "\n";
   for (const auto &LS : Tr.Locksets) {
@@ -278,8 +279,8 @@ bool perfplay::parseTraceText(const std::string &Text, Trace &Out,
       return false;
     LockInfo Info;
     Info.IsSpin = Spin != 0;
-    Info.Name = unescapeToken(Name);
-    Out.Locks.push_back(std::move(Info));
+    Info.Name = Out.Names.intern(unescapeToken(Name));
+    Out.Locks.push_back(Info);
   }
 
   // Sites.
@@ -296,9 +297,9 @@ bool perfplay::parseTraceText(const std::string &Text, Trace &Out,
     CodeSite S;
     S.BeginLine = static_cast<uint32_t>(Begin);
     S.EndLine = static_cast<uint32_t>(End);
-    S.File = unescapeToken(File);
-    S.Function = unescapeToken(Function);
-    Out.Sites.push_back(std::move(S));
+    S.File = Out.Names.intern(unescapeToken(File));
+    S.Function = Out.Names.intern(unescapeToken(Function));
+    Out.Sites.push_back(S);
   }
 
   // Locksets.
@@ -473,7 +474,7 @@ public:
     for (int I = 0; I != 8; ++I)
       Bytes.push_back(static_cast<uint8_t>(V >> (8 * I)));
   }
-  void str(const std::string &S) {
+  void str(std::string_view S) {
     u32(static_cast<uint32_t>(S.size()));
     Bytes.insert(Bytes.end(), S.begin(), S.end());
   }
@@ -522,11 +523,14 @@ public:
       V |= static_cast<uint64_t>(Data[Pos++]) << (8 * I);
     return true;
   }
-  bool str(std::string &S) {
+  /// Reads a length-prefixed string as a view into the borrowed
+  /// buffer.  The caller decides whether to copy it (owned interning)
+  /// or keep the view (borrowed interning into a pinned mapping).
+  bool str(std::string_view &S) {
     uint32_t Len;
     if (!u32(Len) || Len > remaining())
       return false;
-    S.assign(reinterpret_cast<const char *>(Data) + Pos, Len);
+    S = std::string_view(reinterpret_cast<const char *>(Data) + Pos, Len);
     Pos += Len;
     return true;
   }
@@ -547,15 +551,15 @@ std::vector<uint8_t> perfplay::writeTraceBinary(const Trace &Tr) {
   W.u32(static_cast<uint32_t>(Tr.Locks.size()));
   for (const auto &L : Tr.Locks) {
     W.u8(L.IsSpin ? 1 : 0);
-    W.str(L.Name);
+    W.str(Tr.Names.str(L.Name));
   }
 
   W.u32(static_cast<uint32_t>(Tr.Sites.size()));
   for (const auto &S : Tr.Sites) {
     W.u32(S.BeginLine);
     W.u32(S.EndLine);
-    W.str(S.File);
-    W.str(S.Function);
+    W.str(Tr.Names.str(S.File));
+    W.str(Tr.Names.str(S.Function));
   }
 
   W.u32(static_cast<uint32_t>(Tr.Locksets.size()));
@@ -618,12 +622,20 @@ std::vector<uint8_t> perfplay::writeTraceBinary(const Trace &Tr) {
 }
 
 bool perfplay::parseTraceBinary(const uint8_t *Data, size_t Size,
-                                Trace &Out, std::string &Err) {
+                                Trace &Out, std::string &Err,
+                                NameStorage Names) {
   Out = Trace();
   ByteReader R(Data, Size);
   auto fail = [&](const char *Msg) {
     Err = Msg;
     return false;
+  };
+  // One funnel for every name read: owned interning copies the view
+  // into the pool's arena; borrowed interning keeps it pointing into
+  // \p Data (the mmap the caller pins), making the parse copy-free.
+  auto internName = [&](std::string_view S) {
+    return Names == NameStorage::Borrowed ? Out.Names.internBorrowed(S)
+                                          : Out.Names.intern(S);
   };
 
   for (char C : BinaryMagic) {
@@ -648,10 +660,12 @@ bool perfplay::parseTraceBinary(const uint8_t *Data, size_t Size,
   for (uint32_t I = 0; I != N; ++I) {
     LockInfo L;
     uint8_t Spin;
-    if (!R.u8(Spin) || !R.str(L.Name))
+    std::string_view Name;
+    if (!R.u8(Spin) || !R.str(Name))
       return fail("truncated lock entry");
     L.IsSpin = Spin != 0;
-    Out.Locks.push_back(std::move(L));
+    L.Name = internName(Name);
+    Out.Locks.push_back(L);
   }
 
   if (!R.u32(N))
@@ -661,10 +675,13 @@ bool perfplay::parseTraceBinary(const uint8_t *Data, size_t Size,
   Out.Sites.reserve(N);
   for (uint32_t I = 0; I != N; ++I) {
     CodeSite S;
-    if (!R.u32(S.BeginLine) || !R.u32(S.EndLine) || !R.str(S.File) ||
-        !R.str(S.Function))
+    std::string_view File, Function;
+    if (!R.u32(S.BeginLine) || !R.u32(S.EndLine) || !R.str(File) ||
+        !R.str(Function))
       return fail("truncated site entry");
-    Out.Sites.push_back(std::move(S));
+    S.File = internName(File);
+    S.Function = internName(Function);
+    Out.Sites.push_back(S);
   }
 
   if (!R.u32(N))
@@ -891,7 +908,7 @@ static bool loadTraceStream(const std::string &Path, Trace &Out,
 
 bool perfplay::loadTraceKeepMapping(const std::string &Path, Trace &Out,
                                     std::string &Err, MappedFile &File,
-                                    TraceLoadMode Mode) {
+                                    TraceLoadMode Mode, NameStorage Names) {
   File.close();
   if (Mode == TraceLoadMode::Stream)
     return loadTraceStream(Path, Out, Err);
@@ -925,8 +942,17 @@ bool perfplay::loadTraceKeepMapping(const std::string &Path, Trace &Out,
     if (!Opened)
       return false;
   }
-  if (hasBinaryMagic(File.data(), File.size()))
-    return parseTraceBinary(File.data(), File.size(), Out, Err);
+  if (hasBinaryMagic(File.data(), File.size())) {
+    // Borrowed names are only safe when the bytes live past this call:
+    // a real mmap the caller pins.  The read-fallback buffer inside
+    // File would also survive, but callers (Engine::openSessionFromFile)
+    // deliberately drop non-mmap views to avoid keeping a second full
+    // copy of the file alive — so borrow only from a genuine mapping.
+    NameStorage Effective = Names == NameStorage::Borrowed && File.isMapped()
+                                ? NameStorage::Borrowed
+                                : NameStorage::Owned;
+    return parseTraceBinary(File.data(), File.size(), Out, Err, Effective);
+  }
   // Text parses out of its own string copy, so there is nothing the
   // caller could ever borrow from the mapping — release it now rather
   // than letting a session pin a whole text file for no benefit.

@@ -38,17 +38,36 @@ bool parseTraceText(const std::string &Text, Trace &Out, std::string &Err);
 /// Serializes \p Tr into the binary format.
 std::vector<uint8_t> writeTraceBinary(const Trace &Tr);
 
+/// How a parser stores the names it reads into the Trace's string pool
+/// (trace/Trace.h, support/StringPool.h).
+enum class NameStorage {
+  /// Copy each distinct name once into the pool's arena.  The parsed
+  /// Trace owns all of its storage; safe for any input buffer.
+  Owned,
+  /// Intern `string_view`s pointing straight into the input buffer —
+  /// zero per-name heap copies.  The caller guarantees the buffer
+  /// outlives the Trace (Engine::openSessionFromFile pins the file
+  /// mapping in the session for exactly this purpose).  Only the
+  /// binary parser can borrow; the text parser unescapes into the
+  /// arena regardless.
+  Borrowed,
+};
+
 /// Parses the binary format from a borrowed buffer — the zero-copy
 /// entry point: \p Data may point into a read-only file mapping
-/// (support/MappedFile.h) and is never modified or retained; the
-/// parsed Trace owns all of its storage.  Every table count in the
-/// header is validated against the remaining byte budget before
-/// anything is allocated, so a truncated or hostile file fails with a
-/// "count exceeds file size" diagnostic instead of attempting a
+/// (support/MappedFile.h) and is never modified or retained.  With
+/// NameStorage::Owned (the default) the parsed Trace owns all of its
+/// storage; with NameStorage::Borrowed lock/site names stay
+/// `string_view`s into \p Data, eliminating every per-name copy, and
+/// \p Data must outlive the Trace.  Every table count in the header is
+/// validated against the remaining byte budget before anything is
+/// allocated, so a truncated or hostile file fails with a "count
+/// exceeds file size" diagnostic instead of attempting a
 /// multi-gigabyte allocation.  On failure returns false and sets
 /// \p Err.
 bool parseTraceBinary(const uint8_t *Data, size_t Size, Trace &Out,
-                      std::string &Err);
+                      std::string &Err,
+                      NameStorage Names = NameStorage::Owned);
 
 /// Parses the binary format.  On failure returns false and sets \p Err.
 bool parseTraceBinary(const std::vector<uint8_t> &Bytes, Trace &Out,
@@ -110,9 +129,17 @@ class MappedFile;
 /// or Auto over something unmappable), \p File ends closed.  This is
 /// the single home of the mode policy — loadTrace wraps it with a
 /// throwaway mapping.
+///
+/// \p Names selects the string storage of a binary parse served by a
+/// real mmap: NameStorage::Borrowed makes lock/site names point
+/// straight into the mapping (zero per-name copies) and REQUIRES the
+/// caller to keep \p File open for the Trace's lifetime.  Loads that
+/// end with \p File closed (stream fallback, text input, read-fallback
+/// platforms) always intern owned names, whatever \p Names says.
 bool loadTraceKeepMapping(const std::string &Path, Trace &Out,
                           std::string &Err, MappedFile &File,
-                          TraceLoadMode Mode = TraceLoadMode::Auto);
+                          TraceLoadMode Mode = TraceLoadMode::Auto,
+                          NameStorage Names = NameStorage::Owned);
 
 } // namespace perfplay
 

@@ -27,10 +27,10 @@ TransformResult perfplay::transformTrace(const Trace &Tr,
       continue;
     const CriticalSection &Section = Index.byGlobalId(Cs);
     LockInfo Aux;
-    Aux.Name = "@L" + std::to_string(Section.Ref.Thread) + "_" +
-               std::to_string(Section.Ref.Index);
+    Aux.Name = Out.intern("@L" + std::to_string(Section.Ref.Thread) + "_" +
+                          std::to_string(Section.Ref.Index));
     Aux.IsSpin = Tr.Locks[Section.Lock].IsSpin;
-    Out.Locks.push_back(std::move(Aux));
+    Out.Locks.push_back(Aux);
     Result.AuxLockOfCs[Cs] = static_cast<LockId>(Out.Locks.size() - 1);
     ++Result.NumAuxLocks;
   }

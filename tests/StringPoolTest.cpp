@@ -1,0 +1,193 @@
+//===- tests/StringPoolTest.cpp - string interner tests ---------------------===//
+
+#include "support/StringPool.h"
+#include "trace/TraceBuilder.h"
+#include "trace/TraceIO.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+using namespace perfplay;
+
+TEST(StringPoolTest, InterningIsStableAndDeduplicated) {
+  StringPool Pool;
+  StringId A = Pool.intern("fil_system->mutex");
+  StringId B = Pool.intern("kernel_mutex");
+  StringId A2 = Pool.intern("fil_system->mutex");
+  EXPECT_EQ(A, A2);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(Pool.size(), 2u);
+  EXPECT_EQ(Pool.str(A), "fil_system->mutex");
+  EXPECT_EQ(Pool.str(B), "kernel_mutex");
+}
+
+TEST(StringPoolTest, EmptyStringAndInvalidIdResolve) {
+  StringPool Pool;
+  StringId Empty = Pool.intern("");
+  EXPECT_EQ(Pool.str(Empty), "");
+  EXPECT_EQ(Pool.intern(""), Empty);
+  EXPECT_EQ(Pool.str(InvalidStringId), "");
+  EXPECT_EQ(Pool.str(12345), "");
+}
+
+TEST(StringPoolTest, OwnedCopiesOutliveTheSource) {
+  StringPool Pool;
+  StringId Id;
+  {
+    std::string Ephemeral = "short-lived-name-";
+    Ephemeral += std::to_string(42);
+    Id = Pool.intern(Ephemeral);
+  } // Source string destroyed; the arena copy must survive.
+  EXPECT_EQ(Pool.str(Id), "short-lived-name-42");
+  EXPECT_GT(Pool.stats().OwnedBytes, 0u);
+  EXPECT_EQ(Pool.stats().NumBorrowed, 0u);
+}
+
+TEST(StringPoolTest, BorrowedStorageCopiesNothing) {
+  // The backing buffer stands in for a pinned file mapping.
+  std::string Backing = "lock_alpha lock_beta lock_alpha";
+  StringPool Pool;
+  StringId A = Pool.internBorrowed(std::string_view(Backing).substr(0, 10));
+  StringId B = Pool.internBorrowed(std::string_view(Backing).substr(11, 9));
+  StringId A2 = Pool.internBorrowed(std::string_view(Backing).substr(21, 10));
+  EXPECT_EQ(A, A2) << "content-equal borrows share an id";
+  EXPECT_NE(A, B);
+  EXPECT_EQ(Pool.stats().OwnedBytes, 0u) << "no per-name heap copy";
+  EXPECT_EQ(Pool.stats().NumBorrowed, 2u);
+  // The views really point into the backing buffer, not an arena copy.
+  EXPECT_GE(Pool.str(A).data(), Backing.data());
+  EXPECT_LT(Pool.str(A).data(), Backing.data() + Backing.size());
+}
+
+TEST(StringPoolTest, OwnedAndBorrowedShareTheContentNamespace) {
+  std::string Backing = "shared_name";
+  StringPool Pool;
+  StringId Owned = Pool.intern("shared_name");
+  StringId Borrowed = Pool.internBorrowed(Backing);
+  EXPECT_EQ(Owned, Borrowed);
+  EXPECT_EQ(Pool.stats().NumBorrowed, 0u)
+      << "already-interned content never re-registers as a borrow";
+}
+
+TEST(StringPoolTest, ViewsSurviveMove) {
+  StringPool Pool;
+  StringId Id = Pool.intern("survives-the-move");
+  std::string_view Before = Pool.str(Id);
+  StringPool Moved = std::move(Pool);
+  EXPECT_EQ(Moved.str(Id), "survives-the-move");
+  EXPECT_EQ(Moved.str(Id).data(), Before.data())
+      << "arena storage is heap-chunked; moving relocates nothing";
+}
+
+TEST(StringPoolTest, MovedFromPoolRemainsUsable) {
+  StringPool Pool;
+  Pool.intern("first-occupant-of-the-chunk");
+  StringPool Moved = std::move(Pool);
+  // The moved-from pool must be a coherent empty pool: interning into
+  // it allocates a fresh chunk instead of writing through the stolen
+  // one (stale ChunkUsed/ChunkCap would be undefined behavior).
+  StringId Id = Pool.intern("fresh-after-move");
+  EXPECT_EQ(Pool.str(Id), "fresh-after-move");
+  EXPECT_EQ(Pool.size(), 1u);
+  EXPECT_EQ(Moved.str(0), "first-occupant-of-the-chunk");
+
+  // Same contract for move assignment.
+  StringPool Target;
+  Target.intern("target-resident");
+  StringPool Source;
+  Source.intern("source-resident");
+  Target = std::move(Source);
+  EXPECT_EQ(Target.str(0), "source-resident");
+  StringId Re = Source.intern("source-reused");
+  EXPECT_EQ(Source.str(Re), "source-reused");
+}
+
+TEST(StringPoolTest, ManyStringsCrossChunkBoundaries) {
+  StringPool Pool;
+  std::vector<StringId> Ids;
+  // ~40 bytes x 5000 strings spans multiple 64 KiB chunks.
+  for (int I = 0; I != 5000; ++I)
+    Ids.push_back(Pool.intern("chunk-crossing-name-padding-padding-" +
+                              std::to_string(I)));
+  for (int I = 0; I != 5000; ++I)
+    EXPECT_EQ(Pool.str(Ids[I]),
+              "chunk-crossing-name-padding-padding-" + std::to_string(I));
+  EXPECT_EQ(Pool.size(), 5000u);
+}
+
+TEST(StringPoolTest, CopyReownsEveryString) {
+  std::string Backing = "borrowed_lock_name";
+  StringPool Pool;
+  StringId Owned = Pool.intern("owned_lock_name");
+  StringId Borrowed = Pool.internBorrowed(Backing);
+
+  StringPool Copy = Pool;
+  // Ids and content preserved...
+  EXPECT_EQ(Copy.str(Owned), "owned_lock_name");
+  EXPECT_EQ(Copy.str(Borrowed), "borrowed_lock_name");
+  // ...but the copy owns everything: no view points into Backing.
+  EXPECT_EQ(Copy.stats().NumBorrowed, 0u);
+  const char *P = Copy.str(Borrowed).data();
+  EXPECT_TRUE(P < Backing.data() || P >= Backing.data() + Backing.size());
+  // Mutating the original backing must not affect the copy.
+  Backing.assign(Backing.size(), 'x');
+  EXPECT_EQ(Copy.str(Borrowed), "borrowed_lock_name");
+}
+
+TEST(StringPoolTest, PoolSurvivesTraceMove) {
+  TraceBuilder B;
+  LockId Mu = B.addLock("move-surviving-mutex");
+  CodeSiteId Site = B.addSite("move.cc", "mover", 1, 9);
+  ThreadId T = B.addThread();
+  B.beginCs(T, Mu, Site);
+  B.endCs(T);
+  Trace Tr = B.finish();
+
+  std::string_view Before = Tr.lockName(Mu);
+  Trace Moved = std::move(Tr);
+  EXPECT_EQ(Moved.lockName(Mu), "move-surviving-mutex");
+  EXPECT_EQ(Moved.lockName(Mu).data(), Before.data());
+  EXPECT_EQ(Moved.siteFile(Site), "move.cc");
+  EXPECT_EQ(Moved.siteFunction(Site), "mover");
+}
+
+TEST(StringPoolTest, TraceCopyCarriesIndependentNames) {
+  TraceBuilder B;
+  LockId Mu = B.addLock("copy-mutex");
+  ThreadId T = B.addThread();
+  B.beginCs(T, Mu);
+  B.endCs(T);
+  Trace Tr = B.finish();
+
+  Trace Copy = Tr;
+  EXPECT_EQ(Copy.lockName(Mu), "copy-mutex");
+  // Extending the copy's pool must not disturb the original.
+  Copy.intern("only-in-copy");
+  EXPECT_NE(Copy.Names.size(), Tr.Names.size());
+  EXPECT_EQ(Tr.lockName(Mu), "copy-mutex");
+}
+
+TEST(StringPoolTest, BorrowedTraceNamesPointIntoTheInputBuffer) {
+  TraceBuilder B;
+  B.addLock("buffer-resident-lock");
+  B.addSite("buffer.cc", "resident", 2, 8);
+  ThreadId T = B.addThread();
+  B.beginCs(T, 0, 0);
+  B.endCs(T);
+  std::vector<uint8_t> Bytes = writeTraceBinary(B.finish());
+
+  Trace Out;
+  std::string Err;
+  ASSERT_TRUE(parseTraceBinary(Bytes.data(), Bytes.size(), Out, Err,
+                               NameStorage::Borrowed))
+      << Err;
+  EXPECT_EQ(Out.lockName(0), "buffer-resident-lock");
+  EXPECT_EQ(Out.Names.stats().OwnedBytes, 0u);
+  const char *Lo = reinterpret_cast<const char *>(Bytes.data());
+  const char *P = Out.lockName(0).data();
+  EXPECT_TRUE(P >= Lo && P < Lo + Bytes.size())
+      << "borrowed name must alias the input bytes";
+}

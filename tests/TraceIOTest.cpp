@@ -1,5 +1,6 @@
 //===- tests/TraceIOTest.cpp - trace serialization tests --------------------===//
 
+#include "support/MappedFile.h"
 #include "trace/TraceBuilder.h"
 #include "trace/TraceIO.h"
 
@@ -66,15 +67,20 @@ void expectTracesEqual(const Trace &A, const Trace &B) {
       EXPECT_EQ(EA[I].Cost, EB[I].Cost);
     }
   }
+  // Names are pooled; compare resolved content, not ids (two pools may
+  // assign ids in different orders yet name every entity identically).
   ASSERT_EQ(A.Locks.size(), B.Locks.size());
   for (size_t I = 0; I != A.Locks.size(); ++I) {
-    EXPECT_EQ(A.Locks[I].Name, B.Locks[I].Name);
+    EXPECT_EQ(A.lockName(static_cast<LockId>(I)),
+              B.lockName(static_cast<LockId>(I)));
     EXPECT_EQ(A.Locks[I].IsSpin, B.Locks[I].IsSpin);
   }
   ASSERT_EQ(A.Sites.size(), B.Sites.size());
   for (size_t I = 0; I != A.Sites.size(); ++I) {
-    EXPECT_EQ(A.Sites[I].File, B.Sites[I].File);
-    EXPECT_EQ(A.Sites[I].Function, B.Sites[I].Function);
+    EXPECT_EQ(A.siteFile(static_cast<CodeSiteId>(I)),
+              B.siteFile(static_cast<CodeSiteId>(I)));
+    EXPECT_EQ(A.siteFunction(static_cast<CodeSiteId>(I)),
+              B.siteFunction(static_cast<CodeSiteId>(I)));
     EXPECT_EQ(A.Sites[I].BeginLine, B.Sites[I].BeginLine);
     EXPECT_EQ(A.Sites[I].EndLine, B.Sites[I].EndLine);
   }
@@ -172,9 +178,9 @@ TEST(TraceIOTest, NamesWithSpacesSurvive) {
   Trace Back;
   std::string Err;
   ASSERT_TRUE(parseTraceText(Text, Back, Err)) << Err;
-  EXPECT_EQ(Back.Locks[1].Name, "cell lock #3");
-  EXPECT_EQ(Back.Sites[1].File, "dir with space/x.cc");
-  EXPECT_EQ(Back.Sites[1].Function, "f g");
+  EXPECT_EQ(Back.lockName(1), "cell lock #3");
+  EXPECT_EQ(Back.siteFile(1), "dir with space/x.cc");
+  EXPECT_EQ(Back.siteFunction(1), "f g");
 }
 
 TEST(TraceIOTest, FileSaveAndLoad) {
@@ -205,6 +211,87 @@ TEST(TraceIOTest, LoadMissingFileFails) {
   std::string Err;
   EXPECT_FALSE(loadTrace("/nonexistent/path/x.trace", Out, Err));
   EXPECT_FALSE(Err.empty());
+}
+
+// saveTrace must round-trip pooled names through BOTH formats
+// byte-identically: save, reload, save again — the second file is the
+// golden twin of the first.  This pins the on-disk encoding against
+// regressions in the pool-backed writers.
+TEST(TraceIOTest, GoldenRoundTripBothFormats) {
+  Trace Tr = makeRichTrace();
+  std::string Err;
+  for (TraceFormat Format : {TraceFormat::Text, TraceFormat::Binary}) {
+    const bool Binary = Format == TraceFormat::Binary;
+    std::string Path = testing::TempDir() + "/perfplay_golden." +
+                       (Binary ? "btrace" : "trace");
+    ASSERT_TRUE(saveTrace(Tr, Path, Err, Format)) << Err;
+    Trace Back;
+    ASSERT_TRUE(loadTrace(Path, Back, Err)) << Err;
+    if (Binary)
+      EXPECT_EQ(writeTraceBinary(Back), writeTraceBinary(Tr));
+    else
+      EXPECT_EQ(writeTraceText(Back), writeTraceText(Tr));
+    // And the cross-format renderings agree too: a binary reload
+    // prints the same text as the original.
+    EXPECT_EQ(writeTraceText(Back), writeTraceText(Tr));
+    std::remove(Path.c_str());
+  }
+}
+
+// Every loader mode — text, binary-stream, binary-mmap (owned names),
+// and binary-mmap with borrowed names via loadTraceKeepMapping — must
+// resolve the exact same names for every lock and site.
+TEST(TraceIOTest, NameParityAcrossLoaderModes) {
+  Trace Tr = makeRichTrace();
+  std::string Err;
+  std::string TextPath = testing::TempDir() + "/perfplay_parity.trace";
+  std::string BinPath = testing::TempDir() + "/perfplay_parity.btrace";
+  ASSERT_TRUE(saveTrace(Tr, TextPath, Err, TraceFormat::Text)) << Err;
+  ASSERT_TRUE(saveTrace(Tr, BinPath, Err, TraceFormat::Binary)) << Err;
+
+  auto expectNamesMatch = [&](const Trace &Got, const char *Mode) {
+    ASSERT_EQ(Got.Locks.size(), Tr.Locks.size()) << Mode;
+    for (size_t I = 0; I != Tr.Locks.size(); ++I)
+      EXPECT_EQ(Got.lockName(static_cast<LockId>(I)),
+                Tr.lockName(static_cast<LockId>(I)))
+          << Mode << " lock " << I;
+    ASSERT_EQ(Got.Sites.size(), Tr.Sites.size()) << Mode;
+    for (size_t I = 0; I != Tr.Sites.size(); ++I) {
+      EXPECT_EQ(Got.siteFile(static_cast<CodeSiteId>(I)),
+                Tr.siteFile(static_cast<CodeSiteId>(I)))
+          << Mode << " site " << I;
+      EXPECT_EQ(Got.siteFunction(static_cast<CodeSiteId>(I)),
+                Tr.siteFunction(static_cast<CodeSiteId>(I)))
+          << Mode << " site " << I;
+    }
+  };
+
+  Trace Got;
+  ASSERT_TRUE(loadTrace(TextPath, Got, Err, TraceLoadMode::Stream)) << Err;
+  expectNamesMatch(Got, "text/stream");
+  ASSERT_TRUE(loadTrace(TextPath, Got, Err, TraceLoadMode::Mmap)) << Err;
+  expectNamesMatch(Got, "text/mmap");
+  ASSERT_TRUE(loadTrace(BinPath, Got, Err, TraceLoadMode::Stream)) << Err;
+  expectNamesMatch(Got, "binary/stream");
+  ASSERT_TRUE(loadTrace(BinPath, Got, Err, TraceLoadMode::Mmap)) << Err;
+  expectNamesMatch(Got, "binary/mmap-owned");
+
+  // Borrowed storage: names are views into the (still open) mapping.
+  {
+    MappedFile File;
+    Trace Borrowed;
+    ASSERT_TRUE(loadTraceKeepMapping(BinPath, Borrowed, Err, File,
+                                     TraceLoadMode::Mmap,
+                                     NameStorage::Borrowed))
+        << Err;
+    expectNamesMatch(Borrowed, "binary/mmap-borrowed");
+    if (File.isMapped())
+      EXPECT_EQ(Borrowed.Names.stats().OwnedBytes, 0u)
+          << "borrowed parse must not copy names";
+  }
+
+  std::remove(TextPath.c_str());
+  std::remove(BinPath.c_str());
 }
 
 TEST(TraceIOTest, EmptyTraceRoundTrips) {

@@ -164,8 +164,7 @@ TEST(TransformTest, Figure8AuxiliaryLocks) {
 
   // Auxiliary lock names carry the @L prefix for discrimination.
   for (uint32_t Cs : {Figure7::R1T1, Figure7::W1T2, Figure7::W1T3a}) {
-    const std::string &Name =
-        R.Transformed.Locks[R.AuxLockOfCs[Cs]].Name;
+    std::string_view Name = R.Transformed.lockName(R.AuxLockOfCs[Cs]);
     EXPECT_EQ(Name.substr(0, 2), "@L");
   }
 }

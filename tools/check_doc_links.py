@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Link-checker for the repository's Markdown documentation.
+
+Verifies that every relative link target in README.md and docs/*.md
+exists on disk (anchors are stripped; external URLs are skipped), and
+that every heading anchor referenced within the checked set resolves.
+Exits non-zero listing each broken link.  Run from anywhere:
+
+    python3 tools/check_doc_links.py
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#+\s+(.*)$", re.MULTILINE)
+
+
+def anchor_of(heading: str) -> str:
+    """GitHub-style anchor: lowercase, spaces to dashes, drop punctuation."""
+    heading = heading.strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def collect_files(root: str):
+    files = [os.path.join(root, "README.md")]
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith(".md"):
+                files.append(os.path.join(docs, name))
+    return [f for f in files if os.path.isfile(f)]
+
+
+def main() -> int:
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    errors = []
+    anchors = {}  # abs path -> set of anchors
+
+    files = collect_files(root)
+    for path in files:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        anchors[path] = {anchor_of(h) for h in HEADING_RE.findall(text)}
+
+    for path in files:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        base = os.path.dirname(path)
+        rel = os.path.relpath(path, root)
+        for target in LINK_RE.findall(text):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, …
+                continue
+            target_path, _, fragment = target.partition("#")
+            if not target_path:  # same-file anchor
+                if fragment and anchor_of(fragment) not in anchors[path]:
+                    errors.append(f"{rel}: broken anchor '#{fragment}'")
+                continue
+            resolved = os.path.normpath(os.path.join(base, target_path))
+            if not os.path.exists(resolved):
+                errors.append(f"{rel}: broken link '{target}'")
+                continue
+            if fragment and resolved in anchors:
+                if anchor_of(fragment) not in anchors[resolved]:
+                    errors.append(
+                        f"{rel}: broken anchor '{target_path}#{fragment}'")
+
+    if errors:
+        for e in errors:
+            print(f"BROKEN: {e}", file=sys.stderr)
+        print(f"{len(errors)} broken link(s) in {len(files)} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"ok: {len(files)} file(s) checked, all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
