@@ -7,10 +7,20 @@
 // the comparison is pure speed.  Emits BENCH_detect.json for CI
 // tracking alongside a human-readable table.
 //
+// A second corpus — wide-set sections touching 10k..1M addresses,
+// dense (interleaved, bitmap blocks) and sparse (strided, small
+// blocks) — times Algorithm 1's read/write-set intersection under
+// SetRepr::Sorted vs SetRepr::Bitset (support/AddrSet.h) and records
+// bitset_intersect_speedup.  Verdict parity across representations is
+// asserted per entry, and the run exits non-zero if the dense corpus
+// falls below --min-speedup (default 4x), so CI smoke gates the
+// word-parallel path.
+//
 // Usage:
 //   bench_micro_detect_throughput [--app NAME] [--threads N] [--scale S]
 //                                 [--detect-threads N] [--repeat K]
-//                                 [--out FILE]
+//                                 [--out FILE] [--no-wide]
+//                                 [--min-speedup X]
 //
 //===----------------------------------------------------------------------===//
 
@@ -21,6 +31,7 @@
 #include "trace/TraceBuilder.h"
 #include "workloads/WorkloadSpec.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -135,6 +146,114 @@ double runConfig(const Trace &Tr, const CsIndex &Index, ConfigResult &Cfg,
   return Cfg.Seconds;
 }
 
+//===----------------------------------------------------------------------===//
+// Wide-set corpus: SetRepr::Sorted vs SetRepr::Bitset intersection.
+//===----------------------------------------------------------------------===//
+
+/// Two threads, one lock, one section each, every section touching
+/// \p Addrs addresses.  Dense entries interleave even/odd addresses
+/// over one contiguous range, so every 1024-address chunk holds 512
+/// members per section (bitmap blocks, word-parallel AND); sparse
+/// entries stride by 128 with a half-stride offset, so chunks hold 8
+/// members per section (small sorted-array blocks).  Both shapes make
+/// the pair DisjointWrite: overlapping value ranges, no shared
+/// address — the worst case for the sorted merge (no early exit, full
+/// O(n) walk) and the case the chunked bitmap is built for.
+Trace makeWideSetTrace(size_t Addrs, bool Dense) {
+  const uint64_t Stride = Dense ? 2 : 128;
+  TraceBuilder B;
+  LockId Mu = B.addLock("wide_mu");
+  CodeSiteId S0 = B.addSite("wide.cc", "writer_lo", 1, 9);
+  CodeSiteId S1 = B.addSite("wide.cc", "writer_hi", 11, 19);
+  ThreadId T0 = B.addThread();
+  ThreadId T1 = B.addThread();
+  B.beginCs(T0, Mu, S0);
+  for (size_t I = 0; I != Addrs; ++I)
+    B.write(T0, static_cast<AddrId>(I * Stride), 1);
+  B.endCs(T0);
+  B.beginCs(T1, Mu, S1);
+  for (size_t I = 0; I != Addrs; ++I)
+    B.write(T1, static_cast<AddrId>(I * Stride + Stride / 2), 1);
+  B.endCs(T1);
+  return B.finish();
+}
+
+struct WideResult {
+  const char *Name;
+  size_t Addrs;
+  bool Dense;
+  double SortedSec = 0.0;
+  double BitsetSec = 0.0;
+  double AutoSec = 0.0;
+  double Speedup = 0.0;
+  const char *Verdict = "";
+  bool Parity = true;
+};
+
+/// Times \p Iters static classifications of the corpus pair under
+/// \p Repr.  classifyPairStatic is intersection-bound here: the
+/// sections are write-only, so the one live intersection is
+/// writes-vs-writes over the full wide sets.
+double timeStaticClassification(const CriticalSection &C1,
+                                const CriticalSection &C2, SetRepr Repr,
+                                unsigned Iters, UlcpKind &VerdictOut) {
+  auto Start = std::chrono::steady_clock::now();
+  unsigned Acc = 0;
+  for (unsigned I = 0; I != Iters; ++I)
+    Acc += static_cast<unsigned>(classifyPairStatic(C1, C2, Repr));
+  auto End = std::chrono::steady_clock::now();
+  VerdictOut = static_cast<UlcpKind>(Acc / Iters);
+  return std::chrono::duration<double>(End - Start).count() / Iters;
+}
+
+/// Runs one corpus entry: builds the trace, asserts end-to-end verdict
+/// parity (full detectUlcps counts identical across representations),
+/// then times the static classification under both pinned
+/// representations.
+WideResult runWideEntry(const char *Name, size_t Addrs, bool Dense) {
+  WideResult R;
+  R.Name = Name;
+  R.Addrs = Addrs;
+  R.Dense = Dense;
+
+  Trace Tr = makeWideSetTrace(Addrs, Dense);
+  CsIndex Index = CsIndex::build(Tr);
+  const CriticalSection &C1 = Index.byGlobalId(0);
+  const CriticalSection &C2 = Index.byGlobalId(1);
+
+  // Per-entry iteration budget: ~30M touched addresses per timing leg
+  // keeps every entry in the tens of milliseconds.
+  unsigned Iters = static_cast<unsigned>(
+      std::max<size_t>(3, 30 * 1000 * 1000 / std::max<size_t>(1, Addrs)));
+
+  UlcpKind SortedVerdict, BitsetVerdict, AutoVerdict;
+  R.SortedSec = timeStaticClassification(C1, C2, SetRepr::Sorted, Iters,
+                                         SortedVerdict);
+  R.BitsetSec = timeStaticClassification(C1, C2, SetRepr::Bitset, Iters,
+                                         BitsetVerdict);
+  R.AutoSec = timeStaticClassification(C1, C2, SetRepr::Auto, Iters,
+                                       AutoVerdict);
+  R.Speedup = R.BitsetSec > 0.0 ? R.SortedSec / R.BitsetSec : 0.0;
+  R.Verdict = ulcpKindName(SortedVerdict);
+  R.Parity = SortedVerdict == BitsetVerdict && SortedVerdict == AutoVerdict;
+
+  // End-to-end parity: the whole detector, not just the static path.
+  DetectOptions Opts;
+  Opts.PairMode = PairModeKind::AllCrossThread;
+  Opts.CountsOnly = true;
+  Opts.Repr = SetRepr::Sorted;
+  DetectResult Sorted = detectUlcps(Tr, Index, Opts);
+  Opts.Repr = SetRepr::Bitset;
+  DetectResult Bitset = detectUlcps(Tr, Index, Opts);
+  R.Parity = R.Parity &&
+             Sorted.Counts.NullLock == Bitset.Counts.NullLock &&
+             Sorted.Counts.ReadRead == Bitset.Counts.ReadRead &&
+             Sorted.Counts.DisjointWrite == Bitset.Counts.DisjointWrite &&
+             Sorted.Counts.Benign == Bitset.Counts.Benign &&
+             Sorted.Counts.TrueContention == Bitset.Counts.TrueContention;
+  return R;
+}
+
 std::string option(int Argc, char **Argv, const char *Name,
                    const char *Default) {
   std::string Prefix = std::string(Name) + "=";
@@ -145,6 +264,13 @@ std::string option(int Argc, char **Argv, const char *Name,
       return Argv[I] + Prefix.size();
   }
   return Default;
+}
+
+bool flag(int Argc, char **Argv, const char *Name) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], Name) == 0)
+      return true;
+  return false;
 }
 
 } // namespace
@@ -159,6 +285,9 @@ int main(int Argc, char **Argv) {
   unsigned Repeat = static_cast<unsigned>(
       std::atoi(option(Argc, Argv, "--repeat", "3").c_str()));
   std::string Out = option(Argc, Argv, "--out", "BENCH_detect.json");
+  bool NoWide = flag(Argc, Argv, "--no-wide");
+  double MinSpeedup =
+      std::atof(option(Argc, Argv, "--min-speedup", "4.0").c_str());
   if (Repeat == 0)
     Repeat = 1;
 
@@ -211,6 +340,33 @@ int main(int Argc, char **Argv) {
                 Cfg.Seconds * 1e3, Cfg.PairsPerSec,
                 Cfg.PairsPerSec / Configs[0].PairsPerSec);
 
+  // Wide-set intersection corpus (sorted-vector vs chunked-bitmap).
+  std::vector<WideResult> Wide;
+  bool WideParityOk = true;
+  double DenseMinSpeedup = 0.0;
+  if (!NoWide) {
+    Wide.push_back(runWideEntry("dense_10k", 10 * 1000, true));
+    Wide.push_back(runWideEntry("dense_100k", 100 * 1000, true));
+    Wide.push_back(runWideEntry("dense_1m", 1000 * 1000, true));
+    Wide.push_back(runWideEntry("sparse_10k", 10 * 1000, false));
+    Wide.push_back(runWideEntry("sparse_100k", 100 * 1000, false));
+
+    std::printf("wide-set intersection: sorted vs bitset "
+                "(DisjointWrite pairs)\n");
+    for (const WideResult &W : Wide) {
+      std::printf("  %-12s %7zu addrs  sorted %9.3f us  bitset %9.3f us"
+                  "  auto %9.3f us  %7.1fx  %s%s\n",
+                  W.Name, W.Addrs, W.SortedSec * 1e6, W.BitsetSec * 1e6,
+                  W.AutoSec * 1e6, W.Speedup, W.Verdict,
+                  W.Parity ? "" : "  PARITY FAIL");
+      WideParityOk = WideParityOk && W.Parity;
+      if (W.Dense)
+        DenseMinSpeedup = DenseMinSpeedup == 0.0
+                              ? W.Speedup
+                              : std::min(DenseMinSpeedup, W.Speedup);
+    }
+  }
+
   FILE *F = std::fopen(Out.c_str(), "w");
   if (!F) {
     std::fprintf(stderr, "cannot write %s\n", Out.c_str());
@@ -244,8 +400,47 @@ int main(int Argc, char **Argv) {
                  Cfg.PairsPerSec / Configs[0].PairsPerSec,
                  I + 1 != 4 ? "," : "");
   }
-  std::fprintf(F, "  ]\n}\n");
+  std::fprintf(F, "  ]");
+  if (!Wide.empty()) {
+    std::fprintf(F, ",\n  \"wide_set\": [\n");
+    for (size_t I = 0; I != Wide.size(); ++I) {
+      const WideResult &W = Wide[I];
+      std::fprintf(F,
+                   "    {\"name\": \"%s\", \"addrs_per_section\": %zu, "
+                   "\"density\": \"%s\", \"verdict\": \"%s\", "
+                   "\"sorted_seconds\": %.9f, \"bitset_seconds\": %.9f, "
+                   "\"auto_seconds\": %.9f, "
+                   "\"bitset_intersect_speedup\": %.3f, "
+                   "\"parity\": %s}%s\n",
+                   W.Name, W.Addrs, W.Dense ? "dense" : "sparse",
+                   W.Verdict, W.SortedSec, W.BitsetSec, W.AutoSec,
+                   W.Speedup, W.Parity ? "true" : "false",
+                   I + 1 != Wide.size() ? "," : "");
+    }
+    // The headline number: the worst dense-corpus speedup, i.e. the
+    // conservative answer to "what does the word-parallel path buy on
+    // wide dense sets".
+    std::fprintf(F,
+                 "  ],\n  \"bitset_intersect_speedup\": %.3f",
+                 DenseMinSpeedup);
+  }
+  std::fprintf(F, "\n}\n");
   std::fclose(F);
   std::printf("wrote %s\n", Out.c_str());
+
+  if (!Wide.empty()) {
+    if (!WideParityOk) {
+      std::fprintf(stderr, "FATAL: wide-set corpus verdicts diverged "
+                           "between SetRepr::Sorted and SetRepr::Bitset\n");
+      return 1;
+    }
+    if (DenseMinSpeedup < MinSpeedup) {
+      std::fprintf(stderr,
+                   "FATAL: dense wide-set bitset speedup %.2fx below "
+                   "the %.2fx floor\n",
+                   DenseMinSpeedup, MinSpeedup);
+      return 1;
+    }
+  }
   return 0;
 }

@@ -74,6 +74,14 @@ CsIndex CsIndex::build(const Trace &Tr) {
     assert(Cs.GlobalId == I && "global-id enumeration mismatch");
     sortUnique(Cs.Reads);
     sortUnique(Cs.Writes);
+    // The bitset form is derived once here so every downstream
+    // intersection (classification, restricted replay images) can take
+    // the word-parallel path without re-canonicalizing.  Tiny sections
+    // skip it: SetRepr::Auto routes them to the sorted merge anyway,
+    // and the bitset path falls back per pair via setsBuilt().
+    if (Cs.Reads.size() > CriticalSection::TinySetMax ||
+        Cs.Writes.size() > CriticalSection::TinySetMax)
+      Cs.buildSets();
   }
 
   // Per-lock pairing order.

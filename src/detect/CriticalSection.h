@@ -17,6 +17,7 @@
 #ifndef PERFPLAY_DETECT_CRITICALSECTION_H
 #define PERFPLAY_DETECT_CRITICALSECTION_H
 
+#include "support/AddrSet.h"
 #include "trace/Trace.h"
 
 #include <vector>
@@ -25,6 +26,13 @@ namespace perfplay {
 
 /// One critical section with its shadow-memory summary.
 struct CriticalSection {
+  /// Sections whose read and write sets are both at most this wide
+  /// are never intersected through AddrSet — SetRepr::Auto routes
+  /// them to the sorted merge, whose constant factor wins — so
+  /// CsIndex::build skips deriving their bitmap mirrors entirely
+  /// (saving two allocations and ~300 bytes per tiny section on
+  /// lock-heavy traces with millions of small sections).
+  static constexpr size_t TinySetMax = 32;
   /// Thread and per-thread index (numbered by opening acquire).
   CsRef Ref;
   /// Dense id across the whole trace (Trace::globalCsId).
@@ -40,11 +48,41 @@ struct CriticalSection {
   /// acquire and its matching release (nested sections included).
   std::vector<AddrId> Reads;
   std::vector<AddrId> Writes;
+  /// Chunked-bitmap form of Reads/Writes (support/AddrSet.h), built
+  /// once per section by CsIndex::build (or \ref buildSets) and used
+  /// by the word-parallel intersection path of Algorithm 1
+  /// (`SetRepr::Bitset`/`Auto`).  The sorted vectors above stay the
+  /// canonical representation the frozen PipelineResult surface and
+  /// `SetRepr::Sorted` consume.
+  AddrSet ReadSet;
+  AddrSet WriteSet;
   /// Total Compute cost between acquire and release.
   TimeNs InnerCost = 0;
 
   bool readsEmpty() const { return Reads.empty(); }
   bool writesEmpty() const { return Writes.empty(); }
+
+  /// (Re)derives ReadSet/WriteSet from the sorted Reads/Writes
+  /// vectors.  Call after populating the vectors on a hand-built
+  /// section; CsIndex::build does it for every section wider than
+  /// \ref TinySetMax.  Invariant: any later mutation of Reads/Writes
+  /// stales the mirrors — re-call buildSets() (or clear the sets)
+  /// afterwards, since \ref setsBuilt can only compare sizes.
+  void buildSets() {
+    ReadSet = AddrSet::fromSorted(Reads);
+    WriteSet = AddrSet::fromSorted(Writes);
+  }
+
+  /// True when ReadSet/WriteSet mirror Reads/Writes.  The bitset
+  /// classification path falls back to the sorted vectors when a
+  /// section never built its mirrors (tiny sections, hand-built
+  /// sections).  This is a size comparison, not a content check: it
+  /// cannot detect a same-length rewrite of the vectors after
+  /// \ref buildSets (see the invariant there).
+  bool setsBuilt() const {
+    return ReadSet.size() == Reads.size() &&
+           WriteSet.size() == Writes.size();
+  }
 };
 
 /// All critical sections of a trace, indexed by global id, plus the

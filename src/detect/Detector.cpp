@@ -112,7 +112,11 @@ struct DetectContext {
   DetectContext(const Trace &Tr, const CsIndex &Index,
                 const DetectOptions &Opts, bool Concurrent)
       : Tr(Tr), Index(Index), Opts(Opts),
-        Initial(MemoryImage::initialOf(Tr)), Cache(Concurrent) {
+        // Static-only runs never replay, so skip the O(trace events)
+        // initial-image scan entirely.
+        Initial(Opts.UseReversedReplay ? MemoryImage::initialOf(Tr)
+                                       : MemoryImage()),
+        Cache(Concurrent) {
     if (Opts.DedupPairs)
       Keys = internSectionKeys(Tr, Index);
   }
@@ -163,8 +167,9 @@ private:
   UlcpKind classifyUncached(const CriticalSection &C1,
                             const CriticalSection &C2) {
     NumClassified.fetch_add(1, std::memory_order_relaxed);
-    return Opts.UseReversedReplay ? classifyPair(Tr, Initial, C1, C2)
-                                  : classifyPairStatic(C1, C2);
+    return Opts.UseReversedReplay
+               ? classifyPair(Tr, Initial, C1, C2, Opts.Repr)
+               : classifyPairStatic(C1, C2, Opts.Repr);
   }
 };
 

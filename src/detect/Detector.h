@@ -62,6 +62,13 @@ struct DetectOptions {
   /// detection cost.  Verdicts are per-pair deterministic, so results
   /// are identical with or without dedup.
   bool DedupPairs = true;
+  /// Read/write-set representation Algorithm 1 intersects (see
+  /// detect/Classify.h).  Auto picks the chunked bitmap
+  /// (support/AddrSet.h: digest rejection + word-parallel AND) for
+  /// wide sets and the sorted vectors for tiny ones; Sorted pins the
+  /// PR 2 galloping path, Bitset pins the bitmap path.  Verdicts are
+  /// byte-identical across all three — this knob only moves time.
+  SetRepr Repr = SetRepr::Auto;
   /// When set, every classified pair is delivered here — in the serial
   /// enumeration order, from the thread that called detectUlcps —
   /// instead of being materialized in DetectResult::Pairs.  Lets

@@ -36,6 +36,13 @@ void MemoryImage::seedFrom(const MemoryImage &Src,
       Cells.insert(Addr, *V);
 }
 
+void MemoryImage::seedFrom(const MemoryImage &Src, const AddrSet &Addrs) {
+  Addrs.forEach([&](uint64_t Addr) {
+    if (const uint64_t *V = Src.Cells.find(Addr))
+      Cells.insert(Addr, *V);
+  });
+}
+
 void MemoryImage::apply(AddrId Addr, uint64_t Operand, WriteOpKind Op) {
   uint64_t &Cell = Cells[Addr];
   switch (Op) {
@@ -83,11 +90,19 @@ bool perfplay::isBenignPair(const Trace &Tr, const MemoryImage &Initial,
   // and addresses outside them evolve identically in both orders, so
   // the whole-trace image can be restricted to the pair's addresses.
   // This turns the per-pair cost from O(trace addresses) — the image is
-  // copied per replay — into O(|A| + |B|).
+  // copied per replay — into O(|A| + |B|).  Sections built by CsIndex
+  // carry their address sets in chunked-bitmap form; hand-built ones
+  // seed from the sorted vectors.
   MemoryImage Restricted;
-  for (const std::vector<AddrId> *Set :
-       {&A.Reads, &A.Writes, &B.Reads, &B.Writes})
-    Restricted.seedFrom(Initial, *Set);
+  if (A.setsBuilt() && B.setsBuilt()) {
+    for (const AddrSet *Set :
+         {&A.ReadSet, &A.WriteSet, &B.ReadSet, &B.WriteSet})
+      Restricted.seedFrom(Initial, *Set);
+  } else {
+    for (const std::vector<AddrId> *Set :
+         {&A.Reads, &A.Writes, &B.Reads, &B.Writes})
+      Restricted.seedFrom(Initial, *Set);
+  }
 
   // A pair is benign iff the two execution orders are observationally
   // equivalent: the final memory agrees, and each section reads the

@@ -20,6 +20,7 @@
 #define PERFPLAY_DETECT_REVERSEDREPLAY_H
 
 #include "detect/CriticalSection.h"
+#include "support/AddrSet.h"
 #include "support/FlatMap.h"
 #include "trace/Trace.h"
 
@@ -48,6 +49,12 @@ public:
   /// absent from \p Src stay absent).  Used to build the per-pair
   /// restricted image isBenignPair replays over.
   void seedFrom(const MemoryImage &Src, const std::vector<AddrId> &Addrs);
+
+  /// Same, over the chunked-bitmap address set the critical sections
+  /// already carry (CriticalSection::ReadSet/WriteSet) — the
+  /// restricted-image path of isBenignPair seeds from these without
+  /// touching the sorted vectors.
+  void seedFrom(const MemoryImage &Src, const AddrSet &Addrs);
 
   /// Content equality: same address set with the same values (the
   /// std::map semantics the reversed replay always relied on — both

@@ -1,0 +1,323 @@
+//===- support/AddrSet.cpp - Chunked bitmap address sets -------------------===//
+
+#include "support/AddrSet.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+using namespace perfplay;
+
+size_t AddrSet::findChunk(uint64_t Key) const {
+  auto It = std::lower_bound(Keys.begin(), Keys.end(), Key);
+  if (It == Keys.end() || *It != Key)
+    return Keys.size();
+  return static_cast<size_t>(It - Keys.begin());
+}
+
+void AddrSet::promote(Block &B) {
+  assert(!B.IsBitmap && "already a bitmap");
+  uint64_t Words[WordsPerChunk] = {};
+  for (unsigned I = 0; I != B.Count; ++I)
+    Words[B.Small[I] >> 6] |= 1ull << (B.Small[I] & 63);
+  std::memcpy(B.Words, Words, sizeof(Words));
+  B.IsBitmap = true;
+}
+
+void AddrSet::demote(Block &B) {
+  assert(B.IsBitmap && B.Count <= SmallMax && "bitmap too dense to demote");
+  uint16_t Small[SmallMax];
+  unsigned N = 0;
+  for (unsigned W = 0; W != WordsPerChunk; ++W) {
+    uint64_t Word = B.Words[W];
+    while (Word != 0) {
+      unsigned Bit = static_cast<unsigned>(__builtin_ctzll(Word));
+      Small[N++] = static_cast<uint16_t>(64 * W + Bit);
+      Word &= Word - 1;
+    }
+  }
+  assert(N == B.Count && "bitmap population out of sync");
+  std::memcpy(B.Small, Small, N * sizeof(uint16_t));
+  B.IsBitmap = false;
+}
+
+bool AddrSet::blockContains(const Block &B, uint16_t Off) {
+  if (B.IsBitmap)
+    return (B.Words[Off >> 6] & (1ull << (Off & 63))) != 0;
+  const uint16_t *End = B.Small + B.Count;
+  const uint16_t *It = std::lower_bound(B.Small, End, Off);
+  return It != End && *It == Off;
+}
+
+bool AddrSet::contains(Value V) const {
+  size_t C = findChunk(V >> ChunkShift);
+  if (C == Keys.size())
+    return false;
+  return blockContains(Blocks[C], static_cast<uint16_t>(V & (ChunkSize - 1)));
+}
+
+bool AddrSet::insert(Value V) {
+  const uint64_t Key = V >> ChunkShift;
+  const uint16_t Off = static_cast<uint16_t>(V & (ChunkSize - 1));
+  auto It = std::lower_bound(Keys.begin(), Keys.end(), Key);
+  size_t C = static_cast<size_t>(It - Keys.begin());
+  if (It == Keys.end() || *It != Key) {
+    Keys.insert(It, Key);
+    Blocks.insert(Blocks.begin() + static_cast<ptrdiff_t>(C), Block());
+  }
+  Block &B = Blocks[C];
+  if (B.IsBitmap) {
+    uint64_t &Word = B.Words[Off >> 6];
+    const uint64_t Bit = 1ull << (Off & 63);
+    if (Word & Bit)
+      return false;
+    Word |= Bit;
+  } else {
+    uint16_t *End = B.Small + B.Count;
+    uint16_t *Pos = std::lower_bound(B.Small, End, Off);
+    if (Pos != End && *Pos == Off)
+      return false;
+    if (B.Count == SmallMax) {
+      promote(B);
+      B.Words[Off >> 6] |= 1ull << (Off & 63);
+    } else {
+      std::memmove(Pos + 1, Pos,
+                   static_cast<size_t>(End - Pos) * sizeof(uint16_t));
+      *Pos = Off;
+    }
+  }
+  ++B.Count;
+  ++NumValues;
+  Digest |= digestBit(V);
+  return true;
+}
+
+bool AddrSet::erase(Value V) {
+  size_t C = findChunk(V >> ChunkShift);
+  if (C == Keys.size())
+    return false;
+  const uint16_t Off = static_cast<uint16_t>(V & (ChunkSize - 1));
+  Block &B = Blocks[C];
+  if (B.IsBitmap) {
+    uint64_t &Word = B.Words[Off >> 6];
+    const uint64_t Bit = 1ull << (Off & 63);
+    if (!(Word & Bit))
+      return false;
+    Word &= ~Bit;
+    --B.Count;
+    if (B.Count <= DemoteAt)
+      demote(B);
+  } else {
+    uint16_t *End = B.Small + B.Count;
+    uint16_t *Pos = std::lower_bound(B.Small, End, Off);
+    if (Pos == End || *Pos != Off)
+      return false;
+    std::memmove(Pos, Pos + 1,
+                 static_cast<size_t>(End - Pos - 1) * sizeof(uint16_t));
+    --B.Count;
+  }
+  --NumValues;
+  // Digest bits are shared between members; keep the superset.
+  if (B.Count == 0) {
+    Keys.erase(Keys.begin() + static_cast<ptrdiff_t>(C));
+    Blocks.erase(Blocks.begin() + static_cast<ptrdiff_t>(C));
+  }
+  return true;
+}
+
+void AddrSet::clear() {
+  Keys.clear();
+  Blocks.clear();
+  NumValues = 0;
+  Digest = 0;
+}
+
+AddrSet AddrSet::fromSorted(const std::vector<Value> &Sorted) {
+  AddrSet Set;
+  size_t I = 0;
+  const size_t N = Sorted.size();
+  while (I != N) {
+    const uint64_t Key = Sorted[I] >> ChunkShift;
+    // [I, RunEnd): the members of this chunk, still possibly with
+    // duplicates.
+    size_t RunEnd = I;
+    while (RunEnd != N && (Sorted[RunEnd] >> ChunkShift) == Key)
+      ++RunEnd;
+    assert((Set.Keys.empty() || Set.Keys.back() < Key) &&
+           "fromSorted requires ascending input");
+    Set.Keys.push_back(Key);
+    Set.Blocks.emplace_back();
+    Block &B = Set.Blocks.back();
+    // Fill small first; promote mid-run if the chunk turns out dense.
+    for (size_t J = I; J != RunEnd; ++J) {
+      const uint16_t Off =
+          static_cast<uint16_t>(Sorted[J] & (ChunkSize - 1));
+      if (!B.IsBitmap) {
+        if (B.Count != 0 && B.Small[B.Count - 1] == Off)
+          continue; // Duplicate in the input.
+        if (B.Count == SmallMax) {
+          promote(B);
+        } else {
+          B.Small[B.Count++] = Off;
+          ++Set.NumValues;
+          Set.Digest |= digestBit(Sorted[J]);
+          continue;
+        }
+      }
+      uint64_t &Word = B.Words[Off >> 6];
+      const uint64_t Bit = 1ull << (Off & 63);
+      if (Word & Bit)
+        continue; // Duplicate in the input.
+      Word |= Bit;
+      ++B.Count;
+      ++Set.NumValues;
+      Set.Digest |= digestBit(Sorted[J]);
+    }
+    I = RunEnd;
+  }
+  return Set;
+}
+
+bool AddrSet::blocksIntersect(const Block &A, const Block &B) {
+  if (A.IsBitmap && B.IsBitmap) {
+    // Word-parallel AND; accumulating into one OR keeps the loop
+    // branch-free so the compiler vectorizes it.
+    uint64_t Any = 0;
+    for (unsigned W = 0; W != WordsPerChunk; ++W)
+      Any |= A.Words[W] & B.Words[W];
+    return Any != 0;
+  }
+  if (!A.IsBitmap && !B.IsBitmap) {
+    unsigned I = 0, J = 0;
+    while (I != A.Count && J != B.Count) {
+      if (A.Small[I] < B.Small[J])
+        ++I;
+      else if (B.Small[J] < A.Small[I])
+        ++J;
+      else
+        return true;
+    }
+    return false;
+  }
+  const Block &Probe = A.IsBitmap ? B : A; // The small block.
+  const Block &Map = A.IsBitmap ? A : B;   // The bitmap.
+  for (unsigned I = 0; I != Probe.Count; ++I)
+    if (Map.Words[Probe.Small[I] >> 6] & (1ull << (Probe.Small[I] & 63)))
+      return true;
+  return false;
+}
+
+size_t AddrSet::blocksIntersectCount(const Block &A, const Block &B) {
+  size_t N = 0;
+  if (A.IsBitmap && B.IsBitmap) {
+    for (unsigned W = 0; W != WordsPerChunk; ++W)
+      N += static_cast<size_t>(
+          __builtin_popcountll(A.Words[W] & B.Words[W]));
+    return N;
+  }
+  if (!A.IsBitmap && !B.IsBitmap) {
+    unsigned I = 0, J = 0;
+    while (I != A.Count && J != B.Count) {
+      if (A.Small[I] < B.Small[J]) {
+        ++I;
+      } else if (B.Small[J] < A.Small[I]) {
+        ++J;
+      } else {
+        ++N;
+        ++I;
+        ++J;
+      }
+    }
+    return N;
+  }
+  const Block &Probe = A.IsBitmap ? B : A;
+  const Block &Map = A.IsBitmap ? A : B;
+  for (unsigned I = 0; I != Probe.Count; ++I)
+    if (Map.Words[Probe.Small[I] >> 6] & (1ull << (Probe.Small[I] & 63)))
+      ++N;
+  return N;
+}
+
+bool AddrSet::intersects(const AddrSet &RHS) const {
+  if (empty() || RHS.empty())
+    return false;
+  // O(1) rejection: a shared value sets the same digest bit in both.
+  if ((Digest & RHS.Digest) == 0)
+    return false;
+  size_t I = 0, J = 0;
+  while (I != Keys.size() && J != RHS.Keys.size()) {
+    if (Keys[I] < RHS.Keys[J]) {
+      ++I;
+    } else if (RHS.Keys[J] < Keys[I]) {
+      ++J;
+    } else {
+      if (blocksIntersect(Blocks[I], RHS.Blocks[J]))
+        return true;
+      ++I;
+      ++J;
+    }
+  }
+  return false;
+}
+
+size_t AddrSet::intersectCount(const AddrSet &RHS) const {
+  if (empty() || RHS.empty() || (Digest & RHS.Digest) == 0)
+    return 0;
+  size_t N = 0;
+  size_t I = 0, J = 0;
+  while (I != Keys.size() && J != RHS.Keys.size()) {
+    if (Keys[I] < RHS.Keys[J]) {
+      ++I;
+    } else if (RHS.Keys[J] < Keys[I]) {
+      ++J;
+    } else {
+      N += blocksIntersectCount(Blocks[I], RHS.Blocks[J]);
+      ++I;
+      ++J;
+    }
+  }
+  return N;
+}
+
+std::vector<AddrSet::Value> AddrSet::toSorted() const {
+  std::vector<Value> Out;
+  Out.reserve(NumValues);
+  forEach([&](Value V) { Out.push_back(V); });
+  return Out;
+}
+
+AddrSet::Stats AddrSet::stats() const {
+  Stats S;
+  for (const Block &B : Blocks)
+    (B.IsBitmap ? S.BitmapBlocks : S.SmallBlocks) += 1;
+  return S;
+}
+
+bool AddrSet::operator==(const AddrSet &RHS) const {
+  if (NumValues != RHS.NumValues || Keys != RHS.Keys)
+    return false;
+  for (size_t C = 0; C != Blocks.size(); ++C) {
+    const Block &A = Blocks[C];
+    const Block &B = RHS.Blocks[C];
+    if (A.Count != B.Count)
+      return false;
+    if (A.IsBitmap == B.IsBitmap) {
+      if (A.IsBitmap) {
+        if (std::memcmp(A.Words, B.Words, sizeof(A.Words)) != 0)
+          return false;
+      } else if (std::memcmp(A.Small, B.Small,
+                             A.Count * sizeof(uint16_t)) != 0) {
+        return false;
+      }
+    } else {
+      // Mixed shapes (possible after erase-driven demotion on one
+      // side): compare memberships.
+      const Block &Small = A.IsBitmap ? B : A;
+      const Block &Map = A.IsBitmap ? A : B;
+      for (unsigned I = 0; I != Small.Count; ++I)
+        if (!blockContains(Map, Small.Small[I]))
+          return false;
+    }
+  }
+  return true;
+}

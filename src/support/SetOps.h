@@ -27,6 +27,25 @@ namespace detail {
 /// located in \p Large by exponential (galloping) probing from the last
 /// position, so the cost is O(|Small| * log(gap)) instead of
 /// O(|Small| + |Large|).
+///
+/// Loop invariants (audited; pinned by SetOpsTest's adversarial
+/// regression cases and the fuzz cross-check against
+/// std::set_intersection):
+///
+///  * At the top of each Small iteration, every element of Large
+///    before \c Lo is `< Val` — established for the first iteration by
+///    `Lo == begin` and re-established for the next, strictly larger
+///    (or, with duplicates, equal) value because \c Lo finishes each
+///    iteration at `lower_bound(Val)`, so a duplicate of a missing
+///    value re-probes an empty window rather than a stale one.
+///  * Inside the widening loop, `*Hi < Val` holds whenever \c Lo is
+///    advanced to `Hi + 1`, and the probe distance is clamped to the
+///    remaining tail (`min(Step, Remain)`), so the final widening step
+///    can never overshoot `Large.end()`.
+///  * The early `return false` on `Lo == Large.end()` is sound: it is
+///    reached only when every remaining element of Large is `< Val`,
+///    and Small being sorted ascending means no later value can be
+///    smaller.
 template <typename T>
 bool gallopingIntersects(const std::vector<T> &Small,
                          const std::vector<T> &Large) {
@@ -42,6 +61,9 @@ bool gallopingIntersects(const std::vector<T> &Small,
       Hi = Lo + std::min(Step, Remain);
       Step <<= 1;
     }
+    // [Lo, Hi) is the window with everything before Lo < Val and
+    // (when Hi != end) *Hi >= Val; lower_bound leaves Lo at the first
+    // element >= Val, which doubles as the start for the next value.
     Lo = std::lower_bound(Lo, Hi, Val);
     if (Lo == Large.end())
       return false;
@@ -80,6 +102,8 @@ bool sortedIntersects(const std::vector<T> &A, const std::vector<T> &B) {
 }
 
 /// Returns the intersection of the sorted ranges \p A and \p B.
+/// Duplicate semantics match std::set_intersection: a value occurring
+/// m times in \p A and n times in \p B appears min(m, n) times.
 template <typename T>
 std::vector<T> sortedIntersection(const std::vector<T> &A,
                                   const std::vector<T> &B) {

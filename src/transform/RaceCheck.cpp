@@ -3,7 +3,7 @@
 #include "transform/RaceCheck.h"
 
 #include "detect/Classify.h"
-#include "support/SetOps.h"
+#include "support/AddrSet.h"
 
 #include <algorithm>
 #include <cassert>
@@ -112,13 +112,16 @@ std::vector<RaceReport> perfplay::checkRaces(const Trace &Transformed,
   std::vector<std::vector<bool>> Reach =
       computeHappensBefore(Tr, Topology);
 
-  // Lockset cache per section.
+  // Lockset cache per section, in chunked-bitmap form: the all-pairs
+  // protectedPair probe below is intersection-bound, and the AddrSet
+  // digest rejects the common disjoint-lockset case in O(1).
   size_t NumCs = Tr.numCriticalSections();
-  std::vector<std::vector<LockId>> Locksets(NumCs);
+  std::vector<AddrSet> Locksets(NumCs);
   std::vector<bool> LocksetKnown(NumCs, false);
-  auto locksOf = [&](uint32_t Cs) -> const std::vector<LockId> & {
+  auto locksOf = [&](uint32_t Cs) -> const AddrSet & {
     if (!LocksetKnown[Cs]) {
-      Locksets[Cs] = locksetLocks(Tr, Cs);
+      for (LockId L : locksetLocks(Tr, Cs))
+        Locksets[Cs].insert(L);
       LocksetKnown[Cs] = true;
     }
     return Locksets[Cs];
@@ -135,7 +138,7 @@ std::vector<RaceReport> perfplay::checkRaces(const Trace &Transformed,
   auto protectedPair = [&](const AccessRecord &A, const AccessRecord &B) {
     for (uint32_t CsA : A.Enclosing)
       for (uint32_t CsB : B.Enclosing)
-        if (sortedIntersects(locksOf(CsA), locksOf(CsB)))
+        if (locksOf(CsA).intersects(locksOf(CsB)))
           return true;
     return false;
   };

@@ -149,6 +149,103 @@ TEST(DetectParallelTest, GeneratedWorkloadParity) {
   checkAllConfigs(generatedTrace(), Opts);
 }
 
+TEST(DetectParallelTest, TinySectionsSkipBitmapMirrors) {
+  // Sections at or below TinySetMax in both dimensions never derive
+  // AddrSets (Auto routes them to the sorted merge anyway); the
+  // pinned Bitset representation falls back per pair and stays
+  // correct, which the SetReprBitsetMatchesSorted parity runs over
+  // mixedTrace() — all-tiny sections — rely on.
+  CsIndex Index = CsIndex::build(mixedTrace());
+  size_t WithMirrors = 0;
+  for (uint32_t I = 0; I != Index.size(); ++I) {
+    const CriticalSection &Cs = Index.byGlobalId(I);
+    ASSERT_LE(Cs.Reads.size(), CriticalSection::TinySetMax);
+    ASSERT_LE(Cs.Writes.size(), CriticalSection::TinySetMax);
+    if (Cs.ReadSet.size() + Cs.WriteSet.size() != 0)
+      ++WithMirrors;
+  }
+  EXPECT_EQ(WithMirrors, 0u);
+}
+
+TEST(DetectParallelTest, SetReprBitsetMatchesSorted) {
+  // The word-parallel AddrSet intersection path must be invisible in
+  // the results: identical Pairs and Counts for Sorted, Bitset and
+  // Auto on the lock-heavy mixed workload, with and without the other
+  // performance knobs stacked on top.
+  for (const Trace &Tr : {mixedTrace(), generatedTrace()}) {
+    CsIndex Index = CsIndex::build(Tr);
+    DetectOptions Base;
+    Base.PairMode = PairModeKind::AllCrossThread;
+    Base.Repr = SetRepr::Sorted;
+    DetectResult Sorted = detectWith(Tr, Index, Base, 1, false);
+    ASSERT_GT(Sorted.Counts.total(), 0u);
+
+    DetectOptions Bitset = Base;
+    Bitset.Repr = SetRepr::Bitset;
+    expectSameResult(Sorted, detectWith(Tr, Index, Bitset, 1, false),
+                     "bitset");
+    expectSameResult(Sorted, detectWith(Tr, Index, Bitset, 4, true),
+                     "bitset+parallel+dedup");
+
+    DetectOptions Auto = Base;
+    Auto.Repr = SetRepr::Auto;
+    expectSameResult(Sorted, detectWith(Tr, Index, Auto, 1, false),
+                     "auto");
+    expectSameResult(Sorted, detectWith(Tr, Index, Auto, 4, true),
+                     "auto+parallel+dedup");
+  }
+}
+
+TEST(DetectParallelTest, SetReprBitsetOnWideSections) {
+  // Wide sections (past any small-block threshold) with every static
+  // verdict represented: interleaved disjoint writes, overlapping
+  // writes, read-only scans.  Bitset and Sorted must agree per pair.
+  TraceBuilder B;
+  LockId Mu = B.addLock("wide");
+  CodeSiteId Site = B.addSite("w.cc", "wide", 1, 9);
+  ThreadId T0 = B.addThread();
+  ThreadId T1 = B.addThread();
+
+  // Pairwise-disjoint interleaved writes over one dense range.
+  B.beginCs(T0, Mu, Site);
+  for (AddrId A = 0; A != 4000; A += 2)
+    B.write(T0, A, 1);
+  B.endCs(T0);
+  B.beginCs(T1, Mu, Site);
+  for (AddrId A = 1; A != 4001; A += 2)
+    B.write(T1, A, 1);
+  B.endCs(T1);
+  // A conflicting wide pair: same range, one shared address.
+  B.beginCs(T0, Mu, Site);
+  for (AddrId A = 10000; A != 12000; ++A)
+    B.write(T0, A, 2);
+  B.endCs(T0);
+  B.beginCs(T1, Mu, Site);
+  B.write(T1, 11500, 3);
+  for (AddrId A = 20000; A != 22000; ++A)
+    B.read(T1, A, 0);
+  B.endCs(T1);
+  Trace Tr = B.finish();
+  CsIndex Index = CsIndex::build(Tr);
+
+  // Every section here is wider than TinySetMax in reads or writes,
+  // so all of them carry bitmap mirrors.
+  for (uint32_t I = 0; I != Index.size(); ++I)
+    EXPECT_TRUE(Index.byGlobalId(I).setsBuilt()) << I;
+
+  DetectOptions Opts;
+  Opts.PairMode = PairModeKind::AllCrossThread;
+  Opts.Repr = SetRepr::Sorted;
+  DetectResult Sorted = detectUlcps(Tr, Index, Opts);
+  Opts.Repr = SetRepr::Bitset;
+  expectSameResult(Sorted, detectUlcps(Tr, Index, Opts), "wide-bitset");
+  Opts.Repr = SetRepr::Auto;
+  expectSameResult(Sorted, detectUlcps(Tr, Index, Opts), "wide-auto");
+  // The corpus really exercises both outcomes.
+  EXPECT_GT(Sorted.Counts.DisjointWrite, 0u);
+  EXPECT_GT(Sorted.Counts.TrueContention, 0u);
+}
+
 TEST(DetectParallelTest, SinkStreamsPairsInSerialOrder) {
   Trace Tr = mixedTrace();
   CsIndex Index = CsIndex::build(Tr);

@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <atomic>
 #include <numeric>
+#include <random>
 #include <set>
 
 using namespace perfplay;
@@ -232,6 +233,102 @@ TEST(SetOpsTest, GallopingDenseHitLateInLarge) {
   std::iota(Large.begin(), Large.end(), 0);
   EXPECT_TRUE(sortedIntersects(Small, Large));
   EXPECT_TRUE(sortedIntersects(Large, Small));
+}
+
+TEST(SetOpsTest, GallopingDuplicatesInSmall) {
+  // Duplicates in the probing side must re-probe an empty window, not
+  // a stale one: a duplicate of a missing value stays missing, a
+  // duplicate of a present value still hits.
+  std::vector<int> Large(1000);
+  std::iota(Large.begin(), Large.end(), 0);
+  for (int &V : Large)
+    V *= 4; // 0, 4, ..., 3996.
+  EXPECT_FALSE(detail::gallopingIntersects<int>({5, 5, 5}, Large));
+  EXPECT_FALSE(detail::gallopingIntersects<int>({1, 1, 2, 2, 3999}, Large));
+  EXPECT_TRUE(detail::gallopingIntersects<int>({5, 5, 8}, Large));
+  EXPECT_TRUE(detail::gallopingIntersects<int>({3996, 3996}, Large));
+  // Duplicates in Large as well.
+  std::vector<int> Dups = {2, 2, 2, 6, 6, 10};
+  EXPECT_TRUE(detail::gallopingIntersects<int>({6, 6}, Dups));
+  EXPECT_FALSE(detail::gallopingIntersects<int>({3, 3, 7, 7}, Dups));
+}
+
+TEST(SetOpsTest, GallopingFinalStepOvershoot) {
+  // Sizes chosen so the last widening step would overshoot the end of
+  // Large without the Remain clamp: Large sizes just below and above
+  // powers of two, probes landing in the final partial window.
+  for (size_t N : {5u, 7u, 8u, 9u, 15u, 16u, 17u, 31u, 33u, 127u, 129u}) {
+    std::vector<int> Large(N);
+    std::iota(Large.begin(), Large.end(), 0);
+    for (int &V : Large)
+      V *= 2; // 0, 2, ..., 2(N-1).
+    int Last = Large.back();
+    // Hits and misses around the very last element.
+    EXPECT_TRUE(detail::gallopingIntersects<int>({Last}, Large)) << N;
+    EXPECT_FALSE(detail::gallopingIntersects<int>({Last - 1}, Large)) << N;
+    EXPECT_FALSE(detail::gallopingIntersects<int>({Last + 1}, Large)) << N;
+    EXPECT_FALSE(detail::gallopingIntersects<int>({Last + 2}, Large)) << N;
+    // A miss past the end followed by nothing else terminates cleanly.
+    EXPECT_FALSE(
+        detail::gallopingIntersects<int>({1, Last + 1}, Large)) << N;
+    // Every element probed in ascending order: exercises the widening
+    // loop restart at each position, including the final window.
+    EXPECT_TRUE(detail::gallopingIntersects<int>(Large, Large)) << N;
+  }
+}
+
+TEST(SetOpsTest, GallopingAdversarialSkew) {
+  // Clustered probes: runs of near-identical values followed by a jump
+  // to the far end, so consecutive values gallop from a freshly
+  // advanced Lo every time.
+  std::vector<long> Large;
+  for (long V = 0; V != 10000; ++V)
+    Large.push_back(V * 10);
+  std::vector<long> ProbeMiss = {1, 2, 3, 4,     49998, 49999,
+                                 50001, 99999, 100001, 1000001};
+  EXPECT_FALSE(detail::gallopingIntersects(ProbeMiss, Large));
+  std::vector<long> ProbeHitLast = {1, 2, 3, 99990};
+  EXPECT_TRUE(detail::gallopingIntersects(ProbeHitLast, Large));
+  std::vector<long> ProbeHitFirst = {0, 5, 15, 25};
+  EXPECT_TRUE(detail::gallopingIntersects(ProbeHitFirst, Large));
+}
+
+TEST(SetOpsTest, FuzzAgainstSetIntersection) {
+  // Seeded fuzz: sortedIntersects / sortedIntersection (and both
+  // galloping orientations) against std::set_intersection ground
+  // truth, with and without duplicates, over narrow value ranges that
+  // force overlaps and adversarial skews that force the galloping
+  // path.
+  std::mt19937_64 Rng(20260730);
+  for (int Iter = 0; Iter != 20000; ++Iter) {
+    std::uniform_int_distribution<int> SmallN(0, 8), LargeN(0, 300),
+        ValD(0, 160);
+    std::vector<int> A, B;
+    int An = SmallN(Rng), Bn = LargeN(Rng);
+    for (int I = 0; I != An; ++I)
+      A.push_back(ValD(Rng));
+    for (int I = 0; I != Bn; ++I)
+      B.push_back(ValD(Rng));
+    std::sort(A.begin(), A.end());
+    std::sort(B.begin(), B.end());
+    if (Rng() & 1)
+      A.erase(std::unique(A.begin(), A.end()), A.end());
+    if (Rng() & 1)
+      B.erase(std::unique(B.begin(), B.end()), B.end());
+
+    std::vector<int> Truth;
+    std::set_intersection(A.begin(), A.end(), B.begin(), B.end(),
+                          std::back_inserter(Truth));
+    ASSERT_EQ(sortedIntersects(A, B), !Truth.empty()) << "iter " << Iter;
+    ASSERT_EQ(sortedIntersects(B, A), !Truth.empty()) << "iter " << Iter;
+    ASSERT_EQ(sortedIntersection(A, B), Truth) << "iter " << Iter;
+    if (!A.empty() && !B.empty()) {
+      ASSERT_EQ(detail::gallopingIntersects(A, B), !Truth.empty())
+          << "iter " << Iter;
+      ASSERT_EQ(detail::gallopingIntersects(B, A), !Truth.empty())
+          << "iter " << Iter;
+    }
+  }
 }
 
 //===----------------------------------------------------------------------===//

@@ -9,7 +9,7 @@
 //                     [--out FILE] [--binary]
 //   perfplay analyze <trace> [<trace> ...] [--pairs adjacent|all]
 //                    [--races] [--threads N] [--detect-threads N]
-//                    [--no-dedup]
+//                    [--no-dedup] [--set-repr auto|sorted|bitset]
 //   perfplay replay <trace> [--scheme orig|elsc|sync|mem] [--seed N]
 //                   [--replays K]
 //   perfplay casestudy <bug1|bug2|mysql> [--threads N] [--scale S]
@@ -132,6 +132,7 @@ int usage() {
       "                  [--timeline] [--csv] [--progress] [--threads N]\n"
       "                  [--detect-threads N] [--no-dedup]"
       " [--mmap|--no-mmap]\n"
+      "                  [--set-repr auto|sorted|bitset]\n"
       "  perfplay replay <trace> [--scheme orig|elsc|sync|mem]"
       " [--seed N] [--replays K]\n"
       "                 [--mmap|--no-mmap]\n"
@@ -142,6 +143,26 @@ int usage() {
       " traces),\n"
       "--no-mmap streams them through stdio instead\n");
   return 2;
+}
+
+/// Parses the --set-repr value: which read/write-set representation
+/// detection intersects (detect/Classify.h).  All three produce
+/// identical verdicts; sorted/bitset pin one path for parity or
+/// benchmarking runs.
+bool parseSetRepr(const std::string &S, SetRepr &Out) {
+  if (S == "auto")
+    Out = SetRepr::Auto;
+  else if (S == "sorted")
+    Out = SetRepr::Sorted;
+  else if (S == "bitset")
+    Out = SetRepr::Bitset;
+  else {
+    std::fprintf(stderr, "error: --set-repr expects auto|sorted|bitset, "
+                         "got '%s'\n",
+                 S.c_str());
+    return false;
+  }
+  return true;
 }
 
 /// Consumes the loader-mode flags: the default memory-maps trace files
@@ -289,6 +310,9 @@ int cmdAnalyze(ArgList &Args) {
                         "--detect-threads", DetectThreads))
     return 2;
   bool NoDedup = Args.flag("--no-dedup");
+  SetRepr Repr;
+  if (!parseSetRepr(Args.option("--set-repr", "auto"), Repr))
+    return 2;
   TraceLoadMode Mode = loadModeFromArgs(Args);
   std::vector<std::string> Paths;
   for (std::string P = Args.positional(); !P.empty();
@@ -303,6 +327,7 @@ int cmdAnalyze(ArgList &Args) {
                                       : PairModeKind::AdjacentCrossThread;
   Eng.options().Detect.NumThreads = DetectThreads;
   Eng.options().Detect.DedupPairs = !NoDedup;
+  Eng.options().Detect.Repr = Repr;
   Eng.options().CheckRaces = Races;
   if (Progress)
     Eng.setProgressCallback([](const StageEvent &Event) {
