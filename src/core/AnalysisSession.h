@@ -148,6 +148,17 @@ using ProgressCallback = std::function<void(const StageEvent &)>;
 ///
 /// Sessions are movable but not copyable; references returned by stage
 /// accessors are invalidated by moving the session.
+///
+/// Threading model: a session is externally synchronized — it takes no
+/// locks of its own, and all of its cached intermediates (including
+/// the replay LRU cache) are confined to whichever thread is currently
+/// driving it.  One thread per session at a time; handing a session to
+/// another thread is safe exactly when the handoff itself synchronizes
+/// (thread join, mutex, task queue).  Engine::analyzeBatch* follows
+/// this rule: each worker owns its session outright and only the
+/// finished results cross threads, under the batch mutex.  Detection
+/// inside a session may spin up its own ThreadPool; that parallelism
+/// is internal to the detect() call and invisible to the caller.
 class AnalysisSession {
 public:
   explicit AnalysisSession(Trace Tr, PipelineOptions Opts = PipelineOptions(),

@@ -3,11 +3,11 @@
 #include "core/Engine.h"
 
 #include "support/MappedFile.h"
+#include "support/ThreadAnnotations.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <memory>
-#include <mutex>
 
 using namespace perfplay;
 
@@ -66,12 +66,17 @@ void Engine::runBatch(
     return;
 
   // Progress callbacks and result delivery funnel through one mutex so
-  // user callbacks need no locking of their own.
-  std::mutex BatchMu;
+  // user callbacks need no locking of their own.  BatchMu is above the
+  // detector's verdict-cache stripes in the lock hierarchy only in the
+  // trivial sense that both are never held together: user callbacks
+  // run under BatchMu but never re-enter the engine (documented on
+  // BatchResultConsumer), and detection runs lock-free with respect to
+  // BatchMu.
+  Mutex BatchMu;
   ProgressCallback SharedProgress;
   if (Progress)
     SharedProgress = [this, &BatchMu](const StageEvent &Event) {
-      std::lock_guard<std::mutex> Guard(BatchMu);
+      MutexLock Guard(BatchMu);
       Progress(Event);
     };
 
@@ -96,7 +101,7 @@ void Engine::runBatch(
         return Err;
       return R;
     }();
-    std::lock_guard<std::mutex> Guard(BatchMu);
+    MutexLock Guard(BatchMu);
     Deliver(I, std::move(Item));
   });
 }

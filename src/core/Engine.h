@@ -77,6 +77,12 @@ public:
   /// batch, so the consumer needs no locking of its own; the result is
   /// moved in and destroyed after the call returns, which is the whole
   /// point — no batch-sized result vector ever exists.
+  ///
+  /// The consumer runs with the internal batch mutex held (that is
+  /// what serializes it) and therefore must not call back into the
+  /// same batch — in particular it must not block waiting on another
+  /// item's delivery, which would self-deadlock.  Progress callbacks
+  /// share the same mutex and the same rule.
   using BatchResultConsumer =
       std::function<void(size_t TraceIndex, Expected<PipelineResult> Result)>;
 

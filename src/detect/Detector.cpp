@@ -21,11 +21,12 @@
 
 #include "detect/SectionKey.h"
 #include "support/FlatMap.h"
+#include "support/ThreadAnnotations.h"
 #include "support/ThreadPool.h"
 
 #include <array>
 #include <atomic>
-#include <mutex>
+#include <cassert>
 
 using namespace perfplay;
 
@@ -59,33 +60,56 @@ public:
   bool lookup(uint64_t Key, UlcpKind &Out) const {
     const Shard &S = shardOf(Key);
     if (!Concurrent)
-      return find(S, Key, Out);
-    std::lock_guard<std::mutex> Guard(S.Mu);
+      return findSerial(S, Key, Out);
+    MutexLock Guard(S.Mu);
     return find(S, Key, Out);
   }
 
   void insert(uint64_t Key, UlcpKind Verdict) {
     Shard &S = shardOf(Key);
     if (!Concurrent) {
-      S.Map.insert(Key, Verdict);
+      insertSerial(S, Key, Verdict);
       return;
     }
-    std::lock_guard<std::mutex> Guard(S.Mu);
+    MutexLock Guard(S.Mu);
     S.Map.insert(Key, Verdict);
   }
 
 private:
   struct Shard {
-    mutable std::mutex Mu;
-    FlatMap<uint64_t, UlcpKind> Map;
+    mutable Mutex Mu;
+    FlatMap<uint64_t, UlcpKind> Map GUARDED_BY(Mu);
   };
 
-  static bool find(const Shard &S, uint64_t Key, UlcpKind &Out) {
+  static bool find(const Shard &S, uint64_t Key, UlcpKind &Out)
+      REQUIRES(S.Mu) {
     const UlcpKind *V = S.Map.find(Key);
     if (!V)
       return false;
     Out = *V;
     return true;
+  }
+
+  // Serial fast path: detectUlcps resolved to one thread, so no other
+  // thread can ever observe the shard and taking the (uncontended)
+  // mutex would only tax the dedup hot loop.  This is the one
+  // deliberate thread-safety-analysis exemption in the detector; it is
+  // sound exactly because Concurrent is immutable after construction
+  // and false means the whole cache is confined to the calling thread.
+  bool findSerial(const Shard &S, uint64_t Key,
+                  UlcpKind &Out) const NO_THREAD_SAFETY_ANALYSIS {
+    assert(!Concurrent && "serial path used by a concurrent cache");
+    const UlcpKind *V = S.Map.find(Key);
+    if (!V)
+      return false;
+    Out = *V;
+    return true;
+  }
+
+  void insertSerial(Shard &S, uint64_t Key,
+                    UlcpKind Verdict) NO_THREAD_SAFETY_ANALYSIS {
+    assert(!Concurrent && "serial path used by a concurrent cache");
+    S.Map.insert(Key, Verdict);
   }
 
   const Shard &shardOf(uint64_t Key) const {

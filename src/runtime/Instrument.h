@@ -31,6 +31,7 @@
 #define PERFPLAY_RUNTIME_INSTRUMENT_H
 
 #include "runtime/Recorder.h"
+#include "support/ThreadAnnotations.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -44,8 +45,10 @@ namespace perfplay {
 #define PERFPLAY_CODE_SITE(RecorderRef, BeginLine, EndLine)                  \
   (RecorderRef).registerSite(__FILE__, __func__, (BeginLine), (EndLine))
 
-/// A mutex that records its acquisitions and releases.
-class RecordingMutex {
+/// A mutex that records its acquisitions and releases.  A full
+/// capability to the thread-safety analysis, so application state in
+/// recorded programs can be GUARDED_BY a RecordingMutex.
+class CAPABILITY("mutex") RecordingMutex {
 public:
   RecordingMutex(Recorder &R, std::string Name, bool IsSpin = false)
       : R(R), Id(R.registerLock(std::move(Name), IsSpin)) {}
@@ -54,14 +57,14 @@ public:
   RecordingMutex &operator=(const RecordingMutex &) = delete;
 
   /// Acquires, recording wait separately from computation.
-  void lock(ThreadId T, CodeSiteId Site = InvalidId) {
+  void lock(ThreadId T, CodeSiteId Site = InvalidId) ACQUIRE() {
     R.onAcquireStart(T);
     Mu.lock();
     R.onAcquired(T, Id, Site);
   }
 
   /// Releases.
-  void unlock(ThreadId T) {
+  void unlock(ThreadId T) RELEASE() {
     Mu.unlock();
     R.onRelease(T, Id);
   }
@@ -76,14 +79,14 @@ private:
 };
 
 /// RAII critical section over a RecordingMutex.
-class RecordedSection {
+class SCOPED_CAPABILITY RecordedSection {
 public:
   RecordedSection(RecordingMutex &Mu, ThreadId T,
-                  CodeSiteId Site = InvalidId)
+                  CodeSiteId Site = InvalidId) ACQUIRE(Mu)
       : Mu(Mu), T(T) {
     Mu.lock(T, Site);
   }
-  ~RecordedSection() { Mu.unlock(T); }
+  ~RecordedSection() RELEASE() { Mu.unlock(T); }
 
   RecordedSection(const RecordedSection &) = delete;
   RecordedSection &operator=(const RecordedSection &) = delete;
@@ -102,9 +105,11 @@ class RecordingCondition {
 public:
   /// Waits until \p Pred holds.  \p Mu must be held by \p T; on return
   /// it is held again and the trace shows release / re-acquire events.
+  /// (The analysis models the wait as holding \p Mu throughout, like
+  /// std::condition_variable; the transient release is internal.)
   template <typename Pred>
   void wait(RecordingMutex &Mu, ThreadId T, Pred P,
-            CodeSiteId ReacquireSite = InvalidId);
+            CodeSiteId ReacquireSite = InvalidId) REQUIRES(Mu);
 
   void notifyOne() { Cv.notify_one(); }
   void notifyAll() { Cv.notify_all(); }

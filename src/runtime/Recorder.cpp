@@ -9,7 +9,7 @@ using namespace perfplay;
 Recorder::Recorder() = default;
 
 LockId Recorder::registerLock(std::string Name, bool IsSpin) {
-  std::lock_guard<std::mutex> Guard(Registry);
+  MutexLock Guard(Registry);
   assert(!Finished && "recorder already finished");
   LockInfo Info;
   Info.Name = Result.Names.intern(Name);
@@ -20,7 +20,7 @@ LockId Recorder::registerLock(std::string Name, bool IsSpin) {
 
 CodeSiteId Recorder::registerSite(std::string File, std::string Function,
                                   uint32_t BeginLine, uint32_t EndLine) {
-  std::lock_guard<std::mutex> Guard(Registry);
+  MutexLock Guard(Registry);
   assert(!Finished && "recorder already finished");
   // Interning first makes the dedup scan a pure integer compare: equal
   // names share a StringId, so no characters are touched per candidate.
@@ -42,7 +42,7 @@ CodeSiteId Recorder::registerSite(std::string File, std::string Function,
 }
 
 ThreadId Recorder::registerThread() {
-  std::lock_guard<std::mutex> Guard(Registry);
+  MutexLock Guard(Registry);
   assert(!Finished && "recorder already finished");
   auto *Log = new PerThread();
   Log->Events.push_back(Event::threadStart());
@@ -52,8 +52,13 @@ ThreadId Recorder::registerThread() {
   return static_cast<ThreadId>(ThreadLogs.size() - 1);
 }
 
-void Recorder::flushCompute(ThreadId T, Clock::time_point Now) {
-  PerThread &Log = *ThreadLogs[T];
+Recorder::PerThread &Recorder::threadLog(ThreadId T) {
+  MutexLock Guard(Registry);
+  assert(T < ThreadLogs.size() && "unregistered thread");
+  return *ThreadLogs[T];
+}
+
+void Recorder::flushCompute(PerThread &Log, Clock::time_point Now) {
   auto Elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
                      Now - Log.LastStamp)
                      .count();
@@ -63,17 +68,15 @@ void Recorder::flushCompute(ThreadId T, Clock::time_point Now) {
 }
 
 void Recorder::onAcquireStart(ThreadId T) {
-  assert(T < ThreadLogs.size() && "unregistered thread");
-  PerThread &Log = *ThreadLogs[T];
+  PerThread &Log = threadLog(T);
   auto Now = Clock::now();
-  flushCompute(T, Now);
+  flushCompute(Log, Now);
   Log.Waiting = true;
   Log.WaitStart = Now;
 }
 
 void Recorder::onAcquired(ThreadId T, LockId Lock, CodeSiteId Site) {
-  assert(T < ThreadLogs.size() && "unregistered thread");
-  PerThread &Log = *ThreadLogs[T];
+  PerThread &Log = threadLog(T);
   auto Now = Clock::now();
   if (Log.Waiting) {
     // Selective recording: the wait is contention, not computation;
@@ -81,48 +84,53 @@ void Recorder::onAcquired(ThreadId T, LockId Lock, CodeSiteId Site) {
     Log.LastStamp = Now;
     Log.Waiting = false;
   } else {
-    flushCompute(T, Now);
+    flushCompute(Log, Now);
   }
   Log.Events.push_back(Event::lockAcquire(Lock, Site));
   {
     // We already hold the recorded lock here, so this registry lock
     // cannot invert the observed grant order for a given lock.
-    std::lock_guard<std::mutex> Guard(Registry);
+    MutexLock Guard(Registry);
     GrantLog.push_back({Lock, T});
   }
 }
 
 void Recorder::onRelease(ThreadId T, LockId Lock) {
-  assert(T < ThreadLogs.size() && "unregistered thread");
+  PerThread &Log = threadLog(T);
   auto Now = Clock::now();
-  flushCompute(T, Now);
-  ThreadLogs[T]->Events.push_back(Event::lockRelease(Lock));
+  flushCompute(Log, Now);
+  Log.Events.push_back(Event::lockRelease(Lock));
 }
 
 void Recorder::onRead(ThreadId T, AddrId Addr, uint64_t Value) {
-  assert(T < ThreadLogs.size() && "unregistered thread");
+  PerThread &Log = threadLog(T);
   auto Now = Clock::now();
-  flushCompute(T, Now);
-  ThreadLogs[T]->Events.push_back(Event::read(Addr, Value));
+  flushCompute(Log, Now);
+  Log.Events.push_back(Event::read(Addr, Value));
 }
 
 void Recorder::onWrite(ThreadId T, AddrId Addr, uint64_t Value,
                        WriteOpKind Op) {
-  assert(T < ThreadLogs.size() && "unregistered thread");
+  PerThread &Log = threadLog(T);
   auto Now = Clock::now();
-  flushCompute(T, Now);
-  ThreadLogs[T]->Events.push_back(Event::write(Addr, Value, Op));
+  flushCompute(Log, Now);
+  Log.Events.push_back(Event::write(Addr, Value, Op));
 }
 
 void Recorder::checkpoint(ThreadId T, std::string Name) {
+  MutexLock Guard(Registry);
   assert(T < ThreadLogs.size() && "unregistered thread");
-  std::lock_guard<std::mutex> Guard(Registry);
   Marks.push_back(
       Checkpoint{T, std::move(Name), ThreadLogs[T]->Events.size()});
 }
 
+std::vector<Recorder::Checkpoint> Recorder::checkpoints() const {
+  MutexLock Guard(Registry);
+  return Marks;
+}
+
 Trace Recorder::finish() {
-  std::lock_guard<std::mutex> Guard(Registry);
+  MutexLock Guard(Registry);
   assert(!Finished && "recorder already finished");
   Finished = true;
 

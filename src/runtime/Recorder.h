@@ -17,19 +17,22 @@
 /// enforces on replay.
 ///
 /// Thread safety: per-thread event buffers are touched only by their
-/// owning thread; the grant-order log is serialized by an internal
-/// mutex (taken while the recorded lock is already held, so it adds no
-/// ordering of its own).
+/// owning thread; the registry of threads/locks/sites, the grant-order
+/// log and the checkpoint list are serialized by the internal Registry
+/// mutex.  Registry is a leaf lock in the hierarchy: it is taken while
+/// a recorded application lock may already be held (onAcquired runs
+/// with the recorded lock held, so the registry adds no ordering of
+/// its own) and nothing is ever acquired under it.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef PERFPLAY_RUNTIME_RECORDER_H
 #define PERFPLAY_RUNTIME_RECORDER_H
 
+#include "support/ThreadAnnotations.h"
 #include "trace/Trace.h"
 
 #include <chrono>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -84,15 +87,22 @@ public:
     size_t EventIndex;
   };
 
-  const std::vector<Checkpoint> &checkpoints() const { return Marks; }
+  /// Snapshot of the checkpoints recorded so far; thread-safe.
+  std::vector<Checkpoint> checkpoints() const EXCLUDES(Registry);
 
   /// Finalizes and returns the trace.  All recorded threads must have
   /// finished issuing events.  The recorder must not be reused.
-  Trace finish();
+  Trace finish() EXCLUDES(Registry);
 
 private:
   using Clock = std::chrono::steady_clock;
 
+  /// One thread's event log.  Owned by the registry but — by design —
+  /// written without it: after registerThread hands out the id, every
+  /// field is touched only by the owning thread (finish() reads them
+  /// after all recorded threads joined, which is a happens-before
+  /// edge).  Heap-allocated so the pointers stay stable while
+  /// ThreadLogs itself grows under the Registry lock.
   struct PerThread {
     std::vector<Event> Events;
     Clock::time_point LastStamp;
@@ -100,17 +110,27 @@ private:
     bool Waiting = false;
   };
 
-  /// Emits the computation elapsed on \p T since its last event.
-  void flushCompute(ThreadId T, Clock::time_point Now);
+  /// Resolves \p T to its stable per-thread log.  Takes the Registry
+  /// lock for the vector read only: concurrent registerThread calls
+  /// may reallocate ThreadLogs' storage, so an unlocked index would be
+  /// a data race on the vector's buffer (the pointed-to PerThread is
+  /// the caller's own and needs no lock).
+  PerThread &threadLog(ThreadId T) EXCLUDES(Registry);
 
-  std::mutex Registry;
-  Trace Result;
-  std::vector<PerThread *> ThreadLogs;
+  /// Emits the computation elapsed on \p Log's thread since its last
+  /// event.  Caller must own \p Log (i.e. be its registered thread).
+  void flushCompute(PerThread &Log, Clock::time_point Now);
+
+  /// Serializes registration, the grant log, checkpoints and
+  /// finish().  Leaf lock; see the file comment for the hierarchy.
+  mutable Mutex Registry;
+  Trace Result GUARDED_BY(Registry);
+  std::vector<PerThread *> ThreadLogs GUARDED_BY(Registry);
   /// Global grant order: (lock, thread) in acquisition order; per-CS
   /// indices are reconstructed in finish().
-  std::vector<std::pair<LockId, ThreadId>> GrantLog;
-  std::vector<Checkpoint> Marks;
-  bool Finished = false;
+  std::vector<std::pair<LockId, ThreadId>> GrantLog GUARDED_BY(Registry);
+  std::vector<Checkpoint> Marks GUARDED_BY(Registry);
+  bool Finished GUARDED_BY(Registry) = false;
 };
 
 } // namespace perfplay

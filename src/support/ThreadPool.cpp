@@ -30,10 +30,10 @@ ThreadPool::ThreadPool(unsigned NumThreads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> Guard(Mu);
+    MutexLock Guard(Mu);
     Stopping = true;
   }
-  StartCv.notify_all();
+  StartCv.notifyAll();
   for (std::thread &W : Workers)
     W.join();
 }
@@ -44,10 +44,9 @@ void ThreadPool::workerLoop() {
     const std::function<void(size_t)> *Fn;
     size_t Items;
     {
-      std::unique_lock<std::mutex> Lock(Mu);
-      StartCv.wait(Lock, [&] {
-        return Stopping || Generation != SeenGeneration;
-      });
+      MutexLock Lock(Mu);
+      while (!Stopping && Generation == SeenGeneration)
+        StartCv.wait(Mu);
       if (Stopping)
         return;
       SeenGeneration = Generation;
@@ -58,9 +57,9 @@ void ThreadPool::workerLoop() {
          I = NextItem.fetch_add(1))
       (*Fn)(I);
     {
-      std::lock_guard<std::mutex> Guard(Mu);
+      MutexLock Guard(Mu);
       if (--ActiveWorkers == 0)
-        DoneCv.notify_all();
+        DoneCv.notifyAll();
     }
   }
 }
@@ -75,19 +74,20 @@ void ThreadPool::parallelFor(size_t NumItems,
     return;
   }
   {
-    std::lock_guard<std::mutex> Guard(Mu);
+    MutexLock Guard(Mu);
     Job = &Fn;
     JobItems = NumItems;
     NextItem.store(0);
     ActiveWorkers = static_cast<unsigned>(Workers.size());
     ++Generation;
   }
-  StartCv.notify_all();
+  StartCv.notifyAll();
   // The caller is worker 0.
   for (size_t I = NextItem.fetch_add(1); I < NumItems;
        I = NextItem.fetch_add(1))
     Fn(I);
-  std::unique_lock<std::mutex> Lock(Mu);
-  DoneCv.wait(Lock, [&] { return ActiveWorkers == 0; });
+  MutexLock Lock(Mu);
+  while (ActiveWorkers != 0)
+    DoneCv.wait(Mu);
   Job = nullptr;
 }

@@ -19,11 +19,11 @@
 #ifndef PERFPLAY_SUPPORT_THREADPOOL_H
 #define PERFPLAY_SUPPORT_THREADPOOL_H
 
+#include "support/ThreadAnnotations.h"
+
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -47,8 +47,11 @@ public:
 
   /// Runs \p Fn(Index) for every Index in [0, NumItems), spread
   /// dynamically over the pool plus the calling thread.  Returns when
-  /// all items finished.
-  void parallelFor(size_t NumItems, const std::function<void(size_t)> &Fn);
+  /// all items finished.  EXCLUDES(Mu) makes calling this from inside
+  /// a job (which would self-deadlock on the pool lock) a compile
+  /// error in the clang -Wthread-safety lane.
+  void parallelFor(size_t NumItems, const std::function<void(size_t)> &Fn)
+      EXCLUDES(Mu);
 
   /// Resolves a user-facing thread-count knob: 0 = one per hardware
   /// thread (at least 1), capped at 256 (absurd requests must not
@@ -57,21 +60,28 @@ public:
   static unsigned resolveThreadCount(unsigned Requested, size_t NumItems);
 
 private:
-  void workerLoop();
+  void workerLoop() EXCLUDES(Mu);
 
   std::vector<std::thread> Workers;
-  std::mutex Mu;
-  std::condition_variable StartCv;
-  std::condition_variable DoneCv;
+  /// Guards every job-handoff field below; StartCv/DoneCv wait on it.
+  /// Leaf lock: nothing else is ever acquired while it is held.
+  Mutex Mu;
+  /// Signaled once per parallelFor call (and on shutdown) to wake idle
+  /// workers.
+  CondVar StartCv;
+  /// Signaled by the last worker finishing a job.
+  CondVar DoneCv;
   /// Current job; valid while ActiveWorkers != 0.
-  const std::function<void(size_t)> *Job = nullptr;
-  size_t JobItems = 0;
+  const std::function<void(size_t)> *Job GUARDED_BY(Mu) = nullptr;
+  size_t JobItems GUARDED_BY(Mu) = 0;
+  /// Work-distribution counter: deliberately *not* guarded — workers
+  /// claim items with fetch_add outside the lock.
   std::atomic<size_t> NextItem{0};
   /// Incremented per parallelFor call; wakes idle workers exactly once
   /// per job.
-  uint64_t Generation = 0;
-  unsigned ActiveWorkers = 0;
-  bool Stopping = false;
+  uint64_t Generation GUARDED_BY(Mu) = 0;
+  unsigned ActiveWorkers GUARDED_BY(Mu) = 0;
+  bool Stopping GUARDED_BY(Mu) = false;
   unsigned NumWorkers = 1;
 };
 

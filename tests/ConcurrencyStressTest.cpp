@@ -1,0 +1,353 @@
+//===- tests/ConcurrencyStressTest.cpp - concurrency stress lanes ----------===//
+//
+// Dedicated stress tests for every concurrent subsystem, built to run
+// under three CI lanes: plain (correctness under contention),
+// ASan/UBSan, and ThreadSanitizer (the dynamic complement of the
+// clang -Wthread-safety static gate).  Each test maximizes real
+// interleavings: more workers than cores, tiny work items, shared hot
+// keys, and repeated construct/destruct cycles.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Engine.h"
+#include "detect/Detector.h"
+#include "runtime/Instrument.h"
+#include "runtime/Recorder.h"
+#include "support/ThreadPool.h"
+#include "trace/TraceBuilder.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace perfplay;
+
+namespace {
+
+/// A small trace whose hot-lock sections repeat a handful of access
+/// patterns across \p NumThreads threads, so key-pair dedup hits the
+/// same verdict-cache stripes from every detection worker.
+Trace hotKeyTrace(unsigned NumThreads, unsigned Rounds) {
+  TraceBuilder B;
+  LockId Hot = B.addLock("hot");
+  CodeSiteId Site = B.addSite("stress.cc", "hot", 1, 9);
+  std::vector<ThreadId> Ids;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Ids.push_back(B.addThread());
+  for (unsigned Round = 0; Round != Rounds; ++Round)
+    for (unsigned T = 0; T != NumThreads; ++T) {
+      ThreadId Id = Ids[T];
+      B.compute(Id, 5);
+      B.beginCs(Id, Hot, Site);
+      // Only three distinct section shapes: every cross-thread pair
+      // collapses onto a few hot cache keys.
+      switch (Round % 3) {
+      case 0:
+        B.write(Id, 1, 7); // Redundant store everywhere.
+        break;
+      case 1:
+        B.read(Id, 2, 0); // Read-only.
+        break;
+      default:
+        B.write(Id, 3, Round); // Conflicting stores.
+        break;
+      }
+      B.endCs(Id);
+    }
+  return B.finish();
+}
+
+/// A tiny two-thread trace for batch fan-out tests; \p Salt varies the
+/// written values so traces are distinguishable.
+Trace tinyTrace(unsigned Salt) {
+  TraceBuilder B;
+  LockId L = B.addLock("l");
+  ThreadId A = B.addThread();
+  ThreadId C = B.addThread();
+  for (ThreadId Id : {A, C}) {
+    B.compute(Id, 3 + Salt % 5);
+    B.beginCs(Id, L);
+    B.write(Id, 1, Salt + Id);
+    B.endCs(Id);
+  }
+  return B.finish();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+// Saturation: far more workers than cores, repeated jobs, every item
+// must run exactly once per job.  Exercises the generation handshake
+// (stale workers waking into a new job) and the dynamic item counter.
+TEST(ConcurrencyStressTest, ThreadPoolSaturation) {
+  constexpr unsigned Workers = 8;
+  constexpr size_t Items = 4096;
+  constexpr int Jobs = 25;
+  ThreadPool Pool(Workers);
+  ASSERT_EQ(Pool.size(), Workers);
+  std::vector<std::atomic<uint32_t>> Ran(Items);
+  for (int J = 0; J != Jobs; ++J) {
+    for (auto &Flag : Ran)
+      Flag.store(0, std::memory_order_relaxed);
+    Pool.parallelFor(Items, [&](size_t I) {
+      Ran[I].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t I = 0; I != Items; ++I)
+      ASSERT_EQ(Ran[I].load(std::memory_order_relaxed), 1u)
+          << "job " << J << " item " << I;
+  }
+}
+
+// Single-item jobs make every worker wake, lose the race for the one
+// item, and go straight back to the generation wait — the tightest
+// loop over the condition-variable protocol.
+TEST(ConcurrencyStressTest, ThreadPoolThunderingHerd) {
+  ThreadPool Pool(8);
+  std::atomic<size_t> Total{0};
+  for (int J = 0; J != 200; ++J)
+    Pool.parallelFor(1, [&](size_t) {
+      Total.fetch_add(1, std::memory_order_relaxed);
+    });
+  EXPECT_EQ(Total.load(), 200u);
+}
+
+// Construct/run/destruct churn: the shutdown path (Stopping broadcast
+// + join) races against workers that may not have reached their first
+// wait yet, and against workers finishing their last items.
+TEST(ConcurrencyStressTest, ThreadPoolShutdownChurn) {
+  for (int Round = 0; Round != 50; ++Round) {
+    // Destruct with no job ever submitted.
+    { ThreadPool Idle(4); }
+    // Destruct immediately after a job.
+    ThreadPool Pool(4);
+    std::atomic<size_t> Count{0};
+    Pool.parallelFor(16, [&](size_t) {
+      Count.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(Count.load(), 16u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Striped verdict cache (detect/Detector.cpp)
+//===----------------------------------------------------------------------===//
+
+// Many workers classifying the same few section-key pairs: cache hits,
+// racing inserts of identical verdicts, and stripe-lock contention.
+// Verdicts and pair order must match the serial, dedup-free baseline
+// bit for bit on every iteration.
+TEST(ConcurrencyStressTest, VerdictCacheSharedKeys) {
+  Trace Tr = hotKeyTrace(/*NumThreads=*/6, /*Rounds=*/30);
+  CsIndex Index = CsIndex::build(Tr);
+  DetectOptions Base;
+  Base.PairMode = PairModeKind::AllCrossThread;
+
+  DetectOptions SerialOpts = Base;
+  SerialOpts.NumThreads = 1;
+  SerialOpts.DedupPairs = false;
+  DetectResult Serial = detectUlcps(Tr, Index, SerialOpts);
+  ASSERT_GT(Serial.Counts.total(), 0u);
+
+  for (int Iter = 0; Iter != 5; ++Iter) {
+    DetectOptions Par = Base;
+    Par.NumThreads = 8;
+    Par.DedupPairs = true;
+    DetectResult Got = detectUlcps(Tr, Index, Par);
+    ASSERT_EQ(Serial.Pairs.size(), Got.Pairs.size());
+    for (size_t I = 0; I != Serial.Pairs.size(); ++I) {
+      ASSERT_EQ(Serial.Pairs[I].First, Got.Pairs[I].First) << I;
+      ASSERT_EQ(Serial.Pairs[I].Second, Got.Pairs[I].Second) << I;
+      ASSERT_EQ(Serial.Pairs[I].Kind, Got.Pairs[I].Kind) << I;
+    }
+    // Dedup must actually have kicked in (shared keys were classified
+    // once, not per pair) or the test is not stressing the cache.
+    EXPECT_LT(Got.Stats.NumClassified, Serial.Stats.NumClassified);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Engine batch fan-out / streaming consumer serialization
+//===----------------------------------------------------------------------===//
+
+// The streaming consumer contract: invocations are serialized (no two
+// overlap), every index is delivered exactly once, and the aggregate
+// matches the non-streaming batch no matter the completion order.
+TEST(ConcurrencyStressTest, StreamingBatchConsumerSerialized) {
+  constexpr size_t NumTraces = 24;
+  std::vector<Trace> Traces;
+  for (unsigned I = 0; I != NumTraces; ++I)
+    Traces.push_back(tinyTrace(I));
+
+  Engine E;
+  std::atomic<int> InConsumer{0};
+  std::atomic<int> MaxOverlap{0};
+  std::vector<std::atomic<uint32_t>> Delivered(NumTraces);
+  AggregatedReport Streamed = E.analyzeBatchStreaming(
+      std::move(Traces),
+      [&](size_t Index, Expected<PipelineResult> Result) {
+        int Nested = InConsumer.fetch_add(1) + 1;
+        int Seen = MaxOverlap.load();
+        while (Nested > Seen && !MaxOverlap.compare_exchange_weak(Seen, Nested))
+          ;
+        ASSERT_LT(Index, NumTraces);
+        Delivered[Index].fetch_add(1);
+        EXPECT_TRUE(Result.ok()) << Index;
+        InConsumer.fetch_sub(1);
+      },
+      /*NumThreads=*/8);
+
+  EXPECT_EQ(MaxOverlap.load(), 1) << "consumer invocations overlapped";
+  for (size_t I = 0; I != NumTraces; ++I)
+    EXPECT_EQ(Delivered[I].load(), 1u) << I;
+  EXPECT_EQ(Streamed.NumFailed, 0u);
+
+  // Parity with the materializing batch.
+  std::vector<Trace> Again;
+  for (unsigned I = 0; I != NumTraces; ++I)
+    Again.push_back(tinyTrace(I));
+  AggregatedReport Batch = aggregateBatch(E.analyzeBatch(std::move(Again), 8));
+  EXPECT_EQ(Batch.NumFailed, Streamed.NumFailed);
+  EXPECT_EQ(Batch.NumRuns, Streamed.NumRuns);
+  EXPECT_EQ(Batch.Groups.size(), Streamed.Groups.size());
+}
+
+// Progress callbacks funnel through the same batch mutex as delivery;
+// a reentrancy-free callback observing serialized invocations from
+// every worker must never overlap with itself or with the consumer.
+TEST(ConcurrencyStressTest, BatchProgressCallbackSerialized) {
+  constexpr size_t NumTraces = 16;
+  std::vector<Trace> Traces;
+  for (unsigned I = 0; I != NumTraces; ++I)
+    Traces.push_back(tinyTrace(I));
+
+  Engine E;
+  std::atomic<int> InCallback{0};
+  std::atomic<bool> Overlapped{false};
+  std::atomic<size_t> Events{0};
+  E.setProgressCallback([&](const StageEvent &) {
+    if (InCallback.fetch_add(1) != 0)
+      Overlapped.store(true);
+    Events.fetch_add(1);
+    InCallback.fetch_sub(1);
+  });
+  std::vector<Expected<PipelineResult>> Results =
+      E.analyzeBatch(std::move(Traces), 8);
+  EXPECT_FALSE(Overlapped.load());
+  EXPECT_GT(Events.load(), NumTraces); // several stages per trace
+  for (const auto &R : Results)
+    EXPECT_TRUE(R.ok());
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-thread session reuse
+//===----------------------------------------------------------------------===//
+
+// Sessions are externally synchronized: sequential use from different
+// threads is legal whenever the handoff synchronizes (here: thread
+// join).  Stage caches filled on one thread must serve cache hits on
+// the next with no invented races under TSan.
+TEST(ConcurrencyStressTest, CrossThreadSessionHandoff) {
+  Engine E;
+  AnalysisSession Session = E.openSession(hotKeyTrace(4, 10));
+
+  std::thread Recorder([&] {
+    Expected<void> Ok = Session.ensureRecorded();
+    ASSERT_TRUE(Ok.ok());
+  });
+  Recorder.join();
+
+  std::thread Detector([&] {
+    Expected<const DetectResult &> Detected = Session.detect();
+    ASSERT_TRUE(Detected.ok());
+    EXPECT_GT(Detected->Counts.total(), 0u);
+  });
+  Detector.join();
+
+  // Back on the main thread: everything is memoized, and replays fill
+  // the LRU cache that the next thread then reads.
+  Expected<const ReplayResult &> Orig = Session.replay(ScheduleKind::ElscS);
+  ASSERT_TRUE(Orig.ok());
+
+  std::thread Reporter([&] {
+    Expected<const PerfDebugReport &> Report = Session.report();
+    ASSERT_TRUE(Report.ok());
+    EXPECT_EQ(Session.cachedReplayCount(), 2u); // original + transformed
+  });
+  Reporter.join();
+}
+
+//===----------------------------------------------------------------------===//
+// Recorder
+//===----------------------------------------------------------------------===//
+
+// Regression stress for the ThreadLogs reallocation race: threads keep
+// registering (growing the registry vector) while already-registered
+// threads log events through it at full speed.  Pre-fix, the unlocked
+// ThreadLogs[T] index raced registerThread's push_back reallocation —
+// TSan flags it deterministically with this many registrations.
+TEST(ConcurrencyStressTest, RecorderConcurrentRegistrationAndLogging) {
+  constexpr unsigned NumThreads = 8;
+  constexpr int EventsPerThread = 400;
+
+  Recorder R;
+  RecordingMutex Mu(R, "stress->mutex");
+  SharedVar<uint64_t> Counter(R, "stress->counter");
+
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      // Registration itself races against every other thread's
+      // registration and logging.
+      ThreadId Tid = R.registerThread();
+      for (int I = 0; I != EventsPerThread; ++I) {
+        RecordedSection Guard(Mu, Tid);
+        uint64_t V = Counter.load(Tid);
+        Counter.store(Tid, V + 1);
+      }
+      if (T % 2 == 0)
+        R.checkpoint(Tid, "halfway");
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+
+  EXPECT_EQ(R.checkpoints().size(), NumThreads / 2);
+  Trace Tr = R.finish();
+  ASSERT_EQ(Tr.Threads.size(), NumThreads);
+  std::string Err = Tr.validate();
+  EXPECT_TRUE(Err.empty()) << Err;
+  // Every section acquired the one lock: the grant schedule must hold
+  // every critical section of every thread.
+  ASSERT_EQ(Tr.LockSchedule.size(), 1u);
+  EXPECT_EQ(Tr.LockSchedule[0].size(),
+            static_cast<size_t>(NumThreads) * EventsPerThread);
+}
+
+// Recorded traces gathered under contention must analyze end to end.
+TEST(ConcurrencyStressTest, RecordedTraceAnalyzesCleanly) {
+  Recorder R;
+  RecordingMutex Mu(R, "lock");
+  SharedVar<uint64_t> Flag(R, "flag");
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != 4; ++T)
+    Threads.emplace_back([&] {
+      ThreadId Tid = R.registerThread();
+      for (int I = 0; I != 50; ++I) {
+        RecordedSection Guard(Mu, Tid);
+        if (Flag.load(Tid) == 0)
+          Flag.store(Tid, 1); // Redundant after the first writer.
+      }
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+
+  Engine E;
+  AnalysisSession Session = E.openSession(R.finish());
+  Expected<const DetectResult &> Detected = Session.detect();
+  ASSERT_TRUE(Detected.ok());
+  EXPECT_GT(Detected->Counts.total(), 0u);
+}

@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the compilation database and gate on a baseline.
+
+The repo's .clang-tidy selects the checks; this wrapper adds the
+ratchet: every finding is reduced to a stable key ("<relpath> <check>")
+and compared against tools/clang_tidy_baseline.txt.
+
+  * A finding whose key is NOT in the baseline fails the gate (CI
+    exits non-zero and prints the full diagnostics).
+  * A baseline key with no remaining findings is reported as stale so
+    it can be ratcheted out — the baseline only ever shrinks.
+  * --update-baseline rewrites the file from the current findings.
+
+Keys are file+check (not line numbers) so unrelated edits above a
+baselined finding do not churn the file.
+
+Usage:
+  tools/run_clang_tidy.py [--build-dir build] [--jobs N]
+                          [--update-baseline] [--clang-tidy BINARY]
+                          [paths...]
+
+With no paths, gates src/ and tools/ (tests and benches lean on gtest
+and benchmark macro expansions that the bugprone family dislikes; they
+are covered by -Werror builds and the sanitizer lanes instead).
+"""
+
+import argparse
+import json
+import multiprocessing
+import os
+import re
+import shutil
+import subprocess
+import sys
+from multiprocessing.pool import ThreadPool
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE = os.path.join(REPO_ROOT, "tools", "clang_tidy_baseline.txt")
+DEFAULT_GATED_DIRS = ("src", "tools")
+
+# clang-tidy diagnostic: /abs/path.cpp:12:3: warning: text [check-name]
+DIAG_RE = re.compile(
+    r"^(?P<file>/[^:]+):(?P<line>\d+):(?P<col>\d+): "
+    r"(?P<kind>warning|error): .* \[(?P<check>[a-zA-Z0-9.,_-]+)\]$"
+)
+
+
+def find_compile_db(build_dir):
+    candidates = [
+        os.path.join(build_dir, "compile_commands.json"),
+        os.path.join(REPO_ROOT, "compile_commands.json"),
+    ]
+    for path in candidates:
+        if os.path.exists(path):
+            return os.path.dirname(os.path.realpath(path))
+    sys.exit(
+        "error: compile_commands.json not found (configure with "
+        "`cmake -B build -S .`; CMAKE_EXPORT_COMPILE_COMMANDS is on by "
+        "default and symlinks the database to the repo root)"
+    )
+
+
+def gated_sources(db_dir, paths):
+    """Translation units from the compile DB under the gated paths."""
+    with open(os.path.join(db_dir, "compile_commands.json")) as fh:
+        entries = json.load(fh)
+    roots = [os.path.join(REPO_ROOT, p) for p in paths]
+    sources = set()
+    for entry in entries:
+        src = os.path.realpath(
+            os.path.join(entry.get("directory", db_dir), entry["file"])
+        )
+        if any(src.startswith(root + os.sep) or src == root
+               for root in roots):
+            sources.add(src)
+    return sorted(sources)
+
+
+def run_tidy(binary, db_dir, sources, jobs):
+    """Runs clang-tidy over sources, returns (findings, raw_output).
+
+    findings maps "relpath check" keys to lists of diagnostic lines.
+    """
+    findings = {}
+    raw = []
+
+    def one(src):
+        proc = subprocess.run(
+            [binary, "-p", db_dir, "--quiet", src],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+        )
+        return proc.stdout
+
+    with ThreadPool(jobs) as pool:
+        outputs = pool.map(one, sources)
+    for out in outputs:
+        for line in out.splitlines():
+            match = DIAG_RE.match(line)
+            if not match:
+                continue
+            rel = os.path.relpath(os.path.realpath(match["file"]), REPO_ROOT)
+            if rel.startswith(".."):
+                continue  # system or third-party header
+            for check in match["check"].split(","):
+                key = f"{rel} {check}"
+                findings.setdefault(key, []).append(line)
+        raw.append(out)
+    return findings, raw
+
+
+def load_baseline():
+    if not os.path.exists(BASELINE):
+        return set()
+    keys = set()
+    with open(BASELINE) as fh:
+        for line in fh:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                keys.add(line)
+    return keys
+
+
+def write_baseline(keys):
+    with open(BASELINE, "w") as fh:
+        fh.write(
+            "# clang-tidy suppression baseline (tools/run_clang_tidy.py).\n"
+            "# One `<relpath> <check>` per line.  Entries may only be\n"
+            "# removed (the gate ratchets down); new findings must be\n"
+            "# fixed, not baselined, unless a reviewer signs off.\n"
+        )
+        for key in sorted(keys):
+            fh.write(key + "\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default=os.path.join(REPO_ROOT, "build"))
+    parser.add_argument("--jobs", type=int,
+                        default=max(1, multiprocessing.cpu_count()))
+    parser.add_argument("--clang-tidy", default=None,
+                        help="clang-tidy binary (default: from PATH)")
+    parser.add_argument("--update-baseline", action="store_true")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="repo-relative dirs to gate (default: src tools)")
+    args = parser.parse_args()
+
+    binary = args.clang_tidy or shutil.which("clang-tidy")
+    if not binary:
+        sys.exit("error: clang-tidy not found on PATH "
+                 "(apt-get install clang-tidy)")
+
+    db_dir = find_compile_db(args.build_dir)
+    paths = args.paths or list(DEFAULT_GATED_DIRS)
+    sources = gated_sources(db_dir, paths)
+    if not sources:
+        sys.exit(f"error: no translation units under {paths} in the "
+                 "compilation database")
+
+    print(f"clang-tidy gate: {len(sources)} translation units, "
+          f"{args.jobs} jobs")
+    findings, _ = run_tidy(binary, db_dir, sources, args.jobs)
+
+    if args.update_baseline:
+        write_baseline(findings.keys())
+        print(f"baseline updated: {len(findings)} keys -> {BASELINE}")
+        return 0
+
+    baseline = load_baseline()
+    new = {k: v for k, v in findings.items() if k not in baseline}
+    stale = baseline - findings.keys()
+
+    for key in sorted(stale):
+        print(f"note: stale baseline entry (fixed — ratchet it out): {key}")
+    if new:
+        print(f"\nFAIL: {len(new)} non-baselined finding key(s):\n")
+        for key in sorted(new):
+            print(f"== {key} ==")
+            for line in new[key]:
+                print(f"  {line}")
+        print("\nFix the findings (preferred), or — with reviewer "
+              "sign-off — rerun with --update-baseline.")
+        return 1
+
+    print(f"OK: no new findings ({len(findings)} baselined, "
+          f"{len(stale)} stale)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
