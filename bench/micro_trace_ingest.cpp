@@ -30,22 +30,49 @@
 //       materialized std::string compares (the detector/recorder dedup
 //       paths run the former since the pool migration).
 //
+// A third section measures the chunked v3 format's parallel full
+// load: the same synthetic corpus re-encoded as v3 and parsed with 1
+// worker vs. 4 (parseTraceV3 decodes chunks concurrently into
+// disjoint spans).  parallel_parse_speedup is exit-gated at >= 3.0,
+// but only on machines with >= 4 hardware threads — on smaller boxes
+// the number is reported and the gate prints a skip note.
+//
+// With --out-of-core a fourth section runs FIRST (getrusage peak RSS
+// is a process-lifetime high-water mark, so it must precede anything
+// that materializes a trace): a corpus is stream-written through
+// TraceV3Writer without ever building a Trace, then streamed back
+// through WindowedReader + WindowedDetector (detect/WindowedDetect.h)
+// in bounded memory.  windowed_peak_rss_ratio — peak RSS over file
+// size — is exit-gated at <= 0.25, and windowed verdicts are asserted
+// bit-identical to whole-trace detectUlcps on a materializable corpus
+// from the same generator.
+//
 // Usage:
 //   bench_micro_trace_ingest [--size-mb N] [--repeat K] [--out FILE]
-//                            [--file SCRATCH] [--names N]
+//                            [--file SCRATCH] [--names N] [--out-of-core]
 //
 //===----------------------------------------------------------------------===//
 
+#include "detect/CriticalSection.h"
+#include "detect/Detector.h"
+#include "detect/WindowedDetect.h"
 #include "support/MappedFile.h"
 #include "trace/TraceBuilder.h"
 #include "trace/TraceIO.h"
+#include "trace/TraceV3.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 using namespace perfplay;
 
@@ -154,6 +181,166 @@ std::string option(int Argc, char **Argv, const char *Name,
   return Default;
 }
 
+bool hasFlag(int Argc, char **Argv, const char *Name) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], Name) == 0)
+      return true;
+  return false;
+}
+
+/// Process-lifetime peak resident set in bytes; 0 when the platform
+/// offers no getrusage (the RSS gate is then reported but not
+/// enforced).
+uint64_t peakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage RU;
+  if (getrusage(RUSAGE_SELF, &RU) != 0)
+    return 0;
+#if defined(__APPLE__)
+  return static_cast<uint64_t>(RU.ru_maxrss); // bytes
+#else
+  return static_cast<uint64_t>(RU.ru_maxrss) * 1024; // KiB
+#endif
+#else
+  return 0;
+#endif
+}
+
+std::vector<uint8_t> readFileBytes(const std::string &Path) {
+  std::vector<uint8_t> Bytes;
+  FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return Bytes;
+  char Buf[1 << 16];
+  for (;;) {
+    size_t N = std::fread(Buf, 1, sizeof(Buf), F);
+    Bytes.insert(Bytes.end(), Buf, Buf + N);
+    if (N < sizeof(Buf))
+      break;
+  }
+  std::fclose(F);
+  return Bytes;
+}
+
+struct CorpusInfo {
+  uint64_t FileBytes = 0;
+  uint64_t Events = 0;
+  uint64_t Sections = 0;
+};
+
+/// Stream-writes the out-of-core corpus straight to disk through
+/// TraceV3Writer — no Trace is ever materialized, so writer memory is
+/// one chunk regardless of \p TargetBytes.  Four threads alternate
+/// compute-heavy stretches with critical sections whose lock, access
+/// addresses, and write operands all derive from a 64-cycle counter:
+/// dynamic sections (and the file) grow without bound while the
+/// detector's signature arena holds at most 64 representatives — the
+/// shape that makes bounded-memory windowed detection possible.  The
+/// out-of-section compute runs mirror real recordings (most of a
+/// production trace is not inside a lock) and keep the bytes-per-
+/// section high enough that the detector's ~12 bytes of per-section
+/// metadata stay a small fraction of the file.
+bool streamOutOfCoreCorpus(const std::string &Path, size_t TargetBytes,
+                           CorpusInfo &Info, std::string &Err) {
+  FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    Err = "cannot open " + Path + " for writing";
+    return false;
+  }
+  TraceV3Writer W([F](const void *Data, size_t Size) {
+    return std::fwrite(Data, 1, Size, F) == Size;
+  });
+  LockId Mu[4];
+  for (unsigned L = 0; L != 4; ++L)
+    Mu[L] = W.addLock(false, "ooc_mu" + std::to_string(L));
+  uint32_t Site = W.addSite(10, 42, "ooc.cc", "worker");
+  const unsigned Threads = 4;
+  const unsigned ComputeRun = 14; // out-of-section events per side
+  // 38 events per section (10 inside, 28 outside), delta-varint
+  // encoded; the estimate only sizes the loop — the real byte count
+  // is bytesWritten().
+  const size_t BytesPerSection = 140;
+  const uint64_t Iterations =
+      TargetBytes / (BytesPerSection * Threads) + 1;
+  for (unsigned T = 0; T != Threads; ++T) {
+    W.beginThread(T);
+    W.append(Event::threadStart());
+    for (uint64_t I = 0; I != Iterations; ++I) {
+      const uint64_t S = I & 63;
+      for (unsigned K = 0; K != ComputeRun; ++K)
+        W.append(Event::compute(100000 + ((I * 7 + K) & 0xFFF)));
+      W.append(Event::lockAcquire(Mu[S & 3], Site));
+      W.append(Event::read(1 + (S & 7), I));
+      W.append(Event::read(9 + (S & 7), I >> 1));
+      W.append(Event::read(17 + ((S >> 3) & 7), I >> 2));
+      W.append(Event::read(25 + ((S >> 3) & 7), I >> 3));
+      W.append(Event::write(64 + (S & 3), S & 3, WriteOpKind::Add));
+      W.append(Event::write(80 + ((S >> 2) & 3), (S >> 2) & 3));
+      W.append(Event::lockRelease(Mu[S & 3]));
+      for (unsigned K = 0; K != ComputeRun; ++K)
+        W.append(Event::compute(200000 + ((I * 13 + K) & 0xFFF)));
+      ++Info.Sections;
+    }
+    W.append(Event::threadEnd());
+    Info.Events += (10 + 2 * ComputeRun) * Iterations + 2;
+  }
+  W.setNumThreads(Threads);
+  bool Ok = W.finish(Err);
+  std::fclose(F);
+  Info.FileBytes = W.bytesWritten();
+  return Ok;
+}
+
+struct WindowedRun {
+  DetectResult Result;
+  uint64_t Sections = 0;
+  uint32_t Signatures = 0;
+  uint64_t PeakOpenEvents = 0;
+};
+
+/// Streams the v3 file at \p Path chunk-by-chunk through a
+/// WindowedDetector — the bench-side mirror of Engine::detectWindowed.
+bool runWindowedDetect(const std::string &Path, const DetectOptions &Opts,
+                       WindowedRun &Out, std::string &Err) {
+  WindowedReader Reader;
+  if (!Reader.open(Path, Err))
+    return false;
+  WindowedDetector D(Opts);
+  WindowedReader::Chunk Chunk;
+  while (Reader.next(Chunk, Err))
+    if (!D.addEvents(Chunk.Thread, Chunk.Events.data(),
+                     Chunk.Events.size(), Err))
+      return false;
+  if (!Err.empty())
+    return false;
+  if (!D.finish(Reader.tables(), Out.Result, Err))
+    return false;
+  Out.Sections = D.numSections();
+  Out.Signatures = D.numSignatures();
+  Out.PeakOpenEvents = D.peakOpenEvents();
+  return true;
+}
+
+bool sameDetectResult(const DetectResult &A, const DetectResult &B) {
+  if (A.Counts.NullLock != B.Counts.NullLock ||
+      A.Counts.ReadRead != B.Counts.ReadRead ||
+      A.Counts.DisjointWrite != B.Counts.DisjointWrite ||
+      A.Counts.Benign != B.Counts.Benign ||
+      A.Counts.TrueContention != B.Counts.TrueContention)
+    return false;
+  if (A.Stats.NumSectionKeys != B.Stats.NumSectionKeys ||
+      A.Stats.NumClassified != B.Stats.NumClassified)
+    return false;
+  if (A.Pairs.size() != B.Pairs.size())
+    return false;
+  for (size_t I = 0; I != A.Pairs.size(); ++I)
+    if (A.Pairs[I].First != B.Pairs[I].First ||
+        A.Pairs[I].Second != B.Pairs[I].Second ||
+        A.Pairs[I].Kind != B.Pairs[I].Kind)
+      return false;
+  return true;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -171,11 +358,111 @@ int main(int Argc, char **Argv) {
   // Clamp before the size_t cast: a negative --names must not wrap to
   // an effectively unbounded generation loop.
   size_t NumNames = NamesArg < 16 ? 16 : static_cast<size_t>(NamesArg);
+  bool OutOfCore = hasFlag(Argc, Argv, "--out-of-core");
+
+  //===--------------------------------------------------------------------===//
+  // Out-of-core windowed detection (--out-of-core).  Runs before any
+  // whole-trace materialization: ru_maxrss is a process-lifetime
+  // high-water mark, so the RSS measured here is genuinely the
+  // streaming pipeline's — stream-write the corpus, stream it back
+  // through windowed detection, snapshot RSS, and only then allow the
+  // rest of the bench to build in-memory traces.
+  //===--------------------------------------------------------------------===//
+
+  CorpusInfo Ooc;
+  WindowedRun OocRun;
+  double OocDetectSeconds = 0.0;
+  uint64_t OocPeakRss = 0;
+  double OocRssRatio = 0.0;
+  bool OocParityOk = true;
+  std::string Err;
+  if (OutOfCore) {
+    std::string OocPath = Scratch + ".ooc.v3trace";
+    // The RSS ratio is only meaningful when the streamed file dwarfs
+    // the process' fixed footprint (binary + libraries + detector
+    // arenas, ~10-15 MB), so the out-of-core corpus gets a 100 MB
+    // floor independent of --size-mb — an 8 MB smoke corpus would
+    // fail the 0.25 gate on baseline RSS alone.
+    size_t OocTarget = std::max<size_t>(
+        static_cast<size_t>(SizeMb * 1e6), 100000000u);
+    std::printf("stream-writing ~%.0f MB out-of-core v3 corpus...\n",
+                static_cast<double>(OocTarget) / 1e6);
+    if (!streamOutOfCoreCorpus(OocPath, OocTarget, Ooc, Err)) {
+      std::fprintf(stderr, "out-of-core corpus write failed: %s\n",
+                   Err.c_str());
+      return 1;
+    }
+    DetectOptions OocOpts;
+    OocOpts.CountsOnly = true;
+    OocOpts.PairMode = PairModeKind::AdjacentCrossThread;
+    double T0 = now();
+    if (!runWindowedDetect(OocPath, OocOpts, OocRun, Err)) {
+      std::fprintf(stderr, "out-of-core windowed detection failed: %s\n",
+                   Err.c_str());
+      return 1;
+    }
+    OocDetectSeconds = now() - T0;
+    OocPeakRss = peakRssBytes();
+    OocRssRatio = Ooc.FileBytes
+                      ? static_cast<double>(OocPeakRss) /
+                            static_cast<double>(Ooc.FileBytes)
+                      : 0.0;
+    std::printf("out-of-core: %llu byte file, %llu sections, "
+                "%u signatures, detect %.3f s\n",
+                static_cast<unsigned long long>(Ooc.FileBytes),
+                static_cast<unsigned long long>(Ooc.Sections),
+                OocRun.Signatures, OocDetectSeconds);
+    std::printf("  ULCPs %llu, true contention %llu, peak open events "
+                "%llu\n",
+                static_cast<unsigned long long>(
+                    OocRun.Result.Counts.totalUnnecessary()),
+                static_cast<unsigned long long>(
+                    OocRun.Result.Counts.TrueContention),
+                static_cast<unsigned long long>(OocRun.PeakOpenEvents));
+    std::printf("  peak RSS %.1f MB / %.1f MB file = ratio %.3f "
+                "(gate <= 0.25%s)\n",
+                static_cast<double>(OocPeakRss) / 1e6,
+                static_cast<double>(Ooc.FileBytes) / 1e6, OocRssRatio,
+                OocPeakRss ? "" : ", unmeasurable: not enforced");
+
+    // Verdict parity: a corpus from the same generator, small enough
+    // to materialize, analyzed both ways — the whole-trace detectUlcps
+    // result and the windowed result must match field for field
+    // (pairs, counts, stats).  tests/WindowedDetectTest gates the same
+    // invariant across window sizes and option sets.
+    std::string ParityPath = Scratch + ".oocparity.v3trace";
+    CorpusInfo ParityInfo;
+    if (!streamOutOfCoreCorpus(ParityPath, 4u << 20, ParityInfo, Err)) {
+      std::fprintf(stderr, "parity corpus write failed: %s\n", Err.c_str());
+      return 1;
+    }
+    Trace ParityTr;
+    if (!loadTrace(ParityPath, ParityTr, Err)) {
+      std::fprintf(stderr, "parity corpus load failed: %s\n", Err.c_str());
+      return 1;
+    }
+    DetectOptions ParityOpts;
+    ParityOpts.PairMode = PairModeKind::AdjacentCrossThread;
+    DetectResult Whole =
+        detectUlcps(ParityTr, CsIndex::build(ParityTr), ParityOpts);
+    WindowedRun Windowed;
+    if (!runWindowedDetect(ParityPath, ParityOpts, Windowed, Err)) {
+      std::fprintf(stderr, "parity windowed detection failed: %s\n",
+                   Err.c_str());
+      return 1;
+    }
+    OocParityOk = sameDetectResult(Whole, Windowed.Result);
+    std::printf("  verdict parity vs whole-trace (%llu-section corpus): "
+                "%s\n",
+                static_cast<unsigned long long>(ParityInfo.Sections),
+                OocParityOk ? "ok" : "MISMATCH");
+    std::remove(OocPath.c_str());
+    std::remove(ParityPath.c_str());
+  }
 
   std::printf("building ~%.0f MB synthetic binary trace...\n", SizeMb);
   Trace Tr = makeSyntheticTrace(static_cast<size_t>(SizeMb * 1e6));
   const size_t NumEvents = Tr.numEvents();
-  std::string Err;
   if (!saveTrace(Tr, Scratch, Err, TraceFormat::Binary)) {
     std::fprintf(stderr, "cannot write scratch trace: %s\n", Err.c_str());
     return 1;
@@ -266,6 +553,78 @@ int main(int Argc, char **Argv) {
   std::printf("  zero-copy bytes-ready speedup: %.1fx, end-to-end: %.2fx, "
               "peak memory saved: %.1f MB\n",
               IngestSpeedup, TotalSpeedup, Mb);
+
+  //===--------------------------------------------------------------------===//
+  // Chunked v3 parallel full load: the same corpus re-encoded as v3,
+  // parsed fully serially vs. with 4 chunk-decode workers.  Best-of-
+  // repeat timings gate the speedup (>= 3.0) — but only on machines
+  // that actually have 4 hardware threads to decode on.
+  //===--------------------------------------------------------------------===//
+
+  const unsigned ParallelWorkers = 4;
+  std::string ScratchV3 = Scratch + ".v3";
+  if (!saveTrace(MmapTrace, ScratchV3, Err, TraceFormat::V3)) {
+    std::fprintf(stderr, "cannot write v3 scratch trace: %s\n", Err.c_str());
+    return 1;
+  }
+  std::vector<uint8_t> V3Bytes = readFileBytes(ScratchV3);
+  if (V3Bytes.empty()) {
+    std::fprintf(stderr, "cannot read back %s\n", ScratchV3.c_str());
+    return 1;
+  }
+  double SerialParse = 1e30, ParallelParse = 1e30;
+  Trace SerialTrace, ParallelTrace;
+  for (unsigned I = 0; I != Repeat; ++I) {
+    V3ParseOptions SerialOpts;
+    SerialOpts.NumThreads = 1;
+    double T0 = now();
+    if (!parseTraceV3(V3Bytes.data(), V3Bytes.size(), SerialTrace, Err,
+                      SerialOpts)) {
+      std::fprintf(stderr, "serial v3 parse failed: %s\n", Err.c_str());
+      return 1;
+    }
+    SerialParse = std::min(SerialParse, now() - T0);
+
+    V3ParseOptions ParOpts;
+    ParOpts.NumThreads = ParallelWorkers;
+    T0 = now();
+    if (!parseTraceV3(V3Bytes.data(), V3Bytes.size(), ParallelTrace, Err,
+                      ParOpts)) {
+      std::fprintf(stderr, "parallel v3 parse failed: %s\n", Err.c_str());
+      return 1;
+    }
+    ParallelParse = std::min(ParallelParse, now() - T0);
+  }
+  // All three decodes of the corpus — binary, serial v3, parallel v3 —
+  // must agree byte for byte.
+  if (writeTraceBinary(SerialTrace) != writeTraceBinary(MmapTrace) ||
+      writeTraceBinary(ParallelTrace) != writeTraceBinary(MmapTrace)) {
+    std::fprintf(stderr, "FATAL: v3 parses diverged from the binary load\n");
+    return 1;
+  }
+  SerialTrace = Trace();
+  ParallelTrace = Trace();
+  double ParallelParseSpeedup =
+      ParallelParse > 0.0 ? SerialParse / ParallelParse : 0.0;
+  const unsigned HardwareThreads = std::thread::hardware_concurrency();
+  const bool ParallelGateEnforced = HardwareThreads >= ParallelWorkers;
+  std::printf("v3 parallel load: %zu byte v3 file (%.2fx of binary)\n",
+              V3Bytes.size(),
+              static_cast<double>(V3Bytes.size()) /
+                  static_cast<double>(FileBytes));
+  std::printf("  parse serial %9.3f ms   %u-worker %9.3f ms   "
+              "speedup %.2fx",
+              SerialParse * 1e3, ParallelWorkers, ParallelParse * 1e3,
+              ParallelParseSpeedup);
+  if (ParallelGateEnforced)
+    std::printf("   (gate >= 3.0)\n");
+  else
+    std::printf("   (gate SKIPPED: %u hardware thread(s) < %u workers)\n",
+                HardwareThreads, ParallelWorkers);
+  std::remove(ScratchV3.c_str());
+  const size_t V3FileBytes = V3Bytes.size();
+  V3Bytes.clear();
+  V3Bytes.shrink_to_fit();
 
   //===--------------------------------------------------------------------===//
   // Name-heavy corpus: borrowed vs owned name storage + dedup compares.
@@ -407,6 +766,36 @@ int main(int Argc, char **Argv) {
                TotalSpeedup);
   std::fprintf(F, "  ],\n");
   std::fprintf(F,
+               "  \"v3_parallel\": {\n"
+               "    \"file_bytes\": %zu,\n"
+               "    \"workers\": %u,\n"
+               "    \"hardware_threads\": %u,\n"
+               "    \"serial_parse_seconds\": %.6f,\n"
+               "    \"parallel_parse_seconds\": %.6f,\n"
+               "    \"parallel_parse_speedup\": %.3f,\n"
+               "    \"gate_enforced\": %s\n"
+               "  },\n",
+               V3FileBytes, ParallelWorkers, HardwareThreads, SerialParse,
+               ParallelParse, ParallelParseSpeedup,
+               ParallelGateEnforced ? "true" : "false");
+  std::fprintf(F,
+               "  \"out_of_core\": {\n"
+               "    \"ran\": %s,\n"
+               "    \"file_bytes\": %llu,\n"
+               "    \"sections\": %llu,\n"
+               "    \"signatures\": %u,\n"
+               "    \"detect_seconds\": %.6f,\n"
+               "    \"windowed_peak_rss_bytes\": %llu,\n"
+               "    \"windowed_peak_rss_ratio\": %.4f,\n"
+               "    \"parity_ok\": %s\n"
+               "  },\n",
+               OutOfCore ? "true" : "false",
+               static_cast<unsigned long long>(Ooc.FileBytes),
+               static_cast<unsigned long long>(Ooc.Sections),
+               OocRun.Signatures, OocDetectSeconds,
+               static_cast<unsigned long long>(OocPeakRss), OocRssRatio,
+               OocParityOk ? "true" : "false");
+  std::fprintf(F,
                "  \"name_heavy\": {\n"
                "    \"locks\": %zu,\n"
                "    \"sites\": %zu,\n"
@@ -430,14 +819,44 @@ int main(int Argc, char **Argv) {
   NameFile.close();
   std::remove(Scratch.c_str());
   std::remove(NamePath.c_str());
-  // Gates: the mmap bytes-ready win must hold, and — the tentpole's
-  // acceptance criterion — a borrowed-storage parse must copy zero
-  // name bytes onto the heap.
+  // Gates: the mmap bytes-ready win and the v3 parallel-load win must
+  // hold, a borrowed-storage parse must copy zero name bytes onto the
+  // heap, and the out-of-core run (when requested) must stay under a
+  // quarter of the file's size with whole-trace-identical verdicts.
+  int Status = 0;
   if (BorrowedOwnedNameBytes != 0) {
     std::fprintf(stderr,
                  "FAIL: borrowed-mode parse copied %zu name bytes\n",
                  BorrowedOwnedNameBytes);
-    return 1;
+    Status = 1;
   }
-  return IngestSpeedup >= 2.0 || !MappedFile::supportsMapping() ? 0 : 1;
+  if (IngestSpeedup < 2.0 && MappedFile::supportsMapping()) {
+    std::fprintf(stderr, "FAIL: mmap ingest speedup %.2fx < 2.0x\n",
+                 IngestSpeedup);
+    Status = 1;
+  }
+  if (ParallelGateEnforced && ParallelParseSpeedup < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: v3 parallel parse speedup %.2fx < 3.0x "
+                 "(%u workers, %u hardware threads)\n",
+                 ParallelParseSpeedup, ParallelWorkers, HardwareThreads);
+    Status = 1;
+  }
+  if (OutOfCore) {
+    if (!OocParityOk) {
+      std::fprintf(stderr, "FAIL: windowed verdicts diverged from "
+                           "whole-trace detection\n");
+      Status = 1;
+    }
+    if (OocPeakRss != 0 && OocRssRatio > 0.25) {
+      std::fprintf(stderr,
+                   "FAIL: windowed peak RSS ratio %.3f > 0.25 "
+                   "(%llu bytes over a %llu byte file)\n",
+                   OocRssRatio,
+                   static_cast<unsigned long long>(OocPeakRss),
+                   static_cast<unsigned long long>(Ooc.FileBytes));
+      Status = 1;
+    }
+  }
+  return Status;
 }

@@ -78,6 +78,14 @@ struct PipelineOptions {
   uint64_t RecordSeed = 42;
   /// Run the Theorem-1 race check over the transformed trace.
   bool CheckRaces = false;
+  /// Window size, in events, for out-of-core windowed detection
+  /// (Engine::detectWindowed): each decoded v3 chunk is handed to the
+  /// WindowedDetector in slices of at most this many events, bounding
+  /// the in-flight span independently of the chunk size.  0 = one
+  /// whole chunk per window.  Verdicts are identical for every value
+  /// (gated by tests/WindowedDetectTest); whole-trace stages ignore
+  /// this knob.
+  uint64_t WindowEvents = 0;
 };
 
 /// Everything the pipeline produced.  Part of the frozen back-compat

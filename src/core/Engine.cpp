@@ -2,9 +2,11 @@
 
 #include "core/Engine.h"
 
+#include "detect/WindowedDetect.h"
 #include "support/MappedFile.h"
 #include "support/ThreadAnnotations.h"
 #include "support/ThreadPool.h"
+#include "trace/TraceV3.h"
 
 #include <algorithm>
 #include <memory>
@@ -46,6 +48,40 @@ Expected<AnalysisSession>
 Engine::openSessionFromFile(const std::string &Path,
                             TraceLoadMode Mode) const {
   return openFileSession(Path, Mode, Defaults, Progress);
+}
+
+Expected<DetectResult>
+Engine::detectWindowed(const std::string &Path) const {
+  WindowedReader Reader;
+  std::string Err;
+  if (!Reader.open(Path, Err))
+    return PipelineError(ErrorCode::TraceIOFailed, std::move(Err));
+
+  WindowedDetector Detector(Defaults.Detect);
+  const uint64_t Window = Defaults.WindowEvents;
+  WindowedReader::Chunk Chunk;
+  while (Reader.next(Chunk, Err)) {
+    const Event *Events = Chunk.Events.data();
+    size_t Left = Chunk.Events.size();
+    while (Left > 0) {
+      size_t Take = Window == 0
+                        ? Left
+                        : std::min<size_t>(Left, static_cast<size_t>(Window));
+      if (!Detector.addEvents(Chunk.Thread, Events, Take, Err))
+        return PipelineError(ErrorCode::InvalidTrace, std::move(Err));
+      Events += Take;
+      Left -= Take;
+    }
+  }
+  // next() returning false is either clean end-of-directory or a decode
+  // error; the reader distinguishes them through Err.
+  if (!Err.empty())
+    return PipelineError(ErrorCode::TraceIOFailed, std::move(Err));
+
+  DetectResult Result;
+  if (!Detector.finish(Reader.tables(), Result, Err))
+    return PipelineError(ErrorCode::InvalidTrace, std::move(Err));
+  return Result;
 }
 
 unsigned Engine::cappedDetectThreads(unsigned Requested,

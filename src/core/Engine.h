@@ -57,6 +57,20 @@ public:
   openSessionFromFile(const std::string &Path,
                       TraceLoadMode Mode = TraceLoadMode::Auto) const;
 
+  /// Out-of-core detection over the chunked v3 trace at \p Path:
+  /// streams chunks through a WindowedReader into a WindowedDetector
+  /// in bounded-memory windows of options().WindowEvents events
+  /// (0 = chunk-sized), so peak memory is bounded by the window, the
+  /// open-section carry, and the signature representatives — never by
+  /// the trace.  The result is bit-identical to detect() over the
+  /// fully-loaded trace under the same DetectOptions.  Requires a v3
+  /// file (`perfplay convert` upgrades v1/v2 traces); other formats
+  /// fail with ErrorCode::TraceIOFailed.  Detection-only: no session
+  /// is created and no recording run happens, so the per-lock pairing
+  /// order is the file's recorded grant schedule when present, else
+  /// global-id order.
+  Expected<DetectResult> detectWindowed(const std::string &Path) const;
+
   /// Analyzes every trace in \p Traces concurrently on up to
   /// \p NumThreads workers (0 = one per hardware thread, capped by the
   /// batch size).  The result vector parallels the input: each element

@@ -1,0 +1,357 @@
+//===- detect/WindowedDetect.cpp - Bounded-memory ULCP detection ----------===//
+//
+// Parity with detectUlcps is the whole contract, so every piece of
+// this file mirrors a specific piece of the whole-trace path:
+//
+//  - signatures reproduce detect/SectionKey.cpp's word scheme, so the
+//    signature partition (and with it Stats.NumSectionKeys) matches
+//    internSectionKeys exactly,
+//  - the incremental first-access fold reproduces the thread-major
+//    scan of MemoryImage::initialOf (lowest accessing thread wins;
+//    within a thread, program order),
+//  - global ids are derived from per-thread acquire ordinals exactly
+//    as Trace::globalCsId numbers them, and the per-lock order follows
+//    CsIndex::build (grant schedule when present, global-id order
+//    otherwise),
+//  - finish() replays detectUlcps' serial enumeration: locks
+//    ascending, first position ascending, second position ascending,
+//    same-thread pairs skipped, the same pairLimit cut, and the same
+//    Counts / Sink / Pairs emission rules.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/WindowedDetect.h"
+
+#include "detect/Classify.h"
+#include "detect/ReversedReplay.h"
+#include "detect/SectionKey.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace perfplay;
+
+namespace {
+
+/// Full signature of one section; must stay word-for-word identical to
+/// the anonymous Signature of detect/SectionKey.cpp so the two paths
+/// intern the same partition.
+struct Signature {
+  std::vector<uint64_t> Words;
+
+  bool operator==(const Signature &RHS) const { return Words == RHS.Words; }
+};
+
+struct SignatureHash {
+  size_t operator()(const Signature &S) const {
+    uint64_t H = 0x2545f4914f6cdd1dULL;
+    for (uint64_t W : S.Words)
+      H = hashInteger(H ^ W);
+    return static_cast<size_t>(H);
+  }
+};
+
+/// Signature over a buffered section: \p Buf holds the verbatim event
+/// stream [acquire .. release]; the walk covers the exclusive interior,
+/// mirroring signatureOf's (AcquireIdx, ReleaseIdx) range.
+Signature signatureOfBuffer(LockId Lock, CodeSiteId Site,
+                            const std::vector<Event> &Buf) {
+  Signature Sig;
+  Sig.Words.reserve(2 + (Buf.size() - 2) * 2);
+  Sig.Words.push_back(Lock);
+  Sig.Words.push_back(Site);
+  for (size_t I = 1; I + 1 < Buf.size(); ++I) {
+    const Event &E = Buf[I];
+    if (E.Kind == EventKind::Read) {
+      Sig.Words.push_back(1);
+      Sig.Words.push_back(E.Addr);
+    } else if (E.Kind == EventKind::Write) {
+      Sig.Words.push_back(2 | (static_cast<uint64_t>(E.Op) << 8));
+      Sig.Words.push_back(E.Addr);
+      Sig.Words.push_back(E.Value);
+    }
+  }
+  return Sig;
+}
+
+void sortUnique(std::vector<AddrId> &V) {
+  std::sort(V.begin(), V.end());
+  V.erase(std::unique(V.begin(), V.end()), V.end());
+}
+
+} // namespace
+
+struct WindowedDetector::SignatureMap {
+  std::unordered_map<Signature, uint32_t, SignatureHash> Interned;
+};
+
+WindowedDetector::WindowedDetector(DetectOptions Opts)
+    : Opts(std::move(Opts)), Signatures(std::make_unique<SignatureMap>()) {
+  ArenaTr.Threads.resize(1);
+}
+
+WindowedDetector::~WindowedDetector() = default;
+
+WindowedDetector::ThreadState &WindowedDetector::stateOf(ThreadId T) {
+  if (T >= Threads.size())
+    Threads.resize(T + 1);
+  return Threads[T];
+}
+
+void WindowedDetector::noteAccess(ThreadId T, const Event &E) {
+  // Thread-major first-access fold: an existing candidate from the
+  // same or a lower thread was recorded earlier in that thread's
+  // program order and wins; a candidate from a higher thread loses to
+  // this one regardless of arrival order.
+  const FirstAccess *Existing = First.find(E.Addr);
+  if (Existing && Existing->Thread <= T)
+    return;
+  FirstAccess FA;
+  FA.Thread = T;
+  FA.IsRead = E.Kind == EventKind::Read ? 1 : 0;
+  FA.Value = E.Value;
+  First[E.Addr] = FA;
+}
+
+uint32_t WindowedDetector::closeSection(OpenSection &&Top) {
+  ++TotalSections;
+  OpenEvents -= Top.Buf.size();
+  Signature Sig = signatureOfBuffer(Top.Lock, Top.Site, Top.Buf);
+  auto It = Signatures->Interned.emplace(std::move(Sig), NumKeys);
+  uint32_t Key = It.first->second;
+  if (It.second) {
+    ++NumKeys;
+    // New signature: retain this section as the class representative.
+    // Its events move into the arena verbatim, so the replay walks the
+    // exact recorded access sequence (nested sections included).
+    std::vector<Event> &Arena = ArenaTr.Threads[0].Events;
+    size_t Start = Arena.size();
+    Arena.insert(Arena.end(), Top.Buf.begin(), Top.Buf.end());
+    CriticalSection Rep;
+    Rep.Ref = CsRef{0, Key};
+    Rep.GlobalId = Key;
+    Rep.Lock = Top.Lock;
+    Rep.Site = Top.Site;
+    Rep.AcquireIdx = Start;
+    Rep.ReleaseIdx = Start + Top.Buf.size() - 1;
+    for (size_t I = Rep.AcquireIdx + 1; I != Rep.ReleaseIdx; ++I) {
+      const Event &E = Arena[I];
+      if (E.Kind == EventKind::Read)
+        Rep.Reads.push_back(E.Addr);
+      else if (E.Kind == EventKind::Write)
+        Rep.Writes.push_back(E.Addr);
+    }
+    sortUnique(Rep.Reads);
+    sortUnique(Rep.Writes);
+    // Same gate as CsIndex::build: only sections wide enough for the
+    // word-parallel intersection path carry bitmap mirrors.
+    if (Rep.Reads.size() > CriticalSection::TinySetMax ||
+        Rep.Writes.size() > CriticalSection::TinySetMax)
+      Rep.buildSets();
+    Reps.push_back(std::move(Rep));
+  }
+  return Key;
+}
+
+bool WindowedDetector::addEvents(ThreadId T, const Event *Events, size_t N,
+                                 std::string &Err) {
+  if (!StreamErr.empty()) {
+    Err = StreamErr;
+    return false;
+  }
+  ThreadState &TS = stateOf(T);
+  const bool TrackInitial = Opts.UseReversedReplay;
+  for (size_t I = 0; I != N; ++I) {
+    const Event &E = Events[I];
+    if (TrackInitial &&
+        (E.Kind == EventKind::Read || E.Kind == EventKind::Write))
+      noteAccess(T, E);
+    // Every open section's range includes this event (nested sections
+    // belong to each enclosing one, as in CsIndex::build).
+    for (OpenSection &Open : TS.Stack)
+      Open.Buf.push_back(E);
+    OpenEvents += TS.Stack.size();
+
+    if (E.Kind == EventKind::LockAcquire) {
+      OpenSection Open;
+      Open.PerThreadIdx = static_cast<uint32_t>(TS.Locks.size());
+      Open.Lock = E.Lock;
+      Open.Site = E.Site;
+      Open.Buf.push_back(E);
+      ++OpenEvents;
+      TS.Stack.push_back(std::move(Open));
+      TS.Locks.push_back(E.Lock);
+      TS.KeyIds.push_back(InvalidId);
+    } else if (E.Kind == EventKind::LockRelease) {
+      if (TS.Stack.empty()) {
+        StreamErr = "windowed detection: lock release without matching "
+                    "acquire in thread " +
+                    std::to_string(T);
+        Err = StreamErr;
+        return false;
+      }
+      OpenSection Top = std::move(TS.Stack.back());
+      TS.Stack.pop_back();
+      if (Top.Lock != E.Lock) {
+        StreamErr = "windowed detection: mismatched lock release in "
+                    "thread " +
+                    std::to_string(T);
+        Err = StreamErr;
+        return false;
+      }
+      // The enclosing-sections loop above already appended the release
+      // into Top.Buf (it was still on the stack), so the buffer is the
+      // complete [acquire .. release] range.
+      uint32_t Idx = Top.PerThreadIdx;
+      TS.KeyIds[Idx] = closeSection(std::move(Top));
+    }
+    if (OpenEvents > PeakOpenEvents)
+      PeakOpenEvents = OpenEvents;
+  }
+  return true;
+}
+
+bool WindowedDetector::finish(const Trace &Tables, DetectResult &Out,
+                              std::string &Err) {
+  if (!StreamErr.empty()) {
+    Err = StreamErr;
+    return false;
+  }
+  for (size_t T = 0; T != Threads.size(); ++T)
+    if (!Threads[T].Stack.empty()) {
+      Err = "windowed detection: critical section still open at end of "
+            "trace in thread " +
+            std::to_string(T);
+      return false;
+    }
+
+  const size_t NumLocks = Tables.Locks.size();
+  for (const ThreadState &TS : Threads)
+    for (LockId L : TS.Locks)
+      if (L == InvalidId || L >= NumLocks) {
+        Err = "windowed detection: acquire references undefined lock";
+        return false;
+      }
+
+  // Global ids: thread-major acquire ordinals (Trace::globalCsId).
+  std::vector<uint64_t> Prefix(Threads.size() + 1, 0);
+  for (size_t T = 0; T != Threads.size(); ++T)
+    Prefix[T + 1] = Prefix[T] + Threads[T].Locks.size();
+  if (Prefix.back() > InvalidId) {
+    Err = "windowed detection: too many critical sections";
+    return false;
+  }
+  const uint32_t Total = static_cast<uint32_t>(Prefix.back());
+
+  // Flatten the per-thread metadata into global-id-indexed arrays and
+  // build the per-lock pairing order (mirroring CsIndex::build) in one
+  // pass, releasing each thread's vectors as they are consumed.  The
+  // incremental release matters: holding both representations across
+  // the whole build would put the per-section high-water mark at 20
+  // bytes instead of ~12+, which is most of the out-of-core bench's
+  // RSS budget.  The detector cannot accept further events afterwards
+  // (finish ends the stream).
+  std::vector<uint32_t> SecThread(Total), SecKey(Total);
+  std::vector<std::vector<uint32_t>> PerLock(NumLocks);
+  const bool UseSchedule = !Tables.LockSchedule.empty();
+  if (UseSchedule) {
+    if (Tables.LockSchedule.size() > NumLocks) {
+      Err = "windowed detection: lock schedule exceeds lock table";
+      return false;
+    }
+    for (LockId L = 0; L != Tables.LockSchedule.size(); ++L)
+      for (const CsRef &Ref : Tables.LockSchedule[L]) {
+        if (Ref.Thread >= Threads.size() ||
+            Ref.Index >= Threads[Ref.Thread].Locks.size()) {
+          Err = "windowed detection: lock schedule references a missing "
+                "critical section";
+          return false;
+        }
+        PerLock[L].push_back(
+            static_cast<uint32_t>(Prefix[Ref.Thread] + Ref.Index));
+      }
+  }
+  for (size_t T = 0; T != Threads.size(); ++T) {
+    ThreadState &TS = Threads[T];
+    for (size_t I = 0; I != TS.Locks.size(); ++I) {
+      uint32_t Gid = static_cast<uint32_t>(Prefix[T] + I);
+      SecThread[Gid] = static_cast<uint32_t>(T);
+      SecKey[Gid] = TS.KeyIds[I];
+      // Thread-major appending is exactly global-id order.
+      if (!UseSchedule)
+        PerLock[TS.Locks[I]].push_back(Gid);
+    }
+    TS.Locks = std::vector<LockId>();
+    TS.KeyIds = std::vector<uint32_t>();
+  }
+
+  // Initial image: materialize the winning read seeds (the fold kept
+  // exactly the accesses MemoryImage::initialOf's scan would decide
+  // on; a Store apply reproduces its Cells[Addr] = Value insert).
+  MemoryImage Initial;
+  if (Opts.UseReversedReplay)
+    First.forEach([&](AddrId Addr, const FirstAccess &FA) {
+      if (FA.IsRead)
+        Initial.apply(Addr, FA.Value, WriteOpKind::Store);
+    });
+
+  // Serial pair enumeration, emission, and dedup — detectUlcps' exact
+  // order with representatives standing in for the dynamic sections.
+  uint64_t NumClassified = 0;
+  FlatMap<uint64_t, UlcpKind> Cache;
+  auto classifyKeys = [&](uint32_t KA, uint32_t KB) {
+    uint64_t Key = SectionKeyTable::pairKey(KA, KB);
+    if (Opts.DedupPairs) {
+      if (const UlcpKind *V = Cache.find(Key))
+        return *V;
+    }
+    ++NumClassified;
+    const CriticalSection &C1 = Reps[KA];
+    const CriticalSection &C2 = Reps[KB];
+    UlcpKind Verdict =
+        Opts.UseReversedReplay
+            ? classifyPair(ArenaTr, Initial, C1, C2, Opts.Repr)
+            : classifyPairStatic(C1, C2, Opts.Repr);
+    if (Opts.DedupPairs)
+      Cache.insert(Key, Verdict);
+    return Verdict;
+  };
+  auto pairLimit = [&](size_t I, size_t OrderSize) {
+    size_t Limit = OrderSize;
+    if (Opts.PairMode == PairModeKind::AdjacentCrossThread)
+      Limit = std::min(Limit, I + 2);
+    else if (Opts.MaxPairDistance != 0)
+      Limit = std::min(Limit, I + 1 + Opts.MaxPairDistance);
+    return Limit;
+  };
+  auto emit = [&](const UlcpPair &Pair) {
+    Out.Counts.add(Pair.Kind);
+    if (Opts.Sink)
+      Opts.Sink(Pair);
+    if (!Opts.Sink && !Opts.CountsOnly)
+      Out.Pairs.push_back(Pair);
+  };
+
+  Out = DetectResult();
+  for (LockId L = 0; L != NumLocks; ++L) {
+    const std::vector<uint32_t> &Order = PerLock[L];
+    for (size_t I = 0; I + 1 < Order.size(); ++I) {
+      const uint32_t G1 = Order[I];
+      const size_t Limit = pairLimit(I, Order.size());
+      for (size_t J = I + 1; J < Limit; ++J) {
+        const uint32_t G2 = Order[J];
+        if (SecThread[G1] == SecThread[G2])
+          continue;
+        UlcpPair Pair;
+        Pair.First = G1;
+        Pair.Second = G2;
+        Pair.Kind = classifyKeys(SecKey[G1], SecKey[G2]);
+        emit(Pair);
+      }
+    }
+  }
+
+  Out.Stats.NumSectionKeys = Opts.DedupPairs ? NumKeys : 0;
+  Out.Stats.NumClassified = NumClassified;
+  return true;
+}

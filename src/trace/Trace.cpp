@@ -2,6 +2,8 @@
 
 #include "trace/Trace.h"
 
+#include "support/ThreadPool.h"
+
 #include <cassert>
 #include <string>
 #include <vector>
@@ -42,6 +44,15 @@ void Trace::buildCsIndex() {
     CsPrefix[T + 1] = CsPrefix[T] + CsCount[T];
 }
 
+void Trace::installCsIndex(std::vector<uint32_t> CountPerThread) {
+  assert(CountPerThread.size() == Threads.size() &&
+         "one count per thread required");
+  CsCount = std::move(CountPerThread);
+  CsPrefix.assign(Threads.size() + 1, 0);
+  for (size_t T = 0; T != Threads.size(); ++T)
+    CsPrefix[T + 1] = CsPrefix[T] + CsCount[T];
+}
+
 uint32_t Trace::globalCsId(CsRef Ref) const {
   assert(!CsPrefix.empty() && "buildCsIndex() not called");
   assert(Ref.Thread < Threads.size() && "thread out of range");
@@ -61,7 +72,67 @@ CsRef Trace::csRefOf(uint32_t GlobalId) const {
   return CsRef();
 }
 
-std::string Trace::validate() const {
+/// The per-thread structural half of validate(): framing, LIFO lock
+/// nesting, and table references of one thread's stream.  Independent
+/// of every other thread, which is what lets validate(ThreadPool*)
+/// fan the walks out.  \p CsCount receives the thread's critical-
+/// section count (valid only when the walk passed).
+std::string Trace::validateThread(size_t T, uint32_t &OutCs) const {
+  auto err = [](const std::string &Msg) { return Msg; };
+  OutCs = 0;
+  const auto &Events = Threads[T].Events;
+  const std::string Where = "thread " + std::to_string(T) + ": ";
+  if (Events.empty())
+    return err(Where + "empty event stream");
+  if (Events.front().Kind != EventKind::ThreadStart)
+    return err(Where + "does not begin with ThreadStart");
+  if (Events.back().Kind != EventKind::ThreadEnd)
+    return err(Where + "does not end with ThreadEnd");
+
+  std::vector<LockId> HeldStack;
+  for (size_t I = 0; I != Events.size(); ++I) {
+    const Event &E = Events[I];
+    const std::string At = Where + "event " + std::to_string(I) + ": ";
+    switch (E.Kind) {
+    case EventKind::ThreadStart:
+      if (I != 0)
+        return err(At + "ThreadStart not first");
+      break;
+    case EventKind::ThreadEnd:
+      if (I + 1 != Events.size())
+        return err(At + "ThreadEnd not last");
+      if (!HeldStack.empty())
+        return err(At + "thread ends holding a lock");
+      break;
+    case EventKind::LockAcquire:
+      if (E.Lock >= Locks.size())
+        return err(At + "acquire of unknown lock");
+      if (E.Site != InvalidId && E.Site >= Sites.size())
+        return err(At + "unknown code site");
+      if (E.Lockset != InvalidId && E.Lockset >= Locksets.size())
+        return err(At + "unknown lockset");
+      HeldStack.push_back(E.Lock);
+      ++OutCs;
+      break;
+    case EventKind::LockRelease:
+      if (E.Lock >= Locks.size())
+        return err(At + "release of unknown lock");
+      if (HeldStack.empty() || HeldStack.back() != E.Lock)
+        return err(At + "release does not match innermost held lock");
+      HeldStack.pop_back();
+      break;
+    case EventKind::Read:
+    case EventKind::Write:
+    case EventKind::Compute:
+      break;
+    }
+  }
+  return std::string();
+}
+
+std::string Trace::validate() const { return validate(nullptr); }
+
+std::string Trace::validate(ThreadPool *Pool) const {
   auto err = [](const std::string &Msg) { return Msg; };
 
   // Pooled-name integrity: a name handle is either the "unnamed"
@@ -76,58 +147,28 @@ std::string Trace::validate() const {
       return err("code site function not in string pool");
   }
 
-  size_t TotalCs = 0;
   std::vector<uint32_t> CsPerThread(Threads.size(), 0);
-  for (size_t T = 0; T != Threads.size(); ++T) {
-    const auto &Events = Threads[T].Events;
-    const std::string Where = "thread " + std::to_string(T) + ": ";
-    if (Events.empty())
-      return err(Where + "empty event stream");
-    if (Events.front().Kind != EventKind::ThreadStart)
-      return err(Where + "does not begin with ThreadStart");
-    if (Events.back().Kind != EventKind::ThreadEnd)
-      return err(Where + "does not end with ThreadEnd");
-
-    std::vector<LockId> HeldStack;
-    for (size_t I = 0; I != Events.size(); ++I) {
-      const Event &E = Events[I];
-      const std::string At = Where + "event " + std::to_string(I) + ": ";
-      switch (E.Kind) {
-      case EventKind::ThreadStart:
-        if (I != 0)
-          return err(At + "ThreadStart not first");
-        break;
-      case EventKind::ThreadEnd:
-        if (I + 1 != Events.size())
-          return err(At + "ThreadEnd not last");
-        if (!HeldStack.empty())
-          return err(At + "thread ends holding a lock");
-        break;
-      case EventKind::LockAcquire:
-        if (E.Lock >= Locks.size())
-          return err(At + "acquire of unknown lock");
-        if (E.Site != InvalidId && E.Site >= Sites.size())
-          return err(At + "unknown code site");
-        if (E.Lockset != InvalidId && E.Lockset >= Locksets.size())
-          return err(At + "unknown lockset");
-        HeldStack.push_back(E.Lock);
-        ++CsPerThread[T];
-        ++TotalCs;
-        break;
-      case EventKind::LockRelease:
-        if (E.Lock >= Locks.size())
-          return err(At + "release of unknown lock");
-        if (HeldStack.empty() || HeldStack.back() != E.Lock)
-          return err(At + "release does not match innermost held lock");
-        HeldStack.pop_back();
-        break;
-      case EventKind::Read:
-      case EventKind::Write:
-      case EventKind::Compute:
-        break;
-      }
+  if (Pool && Pool->size() > 1 && Threads.size() > 1) {
+    // Each walk touches only its own thread's slots, so no locking is
+    // needed; the serial scan below picks the lowest-numbered failing
+    // thread, matching the serial walk's first-error semantics.
+    std::vector<std::string> ThreadErrs(Threads.size());
+    Pool->parallelFor(Threads.size(), [&](size_t T) {
+      ThreadErrs[T] = validateThread(T, CsPerThread[T]);
+    });
+    for (const std::string &E : ThreadErrs)
+      if (!E.empty())
+        return E;
+  } else {
+    for (size_t T = 0; T != Threads.size(); ++T) {
+      std::string E = validateThread(T, CsPerThread[T]);
+      if (!E.empty())
+        return E;
     }
   }
+  size_t TotalCs = 0;
+  for (uint32_t N : CsPerThread)
+    TotalCs += N;
 
   for (const auto &LS : Locksets)
     for (const auto &Entry : LS.Entries) {

@@ -26,6 +26,8 @@
 
 namespace perfplay {
 
+class ThreadPool;
+
 /// Static source location of a critical section's code region.  Names
 /// are pooled: File/Function are handles into the owning
 /// Trace::Names interner (Trace::siteFile / Trace::siteFunction
@@ -165,6 +167,14 @@ public:
   /// (Re)computes the per-thread CS counts backing globalCsId().
   void buildCsIndex();
 
+  /// Installs the per-thread CS counts backing globalCsId() from
+  /// counts the caller already has, skipping buildCsIndex()'s
+  /// O(events) rescan.  The parallel v3 loader aggregates these from
+  /// the chunk directory's per-chunk acquire counts, each verified
+  /// against the decoded stream — so the index is exact, at O(threads)
+  /// cost.  \p CountPerThread must have one entry per thread.
+  void installCsIndex(std::vector<uint32_t> CountPerThread);
+
   /// Structural validation: every thread stream starts with ThreadStart,
   /// ends with ThreadEnd, lock acquire/release nest properly (LIFO per
   /// thread), released locks were held, referenced sites/locks/locksets
@@ -173,7 +183,18 @@ public:
   /// \returns an empty string when valid, otherwise a diagnostic.
   std::string validate() const;
 
+  /// validate() with the independent per-thread structural walks spread
+  /// over \p Pool (cross-table checks stay serial).  The reported
+  /// diagnostic is deterministic — the lowest-numbered failing thread
+  /// wins, exactly as in the serial walk.  A null pool (or a pool of
+  /// one) degrades to validate().
+  std::string validate(ThreadPool *Pool) const;
+
 private:
+  /// Per-thread half of validate(); returns a diagnostic or "" and
+  /// reports the thread's critical-section count through \p OutCs.
+  std::string validateThread(size_t T, uint32_t &OutCs) const;
+
   /// Prefix sums of per-thread CS counts; CsPrefix[T] is the global id
   /// of thread T's first critical section.
   std::vector<uint32_t> CsPrefix;

@@ -3,6 +3,7 @@
 #include "trace/TraceIO.h"
 
 #include "support/MappedFile.h"
+#include "trace/TraceV3.h"
 
 #include <algorithm>
 #include <cassert>
@@ -825,6 +826,8 @@ bool perfplay::parseTraceBuffer(const uint8_t *Data, size_t Size,
                                 Trace &Out, std::string &Err) {
   if (hasBinaryMagic(Data, Size))
     return parseTraceBinary(Data, Size, Out, Err);
+  if (hasTraceV3Magic(Data, Size))
+    return parseTraceV3(Data, Size, Out, Err);
   // The line parser tokenizes out of a string; one copy, text only.
   std::string Text;
   if (Size != 0)
@@ -838,6 +841,8 @@ bool perfplay::parseTraceBuffer(const uint8_t *Data, size_t Size,
 
 bool perfplay::saveTrace(const Trace &Tr, const std::string &Path,
                          std::string &Err, TraceFormat Format) {
+  if (Format == TraceFormat::V3)
+    return saveTraceV3(Tr, Path, Err);
   const char *Data;
   size_t Size;
   std::string Text;
@@ -868,23 +873,25 @@ bool perfplay::saveTrace(const Trace &Tr, const std::string &Path,
 /// The legacy copying loader: stream the file through stdio into the
 /// container its parser wants.
 static bool loadTraceStream(const std::string &Path, Trace &Out,
-                            std::string &Err) {
+                            std::string &Err,
+                            TraceLoadInfo *Info = nullptr) {
   FILE *F = std::fopen(Path.c_str(), "rb");
   if (!F) {
     Err = "cannot open '" + Path + "' for reading";
     return false;
   }
-  // Format sniffing: the binary header's magic is not valid text-format
-  // prose, so the first eight bytes decide unambiguously.  Sniffing
-  // before slurping lets each path read straight into the container its
+  // Format sniffing: neither binary magic is valid text-format prose,
+  // so the first eight bytes decide unambiguously.  Sniffing before
+  // slurping lets each path read straight into the container its
   // parser wants — no whole-file copy.
   uint8_t Head[sizeof(BinaryMagic)];
   size_t HeadLen = std::fread(Head, 1, sizeof(Head), F);
   bool Binary = HeadLen == sizeof(BinaryMagic) &&
                 std::memcmp(Head, BinaryMagic, sizeof(BinaryMagic)) == 0;
+  bool V3 = hasTraceV3Magic(Head, HeadLen);
 
   char Buf[1 << 16];
-  if (Binary) {
+  if (Binary || V3) {
     std::vector<uint8_t> Bytes(Head, Head + HeadLen);
     for (;;) {
       size_t N = std::fread(Buf, 1, sizeof(Buf), F);
@@ -893,6 +900,10 @@ static bool loadTraceStream(const std::string &Path, Trace &Out,
         break;
     }
     std::fclose(F);
+    if (Info)
+      Info->Format = V3 ? TraceFormat::V3 : TraceFormat::Binary;
+    if (V3)
+      return parseTraceV3(Bytes.data(), Bytes.size(), Out, Err);
     return parseTraceBinary(Bytes, Out, Err);
   }
   std::string Text(reinterpret_cast<const char *>(Head), HeadLen);
@@ -903,20 +914,39 @@ static bool loadTraceStream(const std::string &Path, Trace &Out,
       break;
   }
   std::fclose(F);
+  if (Info)
+    Info->Format = TraceFormat::Text;
   return parseTraceText(Text, Out, Err);
 }
 
 bool perfplay::loadTraceKeepMapping(const std::string &Path, Trace &Out,
                                     std::string &Err, MappedFile &File,
-                                    TraceLoadMode Mode, NameStorage Names) {
+                                    TraceLoadMode Mode, NameStorage Names,
+                                    TraceLoadInfo *Info) {
   File.close();
+  if (Info)
+    *Info = TraceLoadInfo();
+  auto downgrade = [&](std::string Reason) {
+    if (Info)
+      Info->MmapDowngradeReason = std::move(Reason);
+    return loadTraceStream(Path, Out, Err, Info);
+  };
   if (Mode == TraceLoadMode::Stream)
-    return loadTraceStream(Path, Out, Err);
+    // Explicitly requested; not a downgrade.
+    return loadTraceStream(Path, Out, Err, Info);
   // Auto streams anything unmappable — pipes and FIFOs must not have
   // their read end consumed by a doomed map attempt, and platforms
   // without mmap gain nothing from the fallback's extra copy.
-  if (Mode == TraceLoadMode::Auto && !MappedFile::isMappablePath(Path))
-    return loadTraceStream(Path, Out, Err);
+  if (Mode == TraceLoadMode::Auto && !MappedFile::isMappablePath(Path)) {
+    switch (MappedFile::classifyPath(Path)) {
+    case MappedFile::PathKind::Other:
+      return downgrade("not a regular file (pipe, FIFO, or device)");
+    case MappedFile::PathKind::Missing:
+      return downgrade("file cannot be stat'ed");
+    case MappedFile::PathKind::Regular:
+      return downgrade("platform build has no mmap support");
+    }
+  }
   // Explicit Mmap on an existing non-regular source is rejected up
   // front: opening a pipe can block and consumes its read end, and a
   // misleading empty-input parse error would follow.  Missing files
@@ -936,13 +966,17 @@ bool perfplay::loadTraceKeepMapping(const std::string &Path, Trace &Out,
     // Some network/FUSE mounts refuse mmap on regular files; Auto
     // keeps those working by dropping to the stdio loader.  Explicit
     // Mmap stays strict.
+    std::string OpenErr = Err;
     File.close();
     if (Mode == TraceLoadMode::Auto)
-      return loadTraceStream(Path, Out, Err);
+      return downgrade(Opened ? "file is empty (nothing to map)"
+                              : "mmap open failed: " + OpenErr);
     if (!Opened)
       return false;
   }
-  if (hasBinaryMagic(File.data(), File.size())) {
+  const bool Binary = hasBinaryMagic(File.data(), File.size());
+  const bool V3 = hasTraceV3Magic(File.data(), File.size());
+  if (Binary || V3) {
     // Borrowed names are only safe when the bytes live past this call:
     // a real mmap the caller pins.  The read-fallback buffer inside
     // File would also survive, but callers (Engine::openSessionFromFile)
@@ -951,6 +985,19 @@ bool perfplay::loadTraceKeepMapping(const std::string &Path, Trace &Out,
     NameStorage Effective = Names == NameStorage::Borrowed && File.isMapped()
                                 ? NameStorage::Borrowed
                                 : NameStorage::Owned;
+    if (Info) {
+      Info->Format = V3 ? TraceFormat::V3 : TraceFormat::Binary;
+      Info->UsedMmap = File.isMapped();
+      Info->BorrowedNames = Effective == NameStorage::Borrowed;
+      if (!File.isMapped())
+        Info->MmapDowngradeReason =
+            "platform build has no mmap support (read fallback)";
+    }
+    if (V3) {
+      V3ParseOptions Opts;
+      Opts.Names = Effective;
+      return parseTraceV3(File.data(), File.size(), Out, Err, Opts);
+    }
     return parseTraceBinary(File.data(), File.size(), Out, Err, Effective);
   }
   // Text parses out of its own string copy, so there is nothing the
@@ -959,7 +1006,12 @@ bool perfplay::loadTraceKeepMapping(const std::string &Path, Trace &Out,
   std::string Text;
   if (File.size() != 0)
     Text.assign(reinterpret_cast<const char *>(File.data()), File.size());
+  const bool WasMapped = File.isMapped();
   File.close();
+  if (Info) {
+    Info->Format = TraceFormat::Text;
+    Info->UsedMmap = WasMapped;
+  }
   return parseTraceText(Text, Out, Err);
 }
 

@@ -85,10 +85,14 @@ enum class TraceFormat {
   Text,
   /// Compact little-endian binary for production-scale traces.
   Binary,
+  /// Chunked delta-varint binary (trace/TraceV3.h): parallel full
+  /// load and bounded-memory streaming via the footer's chunk
+  /// directory.
+  V3,
 };
 
 /// Writes \p Tr to \p Path in \p Format.  Returns false on I/O error.
-/// Both formats are recognized back by loadTrace.
+/// All formats are recognized back by loadTrace.
 bool saveTrace(const Trace &Tr, const std::string &Path, std::string &Err,
                TraceFormat Format = TraceFormat::Text);
 
@@ -122,6 +126,25 @@ Expected<Trace> readTraceFile(const std::string &Path,
 
 class MappedFile;
 
+/// How a load was actually served.  The interesting field is
+/// MmapDowngradeReason: Auto mode silently falls back from the
+/// zero-copy mmap path to the copying stream loader in several cases
+/// (pipes, empty files, mounts that refuse mmap), and until this
+/// struct existed the only symptom was a slower load — `perfplay stats
+/// --verbose` now surfaces it.
+struct TraceLoadInfo {
+  /// Format detected by magic bytes.
+  TraceFormat Format = TraceFormat::Text;
+  /// True when the parse ran directly over a memory mapping (not the
+  /// stream loader or the read fallback).
+  bool UsedMmap = false;
+  /// True when lock/site names borrow from the caller-pinned mapping.
+  bool BorrowedNames = false;
+  /// Why the zero-copy mmap path was not used, empty when it was (or
+  /// when the caller explicitly asked for the stream loader).
+  std::string MmapDowngradeReason;
+};
+
 /// loadTrace with the mapping handed to the caller: when the zero-copy
 /// path served the load, \p File is left open over the source bytes so
 /// the caller can pin it (Engine::openSessionFromFile keeps it for the
@@ -136,10 +159,14 @@ class MappedFile;
 /// caller to keep \p File open for the Trace's lifetime.  Loads that
 /// end with \p File closed (stream fallback, text input, read-fallback
 /// platforms) always intern owned names, whatever \p Names says.
+///
+/// \p Info, when non-null, receives how the load was served (format,
+/// mmap vs stream, and the downgrade reason when Auto fell back).
 bool loadTraceKeepMapping(const std::string &Path, Trace &Out,
                           std::string &Err, MappedFile &File,
                           TraceLoadMode Mode = TraceLoadMode::Auto,
-                          NameStorage Names = NameStorage::Owned);
+                          NameStorage Names = NameStorage::Owned,
+                          TraceLoadInfo *Info = nullptr);
 
 } // namespace perfplay
 

@@ -16,6 +16,7 @@
 #include "sim/Replayer.h"
 #include "support/MappedFile.h"
 #include "trace/TraceBuilder.h"
+#include "trace/TraceV3.h"
 #include "workloads/Apps.h"
 #include "workloads/WorkloadSpec.h"
 
@@ -367,6 +368,282 @@ TEST(TraceIOCorruptTest, AutoModeStreamsFromFifos) {
   std::remove(Fifo.c_str());
 }
 #endif
+
+//===----------------------------------------------------------------------===//
+// v3 mutation corpus
+//
+// Same discipline as the v1 corpus: every forged count must be
+// rejected against the byte budget that would have to contain it
+// *before* any allocation, and every mutation fails with a typed
+// diagnostic.  The footer/directory offsets used for patching follow
+// the normative layout in docs/TRACE_FORMAT.md.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void appendU64(std::vector<uint8_t> &Bytes, uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    Bytes.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+void patchU64(std::vector<uint8_t> &Bytes, size_t Offset, uint64_t V) {
+  ASSERT_LE(Offset + 8, Bytes.size());
+  for (int I = 0; I != 8; ++I)
+    Bytes[Offset + I] = static_cast<uint8_t>(V >> (8 * I));
+}
+
+uint64_t readU64(const std::vector<uint8_t> &Bytes, size_t Offset) {
+  uint64_t V = 0;
+  for (int I = 0; I != 8; ++I)
+    V |= static_cast<uint64_t>(Bytes[Offset + I]) << (8 * I);
+  return V;
+}
+
+/// Footer field offsets, relative to the end of a v3 file.
+constexpr size_t V3FootSideOff = 48;
+constexpr size_t V3FootDirOff = 40;
+constexpr size_t V3FootNumThreads = 28;
+constexpr size_t V3FootNumLocks = 24;
+constexpr size_t V3FootNumSites = 20;
+constexpr size_t V3FootTotalEvents = 16;
+
+std::vector<uint8_t> realV3Bytes() {
+  Trace Tr = generateWorkload(makeTransmissionBT(2, 0.5));
+  recordGrantSchedule(Tr, 7);
+  // A small chunk target so the file has several chunks to corrupt.
+  return writeTraceV3(Tr, /*TargetChunkBytes=*/1024);
+}
+
+bool parseV3(const std::vector<uint8_t> &Bytes, Trace &Out,
+             std::string &Err) {
+  return parseTraceV3(Bytes.data(), Bytes.size(), Out, Err);
+}
+
+} // namespace
+
+TEST(TraceIOCorruptTest, V3BadFooterMagicIsTyped) {
+  std::vector<uint8_t> Bytes = realV3Bytes();
+  Bytes[Bytes.size() - 1] ^= 0x20;
+  Trace Out;
+  std::string Err;
+  EXPECT_FALSE(parseV3(Bytes, Out, Err));
+  EXPECT_NE(Err.find("bad v3 footer magic"), std::string::npos) << Err;
+}
+
+TEST(TraceIOCorruptTest, V3BadDirectoryOffsetIsTyped) {
+  // Shift the directory offset so chunk count and directory byte size
+  // no longer agree.
+  std::vector<uint8_t> Bytes = realV3Bytes();
+  uint64_t DirOff = readU64(Bytes, Bytes.size() - V3FootDirOff);
+  patchU64(Bytes, Bytes.size() - V3FootDirOff, DirOff + 4);
+  Trace Out;
+  std::string Err;
+  EXPECT_FALSE(parseV3(Bytes, Out, Err));
+  EXPECT_NE(Err.find("bad v3 directory offset"), std::string::npos) << Err;
+
+  // An offset beyond the file is a section-bounds failure.
+  Bytes = realV3Bytes();
+  patchU64(Bytes, Bytes.size() - V3FootDirOff, Bytes.size() + 1000);
+  EXPECT_FALSE(parseV3(Bytes, Out, Err));
+  EXPECT_NE(Err.find("bad v3 section offsets"), std::string::npos) << Err;
+}
+
+// The v3 twin of the motivating 12-byte v1 attack: forged counts in
+// the footer must be rejected against the file's byte budget before
+// any table is sized.
+TEST(TraceIOCorruptTest, V3InflatedFooterCountsFailFast) {
+  {
+    std::vector<uint8_t> Bytes = realV3Bytes();
+    patchU32(Bytes, Bytes.size() - V3FootNumLocks, 0xFFFFFFFFu);
+    Trace Out;
+    std::string Err;
+    EXPECT_FALSE(parseV3(Bytes, Out, Err));
+    EXPECT_NE(Err.find("lock table count exceeds file size"),
+              std::string::npos)
+        << Err;
+  }
+  {
+    std::vector<uint8_t> Bytes = realV3Bytes();
+    patchU32(Bytes, Bytes.size() - V3FootNumSites, 0xFFFFFFFFu);
+    Trace Out;
+    std::string Err;
+    EXPECT_FALSE(parseV3(Bytes, Out, Err));
+    EXPECT_NE(Err.find("site table count exceeds file size"),
+              std::string::npos)
+        << Err;
+  }
+  {
+    // A forged thread count must not size the thread table: threads
+    // are bounded by the chunk count, itself pinned to the directory's
+    // real byte size.
+    std::vector<uint8_t> Bytes = realV3Bytes();
+    patchU32(Bytes, Bytes.size() - V3FootNumThreads, 0x40000000u);
+    Trace Out;
+    std::string Err;
+    EXPECT_FALSE(parseV3(Bytes, Out, Err));
+    EXPECT_NE(Err.find("thread count exceeds chunk count"),
+              std::string::npos)
+        << Err;
+  }
+  {
+    std::vector<uint8_t> Bytes = realV3Bytes();
+    patchU64(Bytes, Bytes.size() - V3FootTotalEvents,
+             0xFFFFFFFFFFFFull);
+    Trace Out;
+    std::string Err;
+    EXPECT_FALSE(parseV3(Bytes, Out, Err));
+    EXPECT_NE(Err.find("event count exceeds file size"),
+              std::string::npos)
+        << Err;
+  }
+}
+
+// Inflating one chunk's event count in the directory: every event
+// costs at least its kind tag, so a count beyond the chunk's byte size
+// is rejected before any span is sized.
+TEST(TraceIOCorruptTest, V3InflatedChunkEventCountFailsFast) {
+  std::vector<uint8_t> Bytes = realV3Bytes();
+  uint64_t DirOff = readU64(Bytes, Bytes.size() - V3FootDirOff);
+  // Directory entry 0: EventCount lives at +16.
+  patchU32(Bytes, static_cast<size_t>(DirOff) + 16, 0x7FFFFFFFu);
+  Trace Out;
+  std::string Err;
+  EXPECT_FALSE(parseV3(Bytes, Out, Err));
+  EXPECT_NE(Err.find("event count exceeds chunk size"), std::string::npos)
+      << Err;
+}
+
+// Shrinking a chunk's directory byte size truncates the chunk: its
+// header still matches, but the delta tables and event stream no
+// longer fit.
+TEST(TraceIOCorruptTest, V3TruncatedChunkIsTyped) {
+  std::vector<uint8_t> Bytes = realV3Bytes();
+  uint64_t DirOff = readU64(Bytes, Bytes.size() - V3FootDirOff);
+  // Directory entry 0: ByteSize lives at +8.  36 bytes = bare header.
+  patchU32(Bytes, static_cast<size_t>(DirOff) + 8, 36);
+  Trace Out;
+  std::string Err;
+  EXPECT_FALSE(parseV3(Bytes, Out, Err));
+  EXPECT_NE(Err.find("chunk 0:"), std::string::npos) << Err;
+}
+
+// A chunk header promising more string-table delta entries than its
+// chunk has bytes must fail the per-chunk budget check.
+TEST(TraceIOCorruptTest, V3InflatedDeltaCountIsTyped) {
+  std::vector<uint8_t> Bytes = realV3Bytes();
+  uint64_t DirOff = readU64(Bytes, Bytes.size() - V3FootDirOff);
+  uint64_t Chunk0 = readU64(Bytes, static_cast<size_t>(DirOff));
+  // Chunk header: NewLocks lives at +24 (after Thread, EventCount,
+  // FirstTs, LastTs).
+  patchU32(Bytes, static_cast<size_t>(Chunk0) + 24, 0x7FFFFFFFu);
+  Trace Out;
+  std::string Err;
+  EXPECT_FALSE(parseV3(Bytes, Out, Err));
+  EXPECT_NE(Err.find("lock delta count exceeds chunk size"),
+            std::string::npos)
+      << Err;
+}
+
+// A varint running past its 10-byte cap (hostile continuation bits
+// forever) is an overrun, not a hang or an overflow.  Hand-crafted
+// minimal file: one chunk, one Compute event whose cost varint never
+// terminates.
+TEST(TraceIOCorruptTest, V3VarintOverrunIsTyped) {
+  std::vector<uint8_t> Bytes(
+      {'P', 'F', 'P', 'L', 'T', 'R', 'C', '3'});
+  // Chunk at offset 8: header, no deltas, 11 event bytes.
+  const uint32_t EventBytes = 11;
+  appendU32(Bytes, 0);          // Thread
+  appendU32(Bytes, 1);          // EventCount
+  appendU64(Bytes, 0);          // FirstTs
+  appendU64(Bytes, 0);          // LastTs
+  appendU32(Bytes, 0);          // NewLocks
+  appendU32(Bytes, 0);          // NewSites
+  appendU32(Bytes, EventBytes); // EventBytes
+  Bytes.push_back(6);           // EventKind::Compute
+  for (int I = 0; I != 10; ++I) // cost varint: continuation forever
+    Bytes.push_back(0xFF);
+  const uint64_t SideOff = Bytes.size();
+  for (int Table = 0; Table != 5; ++Table)
+    appendU32(Bytes, 0); // rem-locks/rem-sites/locksets/constraints/sched
+  const uint64_t DirOff = Bytes.size();
+  appendU64(Bytes, 8);              // chunk offset
+  appendU32(Bytes, 36 + EventBytes); // chunk byte size
+  appendU32(Bytes, 0);              // thread
+  appendU32(Bytes, 1);              // event count
+  appendU32(Bytes, 0);              // acquire count
+  appendU64(Bytes, 0);              // first ts
+  appendU64(Bytes, 0);              // last ts
+  appendU64(Bytes, SideOff);
+  appendU64(Bytes, DirOff);
+  appendU32(Bytes, 1); // chunks
+  appendU32(Bytes, 1); // threads
+  appendU32(Bytes, 0); // locks
+  appendU32(Bytes, 0); // sites
+  appendU64(Bytes, 1); // total events
+  Bytes.insert(Bytes.end(),
+               {'P', 'F', 'P', 'L', 'E', 'N', 'D', '3'});
+
+  Trace Out;
+  std::string Err;
+  EXPECT_FALSE(parseV3(Bytes, Out, Err));
+  EXPECT_NE(Err.find("varint overrun"), std::string::npos) << Err;
+}
+
+// A footer lock count larger than the number of definitions actually
+// present leaves undefined table slots — typed, not silent.
+TEST(TraceIOCorruptTest, V3MissingLockDefinitionIsTyped) {
+  std::vector<uint8_t> Bytes = realV3Bytes();
+  uint32_t NumLocks = 0;
+  for (int I = 0; I != 4; ++I)
+    NumLocks |= static_cast<uint32_t>(
+                    Bytes[Bytes.size() - V3FootNumLocks + I])
+                << (8 * I);
+  patchU32(Bytes, Bytes.size() - V3FootNumLocks, NumLocks + 1);
+  Trace Out;
+  std::string Err;
+  EXPECT_FALSE(parseV3(Bytes, Out, Err));
+  EXPECT_NE(Err.find("missing lock definition"), std::string::npos) << Err;
+}
+
+// Same sweep as the v1 corpus: every truncation point of a real v3
+// trace fails with a diagnostic — no crash, no unbounded allocation.
+TEST(TraceIOCorruptTest, V3EveryTruncationFailsGracefully) {
+  const std::vector<uint8_t> Base = realV3Bytes();
+  ASSERT_GT(Base.size(), 128u);
+  for (size_t Len = 0; Len < Base.size(); Len += 7) {
+    std::vector<uint8_t> Prefix(Base.begin(),
+                                Base.begin() + static_cast<ptrdiff_t>(Len));
+    Trace Out;
+    std::string Err;
+    bool Ok = parseTraceV3(Prefix.data(), Prefix.size(), Out, Err);
+    if (Ok)
+      EXPECT_EQ(Out.validate(), "") << "prefix " << Len;
+    else
+      EXPECT_FALSE(Err.empty()) << "prefix " << Len;
+  }
+}
+
+// WindowedReader runs the same validation as the full parser at
+// open(); a corrupt directory must be rejected before any chunk
+// streams.
+TEST(TraceIOCorruptTest, V3WindowedReaderRejectsCorruptFiles) {
+  std::vector<uint8_t> Bytes = realV3Bytes();
+  uint64_t DirOff = readU64(Bytes, Bytes.size() - V3FootDirOff);
+  patchU64(Bytes, Bytes.size() - V3FootDirOff, DirOff + 4);
+  std::string Path = tempPath("corrupt.v3trace");
+  FILE *F = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr);
+  std::fwrite(Bytes.data(), 1, Bytes.size(), F);
+  std::fclose(F);
+
+  WindowedReader R;
+  std::string Err;
+  EXPECT_FALSE(R.open(Path, Err));
+  EXPECT_NE(Err.find("bad v3 directory offset"), std::string::npos) << Err;
+  EXPECT_FALSE(R.isOpen());
+  std::remove(Path.c_str());
+}
 
 //===----------------------------------------------------------------------===//
 // MappedFile mechanics

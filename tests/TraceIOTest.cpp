@@ -3,6 +3,7 @@
 #include "support/MappedFile.h"
 #include "trace/TraceBuilder.h"
 #include "trace/TraceIO.h"
+#include "trace/TraceV3.h"
 
 #include <gtest/gtest.h>
 
@@ -48,6 +49,30 @@ Trace makeRichTrace() {
   Tr.LockSchedule[Mu] = {CsRef{0, 0}, CsRef{1, 0}};
   Tr.LockSchedule[Spin] = {CsRef{0, 1}};
   return Tr;
+}
+
+/// A mechanically generated trace big enough that a small v3 chunk
+/// target splits every thread across many chunks.
+Trace makeBigTrace(unsigned NumThreads, unsigned SectionsPerThread) {
+  TraceBuilder B;
+  LockId Mu = B.addLock("big.mu");
+  LockId Spin = B.addLock("big.spin", /*IsSpin=*/true);
+  CodeSiteId S0 = B.addSite("big.cc", "work", 10, 40);
+  CodeSiteId S1 = B.addSite("big.cc", "flush", 50, 90);
+  std::vector<ThreadId> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Threads.push_back(B.addThread());
+  for (unsigned T = 0; T != NumThreads; ++T) {
+    for (unsigned I = 0; I != SectionsPerThread; ++I) {
+      B.compute(Threads[T], I % 7 + 1);
+      B.beginCs(Threads[T], I % 2 ? Mu : Spin, I % 3 ? S0 : S1);
+      B.read(Threads[T], 0x1000 + (I * 64) % 4096, I);
+      B.write(Threads[T], 0x1000 + (I * 64) % 4096, I + 1,
+              WriteOpKind::Add);
+      B.endCs(Threads[T]);
+    }
+  }
+  return B.finish();
 }
 
 void expectTracesEqual(const Trace &A, const Trace &B) {
@@ -213,29 +238,185 @@ TEST(TraceIOTest, LoadMissingFileFails) {
   EXPECT_FALSE(Err.empty());
 }
 
-// saveTrace must round-trip pooled names through BOTH formats
+// saveTrace must round-trip pooled names through EVERY format
 // byte-identically: save, reload, save again — the second file is the
-// golden twin of the first.  This pins the on-disk encoding against
+// golden twin of the first.  This pins the on-disk encodings against
 // regressions in the pool-backed writers.
-TEST(TraceIOTest, GoldenRoundTripBothFormats) {
+TEST(TraceIOTest, GoldenRoundTripAllFormats) {
   Trace Tr = makeRichTrace();
   std::string Err;
-  for (TraceFormat Format : {TraceFormat::Text, TraceFormat::Binary}) {
-    const bool Binary = Format == TraceFormat::Binary;
-    std::string Path = testing::TempDir() + "/perfplay_golden." +
-                       (Binary ? "btrace" : "trace");
+  for (TraceFormat Format :
+       {TraceFormat::Text, TraceFormat::Binary, TraceFormat::V3}) {
+    std::string Path = testing::TempDir() + "/perfplay_golden.trace";
     ASSERT_TRUE(saveTrace(Tr, Path, Err, Format)) << Err;
     Trace Back;
     ASSERT_TRUE(loadTrace(Path, Back, Err)) << Err;
-    if (Binary)
-      EXPECT_EQ(writeTraceBinary(Back), writeTraceBinary(Tr));
-    else
+    switch (Format) {
+    case TraceFormat::Text:
       EXPECT_EQ(writeTraceText(Back), writeTraceText(Tr));
-    // And the cross-format renderings agree too: a binary reload
-    // prints the same text as the original.
+      break;
+    case TraceFormat::Binary:
+      EXPECT_EQ(writeTraceBinary(Back), writeTraceBinary(Tr));
+      break;
+    case TraceFormat::V3:
+      EXPECT_EQ(writeTraceV3(Back), writeTraceV3(Tr));
+      break;
+    }
+    // And the cross-format renderings agree too: a binary or v3
+    // reload prints the same text as the original.
     EXPECT_EQ(writeTraceText(Back), writeTraceText(Tr));
     std::remove(Path.c_str());
   }
+}
+
+TEST(TraceIOTest, V3RoundTrip) {
+  Trace Tr = makeRichTrace();
+  std::vector<uint8_t> Bytes = writeTraceV3(Tr);
+  Trace Back;
+  std::string Err;
+  ASSERT_TRUE(parseTraceV3(Bytes.data(), Bytes.size(), Back, Err)) << Err;
+  expectTracesEqual(Tr, Back);
+}
+
+// A small chunk target splits every thread over many chunks; the
+// stitched parse must still be event-identical, and ids must survive
+// (string-table deltas carry explicit original ids).
+TEST(TraceIOTest, V3RoundTripManyChunks) {
+  Trace Tr = makeBigTrace(/*NumThreads=*/3, /*SectionsPerThread=*/500);
+  std::vector<uint8_t> Bytes = writeTraceV3(Tr, /*TargetChunkBytes=*/1024);
+  Trace Back;
+  std::string Err;
+  ASSERT_TRUE(parseTraceV3(Bytes.data(), Bytes.size(), Back, Err)) << Err;
+  expectTracesEqual(Tr, Back);
+  // Chunking must be invisible in the bytes: re-encoding with the
+  // default target equals a direct whole-trace encode.
+  EXPECT_EQ(writeTraceV3(Back), writeTraceV3(Tr));
+}
+
+// Serial and parallel decode paths must produce identical traces.
+TEST(TraceIOTest, V3ParallelParseMatchesSerial) {
+  Trace Tr = makeBigTrace(/*NumThreads=*/4, /*SectionsPerThread=*/300);
+  std::vector<uint8_t> Bytes = writeTraceV3(Tr, /*TargetChunkBytes=*/2048);
+  std::string Err;
+  Trace Serial, Parallel;
+  V3ParseOptions SerialOpts;
+  SerialOpts.NumThreads = 1;
+  ASSERT_TRUE(parseTraceV3(Bytes.data(), Bytes.size(), Serial, Err,
+                           SerialOpts))
+      << Err;
+  V3ParseOptions ParallelOpts;
+  ParallelOpts.NumThreads = 4;
+  ASSERT_TRUE(parseTraceV3(Bytes.data(), Bytes.size(), Parallel, Err,
+                           ParallelOpts))
+      << Err;
+  expectTracesEqual(Serial, Parallel);
+  expectTracesEqual(Tr, Parallel);
+}
+
+// v2 -> v3 -> v2 is a golden identity: converting an existing binary
+// trace up to v3 and back reproduces the v2 bytes exactly.
+TEST(TraceIOTest, V2V3ConversionGolden) {
+  Trace Tr = makeRichTrace();
+  std::vector<uint8_t> V2 = writeTraceBinary(Tr);
+  Trace FromV2;
+  std::string Err;
+  ASSERT_TRUE(parseTraceBinary(V2, FromV2, Err)) << Err;
+  std::vector<uint8_t> V3 = writeTraceV3(FromV2);
+  Trace FromV3;
+  ASSERT_TRUE(parseTraceV3(V3.data(), V3.size(), FromV3, Err)) << Err;
+  EXPECT_EQ(writeTraceBinary(FromV3), V2);
+  expectTracesEqual(Tr, FromV3);
+}
+
+TEST(TraceIOTest, V3FileSaveAndAutoDetectLoad) {
+  Trace Tr = makeRichTrace();
+  std::string Path = testing::TempDir() + "/perfplay_trace_io_test.v3trace";
+  std::string Err;
+  ASSERT_TRUE(saveTrace(Tr, Path, Err, TraceFormat::V3)) << Err;
+  // loadTrace sniffs the magic bytes: no format hint needed, in every
+  // loader mode.
+  for (TraceLoadMode Mode :
+       {TraceLoadMode::Auto, TraceLoadMode::Mmap, TraceLoadMode::Stream}) {
+    Trace Back;
+    ASSERT_TRUE(loadTrace(Path, Back, Err, Mode)) << Err;
+    expectTracesEqual(Tr, Back);
+  }
+  // Borrowed names parse straight out of the pinned mapping.
+  {
+    MappedFile File;
+    Trace Borrowed;
+    TraceLoadInfo Info;
+    ASSERT_TRUE(loadTraceKeepMapping(Path, Borrowed, Err, File,
+                                     TraceLoadMode::Mmap,
+                                     NameStorage::Borrowed, &Info))
+        << Err;
+    expectTracesEqual(Tr, Borrowed);
+    EXPECT_EQ(Info.Format, TraceFormat::V3);
+    if (File.isMapped()) {
+      EXPECT_TRUE(Info.UsedMmap);
+      EXPECT_TRUE(Info.BorrowedNames);
+      EXPECT_EQ(Borrowed.Names.stats().OwnedBytes, 0u)
+          << "borrowed parse must not copy names";
+    }
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(TraceIOTest, V3EmptyTraceRoundTrips) {
+  TraceBuilder B;
+  Trace Tr = B.finish();
+  std::vector<uint8_t> Bytes = writeTraceV3(Tr);
+  Trace Back;
+  std::string Err;
+  ASSERT_TRUE(parseTraceV3(Bytes.data(), Bytes.size(), Back, Err)) << Err;
+  EXPECT_EQ(Back.numThreads(), 0u);
+  EXPECT_EQ(writeTraceV3(Back), Bytes);
+}
+
+// WindowedReader must hand out the same events, in the same per-thread
+// order, that the whole-trace parse materializes — stitching its
+// chunks back together reproduces the trace bit-for-bit.
+TEST(TraceIOTest, WindowedReaderStitchesWholeTrace) {
+  Trace Tr = makeBigTrace(/*NumThreads=*/3, /*SectionsPerThread=*/400);
+  std::string Path = testing::TempDir() + "/perfplay_windowed.v3trace";
+  std::string Err;
+  ASSERT_TRUE(saveTraceV3(Tr, Path, Err, /*TargetChunkBytes=*/1024)) << Err;
+
+  WindowedReader R;
+  ASSERT_TRUE(R.open(Path, Err)) << Err;
+  EXPECT_EQ(R.numThreads(), Tr.Threads.size());
+  EXPECT_EQ(R.totalEvents(), Tr.numEvents());
+  EXPECT_GT(R.numChunks(), Tr.Threads.size())
+      << "chunk target too large to exercise chunking";
+
+  std::vector<std::vector<Event>> Streams(R.numThreads());
+  WindowedReader::Chunk C;
+  uint64_t Seen = 0;
+  while (R.next(C, Err)) {
+    ASSERT_LT(C.Thread, Streams.size());
+    Streams[C.Thread].insert(Streams[C.Thread].end(), C.Events.begin(),
+                             C.Events.end());
+    Seen += C.Events.size();
+  }
+  ASSERT_TRUE(Err.empty()) << Err;
+  EXPECT_EQ(Seen, R.totalEvents());
+
+  Trace Stitched = R.tables();
+  Stitched.Threads.resize(Streams.size());
+  for (size_t T = 0; T != Streams.size(); ++T)
+    Stitched.Threads[T].Events = std::move(Streams[T]);
+  Stitched.buildCsIndex();
+  EXPECT_EQ(Stitched.validate(), "");
+  expectTracesEqual(Tr, Stitched);
+
+  // rewind() streams the same chunks again off the already-applied
+  // tables.
+  R.rewind();
+  ASSERT_TRUE(R.next(C, Err)) << Err;
+  EXPECT_EQ(C.Thread, 0u);
+  EXPECT_EQ(C.FirstTs, 0u);
+
+  std::remove(Path.c_str());
 }
 
 // Every loader mode — text, binary-stream, binary-mmap (owned names),

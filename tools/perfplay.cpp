@@ -6,13 +6,16 @@
 // Subcommands:
 //   perfplay list-apps
 //   perfplay generate <app> [--threads N] [--scale S] [--seed N]
-//                     [--out FILE] [--binary]
+//                     [--out FILE] [--format text|binary|v3]
 //   perfplay analyze <trace> [<trace> ...] [--pairs adjacent|all]
 //                    [--races] [--threads N] [--detect-threads N]
 //                    [--no-dedup] [--set-repr auto|sorted|bitset]
+//                    [--window-events N]
 //   perfplay replay <trace> [--scheme orig|elsc|sync|mem] [--seed N]
 //                   [--replays K]
 //   perfplay casestudy <bug1|bug2|mysql> [--threads N] [--scale S]
+//   perfplay convert <trace> [--out FILE]
+//   perfplay stats <trace> [--verbose]
 //
 //===----------------------------------------------------------------------===//
 
@@ -20,6 +23,7 @@
 #include "core/PerfPlay.h"
 #include "sim/Timeline.h"
 #include "support/Format.h"
+#include "support/MappedFile.h"
 #include "support/Stats.h"
 #include "support/Table.h"
 #include "debug/CsvExport.h"
@@ -126,22 +130,30 @@ int usage() {
       "usage:\n"
       "  perfplay list-apps\n"
       "  perfplay generate <app> [--threads N] [--scale S] [--seed N]"
-      " [--out FILE] [--binary]\n"
+      " [--out FILE]\n"
+      "                   [--format text|binary|v3]\n"
       "  perfplay analyze <trace> [<trace> ...] [--pairs adjacent|all]"
       " [--races]\n"
       "                  [--timeline] [--csv] [--progress] [--threads N]\n"
       "                  [--detect-threads N] [--no-dedup]"
       " [--mmap|--no-mmap]\n"
-      "                  [--set-repr auto|sorted|bitset]\n"
+      "                  [--set-repr auto|sorted|bitset]"
+      " [--window-events N]\n"
       "  perfplay replay <trace> [--scheme orig|elsc|sync|mem]"
       " [--seed N] [--replays K]\n"
       "                 [--mmap|--no-mmap]\n"
       "  perfplay casestudy <bug1|bug2|mysql> [--threads N] [--scale S]\n"
-      "  perfplay stats <trace> [--mmap|--no-mmap]\n"
+      "  perfplay convert <trace> [--out FILE] [--mmap|--no-mmap]\n"
+      "  perfplay stats <trace> [--verbose] [--mmap|--no-mmap]\n"
       "options accept both '--name value' and '--name=value';\n"
       "trace files are memory-mapped by default (zero-copy for binary"
       " traces),\n"
-      "--no-mmap streams them through stdio instead\n");
+      "--no-mmap streams them through stdio instead;\n"
+      "analyze --window-events streams a chunked v3 trace through"
+      " bounded-memory\n"
+      "windowed detection (detection only; 0 = one chunk per window);\n"
+      "convert rewrites any trace as chunked v3, in place unless --out"
+      " is given\n");
   return 2;
 }
 
@@ -158,6 +170,36 @@ bool parseSetRepr(const std::string &S, SetRepr &Out) {
     Out = SetRepr::Bitset;
   else {
     std::fprintf(stderr, "error: --set-repr expects auto|sorted|bitset, "
+                         "got '%s'\n",
+                 S.c_str());
+    return false;
+  }
+  return true;
+}
+
+const char *formatName(TraceFormat F) {
+  switch (F) {
+  case TraceFormat::Text:
+    return "text";
+  case TraceFormat::Binary:
+    return "binary";
+  case TraceFormat::V3:
+    return "v3";
+  }
+  return "unknown";
+}
+
+/// Parses the --format value of `generate`.  --binary is kept as a
+/// deprecated alias for --format binary.
+bool parseTraceFormat(const std::string &S, TraceFormat &Out) {
+  if (S == "text")
+    Out = TraceFormat::Text;
+  else if (S == "binary")
+    Out = TraceFormat::Binary;
+  else if (S == "v3")
+    Out = TraceFormat::V3;
+  else {
+    std::fprintf(stderr, "error: --format expects text|binary|v3, "
                          "got '%s'\n",
                  S.c_str());
     return false;
@@ -193,7 +235,11 @@ int cmdGenerate(ArgList &Args) {
   uint64_t Seed = std::strtoull(Args.option("--seed", "42").c_str(),
                                 nullptr, 10);
   std::string Out = Args.option("--out", "");
-  bool Binary = Args.flag("--binary");
+  TraceFormat Format =
+      Args.flag("--binary") ? TraceFormat::Binary : TraceFormat::Text;
+  std::string FormatStr = Args.option("--format", "");
+  if (!FormatStr.empty() && !parseTraceFormat(FormatStr, Format))
+    return 2;
   std::string Name = Args.positional();
   if (Name.empty())
     return usage();
@@ -218,14 +264,14 @@ int cmdGenerate(ArgList &Args) {
     return 1;
   }
   std::string Err;
-  if (!saveTrace(Tr, Out, Err,
-                 Binary ? TraceFormat::Binary : TraceFormat::Text)) {
+  if (!saveTrace(Tr, Out, Err, Format)) {
     std::fprintf(stderr, "error: %s\n", Err.c_str());
     return 1;
   }
-  std::printf("wrote %s: %u threads, %zu events, %zu critical sections\n",
-              Out.c_str(), Tr.numThreads(), Tr.numEvents(),
-              Tr.numCriticalSections());
+  std::printf("wrote %s (%s): %u threads, %zu events, "
+              "%zu critical sections\n",
+              Out.c_str(), formatName(Format), Tr.numThreads(),
+              Tr.numEvents(), Tr.numCriticalSections());
   return 0;
 }
 
@@ -313,6 +359,21 @@ int cmdAnalyze(ArgList &Args) {
   SetRepr Repr;
   if (!parseSetRepr(Args.option("--set-repr", "auto"), Repr))
     return 2;
+  std::string WindowStr = Args.option("--window-events", "");
+  bool Windowed = !WindowStr.empty();
+  uint64_t WindowEvents = 0;
+  if (Windowed) {
+    errno = 0;
+    char *End = nullptr;
+    unsigned long long V = std::strtoull(WindowStr.c_str(), &End, 10);
+    if (End == WindowStr.c_str() || *End != '\0' || errno == ERANGE) {
+      std::fprintf(stderr, "error: --window-events expects a non-negative "
+                           "event count, got '%s'\n",
+                   WindowStr.c_str());
+      return 2;
+    }
+    WindowEvents = V;
+  }
   TraceLoadMode Mode = loadModeFromArgs(Args);
   std::vector<std::string> Paths;
   for (std::string P = Args.positional(); !P.empty();
@@ -335,6 +396,38 @@ int cmdAnalyze(ArgList &Args) {
         std::fprintf(stderr, "[stage] #%zu %s\n", Event.TraceIndex,
                      stageKindName(Event.Stage));
     });
+
+  // Out-of-core mode: stream the v3 trace through bounded-memory
+  // windowed detection (Engine::detectWindowed).  Detection only — the
+  // transform/replay stages need the materialized trace, which is the
+  // point of not having one.
+  if (Windowed) {
+    if (Paths.size() > 1) {
+      std::fprintf(stderr, "error: --window-events analyzes a single "
+                           "trace\n");
+      return 2;
+    }
+    if (Timeline || Csv || Races)
+      std::fprintf(stderr, "warning: --window-events runs detection "
+                           "only; --timeline/--csv/--races ignored\n");
+    Eng.options().WindowEvents = WindowEvents;
+    Expected<DetectResult> ROr = Eng.detectWindowed(Paths[0]);
+    if (!ROr) {
+      std::fprintf(stderr, "error: %s [%s]\n", ROr.message().c_str(),
+                   errorCodeName(ROr.code()));
+      return 1;
+    }
+    const UlcpCounts &C = ROr->Counts;
+    std::printf("ULCPs: %llu (NL=%llu RR=%llu DW=%llu benign=%llu), "
+                "true contention: %llu\n",
+                static_cast<unsigned long long>(C.totalUnnecessary()),
+                static_cast<unsigned long long>(C.NullLock),
+                static_cast<unsigned long long>(C.ReadRead),
+                static_cast<unsigned long long>(C.DisjointWrite),
+                static_cast<unsigned long long>(C.Benign),
+                static_cast<unsigned long long>(C.TrueContention));
+    return 0;
+  }
 
   if (Paths.size() > 1) {
     if (Timeline || Csv)
@@ -460,18 +553,80 @@ int cmdReplay(ArgList &Args) {
 }
 
 int cmdStats(ArgList &Args) {
+  bool Verbose = Args.flag("--verbose");
   TraceLoadMode Mode = loadModeFromArgs(Args);
   std::string Path = Args.positional();
   if (Path.empty())
     return usage();
+  MappedFile File;
   Trace Tr;
   std::string Err;
-  if (!loadTrace(Path, Tr, Err, Mode)) {
+  TraceLoadInfo Info;
+  if (!loadTraceKeepMapping(Path, Tr, Err, File, Mode,
+                            NameStorage::Owned, &Info)) {
     std::fprintf(stderr, "error: %s\n", Err.c_str());
     return 1;
   }
+  if (Verbose) {
+    std::printf("load: format %s, served by %s\n", formatName(Info.Format),
+                Info.UsedMmap ? "mmap (zero-copy)" : "stream loader");
+    if (!Info.MmapDowngradeReason.empty())
+      std::printf("load: mmap downgraded: %s\n",
+                  Info.MmapDowngradeReason.c_str());
+  }
   TraceSummary S = summarizeTrace(Tr);
   std::printf("%s", renderSummary(Tr, S).c_str());
+  return 0;
+}
+
+/// `perfplay convert`: rewrites any readable trace (text, binary, or
+/// v3) as chunked v3.  Without --out the file is replaced atomically —
+/// the v3 bytes land in <path>.tmp first and rename() swaps them in,
+/// so a crash mid-write never clobbers the original.
+int cmdConvert(ArgList &Args) {
+  TraceLoadMode Mode = loadModeFromArgs(Args);
+  std::string Out = Args.option("--out", "");
+  std::string Path = Args.positional();
+  if (Path.empty())
+    return usage();
+  bool InPlace = Out.empty();
+
+  MappedFile File;
+  Trace Tr;
+  std::string Err;
+  TraceLoadInfo Info;
+  // Owned names: the source mapping dies before the rename replaces
+  // the file, so nothing may borrow from it.
+  if (!loadTraceKeepMapping(Path, Tr, Err, File, Mode,
+                            NameStorage::Owned, &Info)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  if (InPlace && Info.Format == TraceFormat::V3) {
+    std::printf("%s is already chunked v3; nothing to do\n", Path.c_str());
+    return 0;
+  }
+
+  std::string Dest = InPlace ? Path + ".tmp" : Out;
+  if (!saveTrace(Tr, Dest, Err, TraceFormat::V3)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    if (InPlace)
+      std::remove(Dest.c_str());
+    return 1;
+  }
+  if (InPlace) {
+    if (std::rename(Dest.c_str(), Path.c_str()) != 0) {
+      std::fprintf(stderr, "error: cannot replace %s: %s\n", Path.c_str(),
+                   std::strerror(errno));
+      std::remove(Dest.c_str());
+      return 1;
+    }
+    Dest = Path;
+  }
+  std::printf("converted %s (%s) -> %s (v3): %u threads, %zu events, "
+              "%zu critical sections\n",
+              Path.c_str(), formatName(Info.Format), Dest.c_str(),
+              Tr.numThreads(), Tr.numEvents(), Tr.numCriticalSections());
   return 0;
 }
 
@@ -551,5 +706,7 @@ int main(int Argc, char **Argv) {
     return cmdCaseStudy(Args);
   if (Cmd == "stats")
     return cmdStats(Args);
+  if (Cmd == "convert")
+    return cmdConvert(Args);
   return usage();
 }
