@@ -86,9 +86,13 @@ inline const Table3Row PaperTable3[11] = {
     {"x264", 0.050, 0.019},
 };
 
-/// Finds an application model by name; returns nullptr if unknown.
+/// Finds an application model by name (the paper's sixteen plus the
+/// synthetic corpora); returns nullptr if unknown.
 inline const AppModel *findApp(const std::string &Name) {
   for (const AppModel &App : allApps())
+    if (App.Name == Name)
+      return &App;
+  for (const AppModel &App : syntheticApps())
     if (App.Name == Name)
       return &App;
   return nullptr;

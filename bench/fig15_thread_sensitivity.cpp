@@ -9,6 +9,9 @@
 
 #include "BenchUtil.h"
 
+#include "detect/CriticalSection.h"
+#include "sim/LockElision.h"
+#include "sim/Replayer.h"
 #include "support/Format.h"
 #include "support/Table.h"
 
@@ -16,6 +19,17 @@
 
 using namespace perfplay;
 using namespace perfplay::bench;
+
+/// Speculation total over the lock replay's total ("x0.94" = 6%
+/// faster than locks at that thread count).
+static std::string formatRatio(TimeNs Spec, TimeNs Orig) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "x%.3f",
+                Orig ? static_cast<double>(Spec) /
+                           static_cast<double>(Orig)
+                     : 0.0);
+  return Buf;
+}
 
 int main() {
   std::printf("Figure 15: ULCP impact vs thread count.\n\n");
@@ -25,10 +39,13 @@ int main() {
   Loss.addRow({"threads", "canneal", "bodytrack", "fluidanimate"});
   Table Waste;
   Waste.addRow({"threads", "canneal", "bodytrack", "fluidanimate"});
+  Table Spec;
+  Spec.addRow({"threads", "canneal", "bodytrack", "fluidanimate"});
 
   for (unsigned Threads : {2u, 4u, 6u, 8u}) {
     std::vector<std::string> LossRow = {std::to_string(Threads)};
     std::vector<std::string> WasteRow = {std::to_string(Threads)};
+    std::vector<std::string> SpecRow = {std::to_string(Threads)};
     for (const char *Name : Apps) {
       const AppModel *App = findApp(Name);
       PipelineResult R = runAppPipeline(*App, Threads, 1.0,
@@ -41,13 +58,30 @@ int main() {
       LossRow.push_back(formatPercent(R.Report.normalizedDegradation()));
       WasteRow.push_back(
           formatPercent(R.Report.normalizedCpuWastePerThread()));
+
+      // HTM baseline at the same thread count: conflict aborts scale
+      // with contention, so the ratio degrades where loss grows.
+      Trace Tr = generateWorkload(App->Factory(Threads, 1.0));
+      ReplayResult Rec = recordGrantSchedule(Tr, 42);
+      if (!Rec.ok()) {
+        std::fprintf(stderr, "%s@%u: %s\n", Name, Threads,
+                     Rec.Error.c_str());
+        return 1;
+      }
+      CsIndex Index = CsIndex::build(Tr);
+      ReplayResult Orig = replayTrace(Tr, ReplayOptions());
+      HtmResult Htm = simulateHtm(Tr, Index);
+      SpecRow.push_back(formatRatio(Htm.TotalTime, Orig.TotalTime));
     }
     Loss.addRow(LossRow);
     Waste.addRow(WasteRow);
+    Spec.addRow(SpecRow);
   }
   std::printf("(a) performance loss vs threads\n%s\n",
               Loss.render().c_str());
-  std::printf("(b) CPU wasting per thread vs threads\n%s",
+  std::printf("(b) CPU wasting per thread vs threads\n%s\n",
               Waste.render().c_str());
+  std::printf("(c) HTM speculation time / lock replay vs threads\n%s",
+              Spec.render().c_str());
   return 0;
 }

@@ -51,11 +51,45 @@ bool reprIntersects(const std::vector<AddrId> &AV, const AddrSet &AS,
   return sortedIntersects(AV, BV);
 }
 
+/// True when one section waited on a condvar the other signaled: the
+/// pair is causally ordered by the condition variable, so the lock
+/// contention between them is load-bearing — never an ULCP.
+bool condOrdered(const CriticalSection &C1, const CriticalSection &C2) {
+  auto intersects = [](const std::vector<LockId> &A,
+                       const std::vector<LockId> &B) {
+    size_t I = 0, J = 0;
+    while (I != A.size() && J != B.size()) {
+      if (A[I] < B[J])
+        ++I;
+      else if (B[J] < A[I])
+        ++J;
+      else
+        return true;
+    }
+    return false;
+  };
+  return intersects(C1.CondWaits, C2.CondSignals) ||
+         intersects(C2.CondWaits, C1.CondSignals);
+}
+
 } // namespace
 
 UlcpKind perfplay::classifyPairStatic(const CriticalSection &C1,
                                       const CriticalSection &C2,
                                       SetRepr Repr) {
+  // A wait/signal edge between the sections means their ordering is
+  // semantically required; report true contention without looking at
+  // memory (and classifyPair skips the reversed replay, which would
+  // wrongly call a value-commuting but causally ordered pair benign).
+  if (condOrdered(C1, C2))
+    return UlcpKind::TrueContention;
+
+  // Two reader-side (Shared-mode) sections on the same rwlock never
+  // exclude each other — the pair is ULCP-free by construction,
+  // regardless of what the sections read.
+  if (C1.Mode == AcquireMode::Shared && C2.Mode == AcquireMode::Shared)
+    return UlcpKind::ReadRead;
+
   // Line 1: a pair is a null-lock when either section touches no shared
   // memory at all.
   if ((C1.readsEmpty() && C1.writesEmpty()) ||
@@ -89,6 +123,11 @@ UlcpKind perfplay::classifyPair(const Trace &Tr, const MemoryImage &Initial,
   UlcpKind Static = classifyPairStatic(C1, C2, Repr);
   if (Static != UlcpKind::TrueContention)
     return Static;
+  // A condvar wait/signal edge is a semantic ordering: the reversed
+  // replay could find the swapped execution value-identical and call
+  // the pair benign, but reordering it would still break the program.
+  if (condOrdered(C1, C2))
+    return UlcpKind::TrueContention;
   if (isBenignPair(Tr, Initial, C1, C2))
     return UlcpKind::Benign;
   return UlcpKind::TrueContention;

@@ -7,16 +7,18 @@
 
 using namespace perfplay;
 
-static void sortUnique(std::vector<AddrId> &V) {
+template <typename T> static void sortUnique(std::vector<T> &V) {
   std::sort(V.begin(), V.end());
   V.erase(std::unique(V.begin(), V.end()), V.end());
 }
 
 CsIndex CsIndex::build(const Trace &Tr) {
   CsIndex Index;
+  Index.TryFailPerLock.assign(Tr.Locks.size(), 0);
 
-  // First pass: create one record per acquire, in global-id order, and
-  // fill read/write sets for every enclosing open section.
+  // First pass: create one record per section-opening event, in
+  // global-id order, and fill read/write sets for every enclosing open
+  // section.
   for (ThreadId T = 0; T != Tr.Threads.size(); ++T) {
     const auto &Events = Tr.Threads[T].Events;
     std::vector<size_t> OpenStack; // Indices into Index.Sections.
@@ -26,11 +28,21 @@ CsIndex CsIndex::build(const Trace &Tr) {
     for (size_t I = 0; I != Events.size(); ++I) {
       const Event &E = Events[I];
       switch (E.Kind) {
-      case EventKind::LockAcquire: {
+      case EventKind::LockAcquire:
+      case EventKind::RwAcquireRead:
+      case EventKind::RwAcquireWrite:
+      case EventKind::TryAcquire: {
+        if (!isSectionOpen(E)) {
+          // A failed trylock opens nothing but is a witnessed
+          // contention edge on the lock.
+          ++Index.TryFailPerLock[E.Lock];
+          break;
+        }
         CriticalSection Cs;
         Cs.Ref = CsRef{T, NextIndex++};
         Cs.Lock = E.Lock;
         Cs.Site = E.Site;
+        Cs.Mode = acquireModeOf(E);
         Cs.AcquireIdx = I;
         Cs.Depth = static_cast<unsigned>(OpenStack.size());
         Index.Sections.push_back(std::move(Cs));
@@ -58,6 +70,15 @@ CsIndex CsIndex::build(const Trace &Tr) {
         for (size_t Open : OpenStack)
           Index.Sections[Open].InnerCost += E.Cost;
         break;
+      case EventKind::CondWait:
+        for (size_t Open : OpenStack)
+          Index.Sections[Open].CondWaits.push_back(E.Lock);
+        break;
+      case EventKind::CondSignal:
+      case EventKind::CondBroadcast:
+        for (size_t Open : OpenStack)
+          Index.Sections[Open].CondSignals.push_back(E.Lock);
+        break;
       case EventKind::ThreadStart:
       case EventKind::ThreadEnd:
         break;
@@ -74,6 +95,8 @@ CsIndex CsIndex::build(const Trace &Tr) {
     assert(Cs.GlobalId == I && "global-id enumeration mismatch");
     sortUnique(Cs.Reads);
     sortUnique(Cs.Writes);
+    sortUnique(Cs.CondWaits);
+    sortUnique(Cs.CondSignals);
     // The bitset form is derived once here so every downstream
     // intersection (classification, restricted replay images) can take
     // the word-parallel path without re-canonicalizing.  Tiny sections

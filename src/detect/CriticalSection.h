@@ -39,11 +39,22 @@ struct CriticalSection {
   uint32_t GlobalId = InvalidId;
   LockId Lock = InvalidId;
   CodeSiteId Site = InvalidId;
+  /// Acquisition mode of the opening event: Shared for rwlock readers
+  /// (two Shared sections on the same lock never exclude each other,
+  /// so reader-reader pairs are ULCP-free by construction), Exclusive
+  /// for everything else.
+  AcquireMode Mode = AcquireMode::Exclusive;
   /// Indices of the acquire / matching release in the thread stream.
   size_t AcquireIdx = 0;
   size_t ReleaseIdx = 0;
   /// Lock-nesting depth of the acquire (0 = outermost).
   unsigned Depth = 0;
+  /// Sorted, de-duplicated condvar ids this section waited on /
+  /// signaled (broadcast counts as signal).  A wait in one section and
+  /// the matching signal in another orders the two sections causally —
+  /// such pairs are true contention, never ULCPs, and skip replay.
+  std::vector<LockId> CondWaits;
+  std::vector<LockId> CondSignals;
   /// Sorted, de-duplicated shared addresses read / written between the
   /// acquire and its matching release (nested sections included).
   std::vector<AddrId> Reads;
@@ -112,9 +123,24 @@ public:
     return static_cast<unsigned>(PerLock.size());
   }
 
+  /// Failed trylock attempts per lock: contention witnessed on the
+  /// lock without a critical section ever opening.  Sized numLocks().
+  const std::vector<uint64_t> &tryFailPerLock() const {
+    return TryFailPerLock;
+  }
+
+  /// Total failed trylock attempts across all locks.
+  uint64_t tryFailEdges() const {
+    uint64_t N = 0;
+    for (uint64_t C : TryFailPerLock)
+      N += C;
+    return N;
+  }
+
 private:
   std::vector<CriticalSection> Sections;
   std::vector<std::vector<uint32_t>> PerLock;
+  std::vector<uint64_t> TryFailPerLock;
 };
 
 } // namespace perfplay

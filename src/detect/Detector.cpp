@@ -259,5 +259,7 @@ DetectResult perfplay::detectUlcps(const Trace &Tr, const CsIndex &Index,
   Result.Stats.NumSectionKeys = Ctx.Keys.NumKeys;
   Result.Stats.NumClassified =
       Ctx.NumClassified.load(std::memory_order_relaxed);
+  Result.TryFailPerLock = Index.tryFailPerLock();
+  Result.TryFailEdges = Index.tryFailEdges();
   return Result;
 }

@@ -100,6 +100,13 @@ struct DetectResult {
   std::vector<UlcpPair> Pairs;
   UlcpCounts Counts;
   DetectStats Stats;
+  /// Failed trylock attempts per lock (sized to the trace's lock
+  /// table): contention edges witnessed on the lock without any
+  /// critical section opening, so they participate in per-lock
+  /// contention accounting but never in pair classification.
+  std::vector<uint64_t> TryFailPerLock;
+  /// Total failed trylock attempts across all locks.
+  uint64_t TryFailEdges = 0;
 
   /// Only the unnecessary pairs (everything but TrueContention).
   std::vector<UlcpPair> unnecessaryPairs() const;

@@ -32,6 +32,12 @@ Signature signatureOf(const Trace &Tr, const CriticalSection &Cs) {
   Sig.Words.reserve(2 + (Cs.ReleaseIdx - Cs.AcquireIdx) * 2);
   Sig.Words.push_back(Cs.Lock);
   Sig.Words.push_back(Cs.Site);
+  // Shared-mode (rwlock reader) sections classify differently from
+  // exclusive ones at identical bodies, so the mode is part of the
+  // key.  The marker is emitted only for Shared so mutex-only
+  // signatures stay word-identical to the pre-rwlock format.
+  if (Cs.Mode == AcquireMode::Shared)
+    Sig.Words.push_back(5);
   for (size_t I = Cs.AcquireIdx + 1; I != Cs.ReleaseIdx; ++I) {
     const Event &E = Events[I];
     if (E.Kind == EventKind::Read) {
@@ -41,6 +47,13 @@ Signature signatureOf(const Trace &Tr, const CriticalSection &Cs) {
       Sig.Words.push_back(2 | (static_cast<uint64_t>(E.Op) << 8));
       Sig.Words.push_back(E.Addr);
       Sig.Words.push_back(E.Value);
+    } else if (E.Kind == EventKind::CondWait) {
+      Sig.Words.push_back(3);
+      Sig.Words.push_back(E.Lock);
+    } else if (E.Kind == EventKind::CondSignal ||
+               E.Kind == EventKind::CondBroadcast) {
+      Sig.Words.push_back(4);
+      Sig.Words.push_back(E.Lock);
     }
     // Nested acquire/release and Compute events are invisible to both
     // Algorithm 1 and the reversed replay.

@@ -55,11 +55,14 @@ struct SignatureHash {
 /// stream [acquire .. release]; the walk covers the exclusive interior,
 /// mirroring signatureOf's (AcquireIdx, ReleaseIdx) range.
 Signature signatureOfBuffer(LockId Lock, CodeSiteId Site,
+                            AcquireMode Mode,
                             const std::vector<Event> &Buf) {
   Signature Sig;
   Sig.Words.reserve(2 + (Buf.size() - 2) * 2);
   Sig.Words.push_back(Lock);
   Sig.Words.push_back(Site);
+  if (Mode == AcquireMode::Shared)
+    Sig.Words.push_back(5);
   for (size_t I = 1; I + 1 < Buf.size(); ++I) {
     const Event &E = Buf[I];
     if (E.Kind == EventKind::Read) {
@@ -69,12 +72,19 @@ Signature signatureOfBuffer(LockId Lock, CodeSiteId Site,
       Sig.Words.push_back(2 | (static_cast<uint64_t>(E.Op) << 8));
       Sig.Words.push_back(E.Addr);
       Sig.Words.push_back(E.Value);
+    } else if (E.Kind == EventKind::CondWait) {
+      Sig.Words.push_back(3);
+      Sig.Words.push_back(E.Lock);
+    } else if (E.Kind == EventKind::CondSignal ||
+               E.Kind == EventKind::CondBroadcast) {
+      Sig.Words.push_back(4);
+      Sig.Words.push_back(E.Lock);
     }
   }
   return Sig;
 }
 
-void sortUnique(std::vector<AddrId> &V) {
+template <typename T> void sortUnique(std::vector<T> &V) {
   std::sort(V.begin(), V.end());
   V.erase(std::unique(V.begin(), V.end()), V.end());
 }
@@ -116,7 +126,7 @@ void WindowedDetector::noteAccess(ThreadId T, const Event &E) {
 uint32_t WindowedDetector::closeSection(OpenSection &&Top) {
   ++TotalSections;
   OpenEvents -= Top.Buf.size();
-  Signature Sig = signatureOfBuffer(Top.Lock, Top.Site, Top.Buf);
+  Signature Sig = signatureOfBuffer(Top.Lock, Top.Site, Top.Mode, Top.Buf);
   auto It = Signatures->Interned.emplace(std::move(Sig), NumKeys);
   uint32_t Key = It.first->second;
   if (It.second) {
@@ -132,6 +142,7 @@ uint32_t WindowedDetector::closeSection(OpenSection &&Top) {
     Rep.GlobalId = Key;
     Rep.Lock = Top.Lock;
     Rep.Site = Top.Site;
+    Rep.Mode = Top.Mode;
     Rep.AcquireIdx = Start;
     Rep.ReleaseIdx = Start + Top.Buf.size() - 1;
     for (size_t I = Rep.AcquireIdx + 1; I != Rep.ReleaseIdx; ++I) {
@@ -140,9 +151,16 @@ uint32_t WindowedDetector::closeSection(OpenSection &&Top) {
         Rep.Reads.push_back(E.Addr);
       else if (E.Kind == EventKind::Write)
         Rep.Writes.push_back(E.Addr);
+      else if (E.Kind == EventKind::CondWait)
+        Rep.CondWaits.push_back(E.Lock);
+      else if (E.Kind == EventKind::CondSignal ||
+               E.Kind == EventKind::CondBroadcast)
+        Rep.CondSignals.push_back(E.Lock);
     }
     sortUnique(Rep.Reads);
     sortUnique(Rep.Writes);
+    sortUnique(Rep.CondWaits);
+    sortUnique(Rep.CondSignals);
     // Same gate as CsIndex::build: only sections wide enough for the
     // word-parallel intersection path carry bitmap mirrors.
     if (Rep.Reads.size() > CriticalSection::TinySetMax ||
@@ -172,16 +190,21 @@ bool WindowedDetector::addEvents(ThreadId T, const Event *Events, size_t N,
       Open.Buf.push_back(E);
     OpenEvents += TS.Stack.size();
 
-    if (E.Kind == EventKind::LockAcquire) {
+    if (isSectionOpen(E)) {
       OpenSection Open;
       Open.PerThreadIdx = static_cast<uint32_t>(TS.Locks.size());
       Open.Lock = E.Lock;
       Open.Site = E.Site;
+      Open.Mode = acquireModeOf(E);
       Open.Buf.push_back(E);
       ++OpenEvents;
       TS.Stack.push_back(std::move(Open));
       TS.Locks.push_back(E.Lock);
       TS.KeyIds.push_back(InvalidId);
+    } else if (E.Kind == EventKind::TryAcquire) {
+      // A failed trylock (isSectionOpen is false) opens nothing; fold
+      // it into the per-lock failure counts finish() emits.
+      ++TryFails[E.Lock];
     } else if (E.Kind == EventKind::LockRelease) {
       if (TS.Stack.empty()) {
         StreamErr = "windowed detection: lock release without matching "
@@ -232,6 +255,15 @@ bool WindowedDetector::finish(const Trace &Tables, DetectResult &Out,
         Err = "windowed detection: acquire references undefined lock";
         return false;
       }
+  bool BadTryLock = false;
+  TryFails.forEach([&](LockId L, const uint64_t &) {
+    if (L == InvalidId || L >= NumLocks)
+      BadTryLock = true;
+  });
+  if (BadTryLock) {
+    Err = "windowed detection: trylock references undefined lock";
+    return false;
+  }
 
   // Global ids: thread-major acquire ordinals (Trace::globalCsId).
   std::vector<uint64_t> Prefix(Threads.size() + 1, 0);
@@ -353,5 +385,11 @@ bool WindowedDetector::finish(const Trace &Tables, DetectResult &Out,
 
   Out.Stats.NumSectionKeys = Opts.DedupPairs ? NumKeys : 0;
   Out.Stats.NumClassified = NumClassified;
+  Out.TryFailPerLock.assign(NumLocks, 0);
+  Out.TryFailEdges = 0;
+  TryFails.forEach([&](LockId L, const uint64_t &N) {
+    Out.TryFailPerLock[L] = N;
+    Out.TryFailEdges += N;
+  });
   return true;
 }

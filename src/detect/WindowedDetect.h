@@ -119,6 +119,9 @@ private:
     uint32_t PerThreadIdx = 0;
     LockId Lock = InvalidId;
     CodeSiteId Site = InvalidId;
+    /// Acquisition mode of the opening event (Shared for rwlock
+    /// readers); part of the signature and the representative.
+    AcquireMode Mode = AcquireMode::Exclusive;
     std::vector<Event> Buf;
   };
 
@@ -163,6 +166,10 @@ private:
   /// Incremental MemoryImage::initialOf state (only maintained when
   /// the options request the reversed replay).
   FlatMap<AddrId, FirstAccess> First;
+
+  /// Failed trylock attempts per lock, folded as the stream arrives
+  /// (the lock table is unknown until finish(), hence a map).
+  FlatMap<LockId, uint64_t> TryFails;
 };
 
 } // namespace perfplay

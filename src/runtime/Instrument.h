@@ -36,6 +36,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 
 namespace perfplay {
@@ -63,6 +64,14 @@ public:
     R.onAcquired(T, Id, Site);
   }
 
+  /// Trylock: never waits, records the attempt either way (a failed
+  /// try is a contention witness, a successful one opens a section).
+  bool tryLock(ThreadId T, CodeSiteId Site = InvalidId) TRY_ACQUIRE(true) {
+    bool Ok = Mu.try_lock();
+    R.onTryAcquire(T, Id, Site, Ok, AcquireMode::Exclusive);
+    return Ok;
+  }
+
   /// Releases.
   void unlock(ThreadId T) RELEASE() {
     Mu.unlock();
@@ -76,6 +85,64 @@ private:
   Recorder &R;
   LockId Id;
   std::mutex Mu;
+};
+
+/// A reader/writer lock that records its acquisitions with their mode:
+/// writer sections pair like plain mutex sections, reader sections open
+/// in AcquireMode::Shared and reader-reader pairs are ULCP-free by the
+/// detector's static rule.
+class CAPABILITY("shared_mutex") RecordingSharedMutex {
+public:
+  RecordingSharedMutex(Recorder &R, std::string Name)
+      : R(R), Id(R.registerLock(std::move(Name))) {}
+
+  RecordingSharedMutex(const RecordingSharedMutex &) = delete;
+  RecordingSharedMutex &operator=(const RecordingSharedMutex &) = delete;
+
+  /// Writer acquire, recording wait separately from computation.
+  void lock(ThreadId T, CodeSiteId Site = InvalidId) ACQUIRE() {
+    R.onAcquireStart(T);
+    Mu.lock();
+    R.onRwAcquiredWrite(T, Id, Site);
+  }
+
+  void unlock(ThreadId T) RELEASE() {
+    Mu.unlock();
+    R.onRelease(T, Id);
+  }
+
+  /// Reader acquire (concurrent holders allowed).
+  void lockShared(ThreadId T, CodeSiteId Site = InvalidId)
+      ACQUIRE_SHARED() {
+    R.onAcquireStart(T);
+    Mu.lock_shared();
+    R.onRwAcquiredRead(T, Id, Site);
+  }
+
+  void unlockShared(ThreadId T) RELEASE_SHARED() {
+    Mu.unlock_shared();
+    R.onRelease(T, Id);
+  }
+
+  bool tryLock(ThreadId T, CodeSiteId Site = InvalidId) TRY_ACQUIRE(true) {
+    bool Ok = Mu.try_lock();
+    R.onTryAcquire(T, Id, Site, Ok, AcquireMode::Exclusive);
+    return Ok;
+  }
+
+  bool tryLockShared(ThreadId T, CodeSiteId Site = InvalidId)
+      TRY_ACQUIRE_SHARED(true) {
+    bool Ok = Mu.try_lock_shared();
+    R.onTryAcquire(T, Id, Site, Ok, AcquireMode::Shared);
+    return Ok;
+  }
+
+  LockId id() const { return Id; }
+
+private:
+  Recorder &R;
+  LockId Id;
+  std::shared_mutex Mu;
 };
 
 /// RAII critical section over a RecordingMutex.
@@ -96,6 +163,42 @@ private:
   ThreadId T;
 };
 
+/// RAII reader section over a RecordingSharedMutex.
+class SCOPED_CAPABILITY RecordedReadSection {
+public:
+  RecordedReadSection(RecordingSharedMutex &Mu, ThreadId T,
+                      CodeSiteId Site = InvalidId) ACQUIRE_SHARED(Mu)
+      : Mu(Mu), T(T) {
+    Mu.lockShared(T, Site);
+  }
+  ~RecordedReadSection() RELEASE_GENERIC() { Mu.unlockShared(T); }
+
+  RecordedReadSection(const RecordedReadSection &) = delete;
+  RecordedReadSection &operator=(const RecordedReadSection &) = delete;
+
+private:
+  RecordingSharedMutex &Mu;
+  ThreadId T;
+};
+
+/// RAII writer section over a RecordingSharedMutex.
+class SCOPED_CAPABILITY RecordedWriteSection {
+public:
+  RecordedWriteSection(RecordingSharedMutex &Mu, ThreadId T,
+                       CodeSiteId Site = InvalidId) ACQUIRE(Mu)
+      : Mu(Mu), T(T) {
+    Mu.lock(T, Site);
+  }
+  ~RecordedWriteSection() RELEASE() { Mu.unlock(T); }
+
+  RecordedWriteSection(const RecordedWriteSection &) = delete;
+  RecordedWriteSection &operator=(const RecordedWriteSection &) = delete;
+
+private:
+  RecordingSharedMutex &Mu;
+  ThreadId T;
+};
+
 /// A condition variable that records the lock dance of
 /// pthread_cond_wait (Appendix Case 1): the wait releases the lock
 /// (closing the critical section), sleeps without charging
@@ -103,6 +206,16 @@ private:
 /// null-lock, which is exactly the ULCP the paper's Case 1 describes).
 class RecordingCondition {
 public:
+  /// Anonymous condvar: the lock dance is recorded, but no
+  /// CondWait/CondSignal ordering events appear in the trace.
+  RecordingCondition() = default;
+
+  /// Named condvar registered in \p R's lock table: waits and signals
+  /// additionally emit CondWait / CondSignal / CondBroadcast events,
+  /// giving the detector the causal wait-signal ordering edge.
+  RecordingCondition(Recorder &R, std::string Name)
+      : Rec(&R), Id(R.registerCondition(std::move(Name))) {}
+
   /// Waits until \p Pred holds.  \p Mu must be held by \p T; on return
   /// it is held again and the trace shows release / re-acquire events.
   /// (The analysis models the wait as holding \p Mu throughout, like
@@ -114,7 +227,21 @@ public:
   void notifyOne() { Cv.notify_one(); }
   void notifyAll() { Cv.notify_all(); }
 
+  /// Recorded variants: emit the signal event, then wake.
+  void notifyOne(ThreadId T) {
+    if (Rec)
+      Rec->onCondSignal(T, Id);
+    Cv.notify_one();
+  }
+  void notifyAll(ThreadId T) {
+    if (Rec)
+      Rec->onCondBroadcast(T, Id);
+    Cv.notify_all();
+  }
+
 private:
+  Recorder *Rec = nullptr;
+  LockId Id = InvalidId;
   std::condition_variable_any Cv;
 };
 
@@ -164,6 +291,10 @@ private:
 template <typename Pred>
 void RecordingCondition::wait(RecordingMutex &Mu, ThreadId T, Pred P,
                               CodeSiteId ReacquireSite) {
+  // The ordering edge attaches to the section that decided to sleep,
+  // so the wait event lands before the section closes.
+  if (Rec)
+    Rec->onCondWait(T, Id, ReacquireSite);
   // Trace view: the current critical section closes here...
   Mu.R.onRelease(T, Mu.Id);
   Mu.R.onAcquireStart(T); // ...and the sleep is waiting, not compute.

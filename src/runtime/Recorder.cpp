@@ -18,6 +18,10 @@ LockId Recorder::registerLock(std::string Name, bool IsSpin) {
   return static_cast<LockId>(Result.Locks.size() - 1);
 }
 
+LockId Recorder::registerCondition(std::string Name) {
+  return registerLock(std::move(Name));
+}
+
 CodeSiteId Recorder::registerSite(std::string File, std::string Function,
                                   uint32_t BeginLine, uint32_t EndLine) {
   MutexLock Guard(Registry);
@@ -75,7 +79,7 @@ void Recorder::onAcquireStart(ThreadId T) {
   Log.WaitStart = Now;
 }
 
-void Recorder::onAcquired(ThreadId T, LockId Lock, CodeSiteId Site) {
+void Recorder::finishAcquire(ThreadId T, LockId Lock, const Event &E) {
   PerThread &Log = threadLog(T);
   auto Now = Clock::now();
   if (Log.Waiting) {
@@ -86,13 +90,56 @@ void Recorder::onAcquired(ThreadId T, LockId Lock, CodeSiteId Site) {
   } else {
     flushCompute(Log, Now);
   }
-  Log.Events.push_back(Event::lockAcquire(Lock, Site));
+  Log.Events.push_back(E);
   {
     // We already hold the recorded lock here, so this registry lock
     // cannot invert the observed grant order for a given lock.
     MutexLock Guard(Registry);
     GrantLog.push_back({Lock, T});
   }
+}
+
+void Recorder::onAcquired(ThreadId T, LockId Lock, CodeSiteId Site) {
+  finishAcquire(T, Lock, Event::lockAcquire(Lock, Site));
+}
+
+void Recorder::onRwAcquiredRead(ThreadId T, LockId Lock, CodeSiteId Site) {
+  finishAcquire(T, Lock, Event::rwAcquireRead(Lock, Site));
+}
+
+void Recorder::onRwAcquiredWrite(ThreadId T, LockId Lock,
+                                 CodeSiteId Site) {
+  finishAcquire(T, Lock, Event::rwAcquireWrite(Lock, Site));
+}
+
+void Recorder::onTryAcquire(ThreadId T, LockId Lock, CodeSiteId Site,
+                            bool Succeeded, AcquireMode Mode) {
+  if (Succeeded) {
+    finishAcquire(T, Lock, Event::tryAcquire(Lock, Site, true, Mode));
+    return;
+  }
+  // A failed try never waited and opens nothing: just the witness.
+  PerThread &Log = threadLog(T);
+  flushCompute(Log, Clock::now());
+  Log.Events.push_back(Event::tryAcquire(Lock, Site, false, Mode));
+}
+
+void Recorder::onCondWait(ThreadId T, LockId Cond, CodeSiteId Site) {
+  PerThread &Log = threadLog(T);
+  flushCompute(Log, Clock::now());
+  Log.Events.push_back(Event::condWait(Cond, Site));
+}
+
+void Recorder::onCondSignal(ThreadId T, LockId Cond) {
+  PerThread &Log = threadLog(T);
+  flushCompute(Log, Clock::now());
+  Log.Events.push_back(Event::condSignal(Cond));
+}
+
+void Recorder::onCondBroadcast(ThreadId T, LockId Cond) {
+  PerThread &Log = threadLog(T);
+  flushCompute(Log, Clock::now());
+  Log.Events.push_back(Event::condBroadcast(Cond));
 }
 
 void Recorder::onRelease(ThreadId T, LockId Lock) {

@@ -51,6 +51,10 @@ public:
   /// Registers a lock; thread-safe.
   LockId registerLock(std::string Name, bool IsSpin = false);
 
+  /// Registers a condition variable; condvars share the lock table
+  /// (CondWait/CondSignal events reference them by LockId).
+  LockId registerCondition(std::string Name);
+
   /// Registers (or re-finds) a code site; thread-safe, deduplicated.
   CodeSiteId registerSite(std::string File, std::string Function,
                           uint32_t BeginLine, uint32_t EndLine);
@@ -66,8 +70,32 @@ public:
   /// The wait since onAcquireStart is *not* recorded as computation.
   void onAcquired(ThreadId T, LockId Lock, CodeSiteId Site);
 
+  /// Hook: the thread now holds \p Lock as an rwlock reader (call with
+  /// the lock held); opens an AcquireMode::Shared section.
+  void onRwAcquiredRead(ThreadId T, LockId Lock, CodeSiteId Site);
+
+  /// Hook: the thread now holds \p Lock as an rwlock writer.
+  void onRwAcquiredWrite(ThreadId T, LockId Lock, CodeSiteId Site);
+
+  /// Hook: a trylock attempt on \p Lock just returned \p Succeeded.
+  /// Trylocks never wait, so there is no onAcquireStart counterpart; a
+  /// successful try opens a section like the blocking acquire, a
+  /// failed one records only the contention witness.
+  void onTryAcquire(ThreadId T, LockId Lock, CodeSiteId Site,
+                    bool Succeeded,
+                    AcquireMode Mode = AcquireMode::Exclusive);
+
   /// Hook: the thread released \p Lock (call right after unlocking).
   void onRelease(ThreadId T, LockId Lock);
+
+  /// Hook: the thread is about to sleep on condvar \p Cond (emit while
+  /// the protecting critical section is still open, so the ordering
+  /// edge attaches to the section that decided to sleep).
+  void onCondWait(ThreadId T, LockId Cond, CodeSiteId Site);
+
+  /// Hook: the thread signaled / broadcast condvar \p Cond.
+  void onCondSignal(ThreadId T, LockId Cond);
+  void onCondBroadcast(ThreadId T, LockId Cond);
 
   /// Hook: shared read of \p Addr observing \p Value.
   void onRead(ThreadId T, AddrId Addr, uint64_t Value);
@@ -120,6 +148,11 @@ private:
   /// Emits the computation elapsed on \p Log's thread since its last
   /// event.  Caller must own \p Log (i.e. be its registered thread).
   void flushCompute(PerThread &Log, Clock::time_point Now);
+
+  /// Shared tail of the acquired hooks: closes the wait (or flushes
+  /// compute), logs \p E and appends to the grant order.
+  void finishAcquire(ThreadId T, LockId Lock, const Event &E)
+      EXCLUDES(Registry);
 
   /// Serializes registration, the grant log, checkpoints and
   /// finish().  Leaf lock; see the file comment for the hierarchy.

@@ -44,6 +44,14 @@ struct CostModel {
   /// Per-entry END-flag check DLS performs while pruning (Figure 9's
   /// initialization loop) — a cheap boolean load per source.
   TimeNs LocksetEndCheck = 2;
+  /// A trylock attempt that fails: the atomic compare-exchange and the
+  /// caller's fallback branch, with no handoff or queueing.
+  TimeNs TryLockFail = 20;
+  /// Parking and unparking around a condition-variable wait (the
+  /// sleep itself is modeled by the replay's ordering, not a cost).
+  TimeNs CondWait = 50;
+  /// Signaling / broadcasting a condition variable.
+  TimeNs CondSignal = 10;
 };
 
 } // namespace perfplay

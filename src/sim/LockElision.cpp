@@ -22,7 +22,8 @@ struct Speculation {
   bool FellBack = false;
 };
 
-/// Body cost of a section (compute + memory between acquire/release).
+/// Body cost of a section (compute + memory + condvar traffic between
+/// acquire/release; a failed interior trylock pays its failure cost).
 TimeNs bodyCost(const Trace &Tr, const CriticalSection &Cs,
                 const CostModel &Costs) {
   TimeNs Total = 0;
@@ -33,8 +34,69 @@ TimeNs bodyCost(const Trace &Tr, const CriticalSection &Cs,
       Total += E.Cost;
     else if (E.Kind == EventKind::Read || E.Kind == EventKind::Write)
       Total += Costs.MemAccess;
+    else if (E.Kind == EventKind::TryAcquire && !E.TrySucceeded)
+      Total += Costs.TryLockFail;
+    else if (E.Kind == EventKind::CondWait)
+      Total += Costs.CondWait;
+    else if (E.Kind == EventKind::CondSignal ||
+             E.Kind == EventKind::CondBroadcast)
+      Total += Costs.CondSignal;
   }
   return Total;
+}
+
+/// Pass 1 of both speculation models: contention-free solo execution —
+/// every acquire succeeds immediately, so each thread's timeline has no
+/// lock waits.  Fills per-section tentative intervals and per-thread
+/// finish times.
+void soloSpeculate(const Trace &Tr, const CostModel &Costs,
+                   std::vector<Speculation> &Specs,
+                   std::vector<TimeNs> &ThreadFinish) {
+  for (ThreadId T = 0; T != Tr.Threads.size(); ++T) {
+    TimeNs Clock = 0;
+    uint32_t NextIndex = 0;
+    std::vector<uint32_t> Open;
+    for (const Event &E : Tr.Threads[T].Events) {
+      switch (E.Kind) {
+      case EventKind::Compute:
+        Clock += E.Cost;
+        break;
+      case EventKind::Read:
+      case EventKind::Write:
+        Clock += Costs.MemAccess;
+        break;
+      case EventKind::LockAcquire:
+      case EventKind::RwAcquireRead:
+      case EventKind::RwAcquireWrite:
+      case EventKind::TryAcquire: {
+        if (!isSectionOpen(E)) {
+          Clock += Costs.TryLockFail;
+          break;
+        }
+        uint32_t Cs = Tr.globalCsId(CsRef{T, NextIndex++});
+        Specs[Cs].Start = Clock;
+        Open.push_back(Cs);
+        break;
+      }
+      case EventKind::LockRelease:
+        assert(!Open.empty() && "unbalanced release");
+        Specs[Open.back()].End = Clock;
+        Open.pop_back();
+        break;
+      case EventKind::CondWait:
+        Clock += Costs.CondWait;
+        break;
+      case EventKind::CondSignal:
+      case EventKind::CondBroadcast:
+        Clock += Costs.CondSignal;
+        break;
+      case EventKind::ThreadStart:
+      case EventKind::ThreadEnd:
+        break;
+      }
+    }
+    ThreadFinish[T] = Clock;
+  }
 }
 
 } // namespace
@@ -48,37 +110,7 @@ LockElisionResult perfplay::simulateLockElision(
   // Pass 1: speculative solo execution — every acquire succeeds
   // immediately, so each thread's timeline is contention-free.
   std::vector<Speculation> Specs(Index.size());
-  for (ThreadId T = 0; T != Tr.Threads.size(); ++T) {
-    TimeNs Clock = 0;
-    uint32_t NextIndex = 0;
-    std::vector<uint32_t> Open;
-    for (const Event &E : Tr.Threads[T].Events) {
-      switch (E.Kind) {
-      case EventKind::Compute:
-        Clock += E.Cost;
-        break;
-      case EventKind::Read:
-      case EventKind::Write:
-        Clock += Opts.Costs.MemAccess;
-        break;
-      case EventKind::LockAcquire: {
-        uint32_t Cs = Tr.globalCsId(CsRef{T, NextIndex++});
-        Specs[Cs].Start = Clock;
-        Open.push_back(Cs);
-        break;
-      }
-      case EventKind::LockRelease:
-        assert(!Open.empty() && "unbalanced release");
-        Specs[Open.back()].End = Clock;
-        Open.pop_back();
-        break;
-      case EventKind::ThreadStart:
-      case EventKind::ThreadEnd:
-        break;
-      }
-    }
-    Result.ThreadFinish[T] = Clock;
-  }
+  soloSpeculate(Tr, Opts.Costs, Specs, Result.ThreadFinish);
 
   // Pass 2: conflict resolution per lock in start order.  An abort
   // re-executes the section (body + penalty), shifting everything
@@ -155,6 +187,105 @@ LockElisionResult perfplay::simulateLockElision(
     }
   }
   (void)Initial;
+
+  Result.TotalTime = 0;
+  for (ThreadId T = 0; T != Tr.Threads.size(); ++T) {
+    Result.ThreadFinish[T] += Shift[T];
+    Result.TotalTime = std::max(Result.TotalTime, Result.ThreadFinish[T]);
+  }
+  return Result;
+}
+
+HtmResult perfplay::simulateHtm(const Trace &Tr, const CsIndex &Index,
+                                const HtmOptions &Opts) {
+  HtmResult Result;
+  Result.ThreadFinish.assign(Tr.numThreads(), 0);
+
+  // Pass 1: contention-free solo execution, shared with SLE.
+  std::vector<Speculation> Specs(Index.size());
+  soloSpeculate(Tr, Opts.Costs, Specs, Result.ThreadFinish);
+
+  // Pass 2: transactional conflict resolution per lock in start order.
+  // Conflicts and interrupts abort-and-retry like SLE; a footprint
+  // larger than the transactional buffers aborts deterministically, so
+  // retrying is futile — one wasted attempt, then the lock fallback.
+  Rng R(Opts.Seed);
+  std::vector<TimeNs> Shift(Tr.numThreads(), 0);
+  std::vector<TimeNs> LockFreeAt(Tr.Locks.size(), 0);
+
+  for (LockId L = 0; L != Index.numLocks(); ++L) {
+    std::vector<uint32_t> Order = Index.sectionsOfLock(L);
+    std::stable_sort(Order.begin(), Order.end(),
+                     [&](uint32_t A, uint32_t B) {
+                       return Specs[A].Start < Specs[B].Start;
+                     });
+    for (size_t I = 0; I != Order.size(); ++I) {
+      uint32_t Cs = Order[I];
+      const CriticalSection &Section = Index.byGlobalId(Cs);
+      ThreadId T = Section.Ref.Thread;
+      TimeNs Start = Specs[Cs].Start + Shift[T];
+      TimeNs End = Specs[Cs].End + Shift[T];
+      TimeNs Body = bodyCost(Tr, Section, Opts.Costs);
+      const bool Overflows =
+          Section.Reads.size() + Section.Writes.size() > Opts.Capacity;
+
+      for (unsigned Attempt = 0;; ++Attempt) {
+        bool Conflict = false;
+        if (!Overflows) {
+          for (size_t J = 0; J != I && !Conflict; ++J) {
+            uint32_t Other = Order[J];
+            const CriticalSection &OtherSec = Index.byGlobalId(Other);
+            if (OtherSec.Ref.Thread == T)
+              continue;
+            TimeNs OtherEnd =
+                Specs[Other].End + Shift[OtherSec.Ref.Thread];
+            if (OtherEnd <= Start)
+              continue; // Committed before we started.
+            // Cache-line conflict detection is set-based: benign
+            // conflicts abort too; only truly disjoint (or read-read)
+            // transactions co-exist.
+            Conflict = classifyPairStatic(OtherSec, Section) ==
+                       UlcpKind::TrueContention;
+          }
+        }
+        bool Interrupt = !Overflows && !Conflict &&
+                         R.nextBool(Opts.InterruptAbortRate);
+        if (!Overflows && !Conflict && !Interrupt)
+          break; // Commit.
+
+        if (Overflows)
+          ++Result.CapacityAborts;
+        else if (Conflict)
+          ++Result.ConflictAborts;
+        else
+          ++Result.InterruptAborts;
+        ++Specs[Cs].Aborts;
+        TimeNs Redo = Body + Opts.AbortPenalty;
+        Result.WastedNs += Redo;
+        Shift[T] += Redo;
+        Start += Redo;
+        End += Redo;
+
+        if (Overflows || Attempt + 1 >= Opts.MaxRetries) {
+          // Lock fallback: serialize behind the lock's previous
+          // fallback, paying the real acquire/release.
+          ++Result.Fallbacks;
+          Specs[Cs].FellBack = true;
+          TimeNs Grant = std::max(Start, LockFreeAt[L]);
+          TimeNs Wait = Grant - Start;
+          Shift[T] += Wait + Opts.Costs.LockAcquire +
+                      Opts.Costs.LockRelease;
+          Start = Grant;
+          End = Grant + Body + Opts.Costs.LockAcquire +
+                Opts.Costs.LockRelease;
+          LockFreeAt[L] = End;
+          break;
+        }
+      }
+      Specs[Cs].Start = Start - Shift[T];
+      Specs[Cs].End = End - Shift[T];
+    }
+  }
 
   Result.TotalTime = 0;
   for (ThreadId T = 0; T != Tr.Threads.size(); ++T) {

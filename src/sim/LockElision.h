@@ -73,6 +73,48 @@ LockElisionResult simulateLockElision(
     const Trace &Tr, const CsIndex &Index,
     const LockElisionOptions &Opts = LockElisionOptions());
 
+/// HTM-style speculation parameters.  Unlike the SLE model's flat
+/// false-abort rate, hardware transactional memory aborts
+/// deterministically when a section's read+write footprint overflows
+/// the transactional buffers, and a capacity abort is not worth
+/// retrying — the section goes straight to the lock fallback.
+struct HtmOptions {
+  /// Distinct addresses (read set + write set) the hardware can track
+  /// per transaction; larger footprints take a capacity abort.
+  unsigned Capacity = 64;
+  /// Cycles lost per abort beyond re-executing the section body.
+  TimeNs AbortPenalty = 120;
+  /// Conflict aborts after which the section takes the real lock.
+  unsigned MaxRetries = 3;
+  /// Probability a transaction is killed by an interrupt/context
+  /// switch per attempt (retryable, unlike capacity).
+  double InterruptAbortRate = 0.0;
+  uint64_t Seed = 1;
+  CostModel Costs;
+};
+
+/// HTM simulation outcome.
+struct HtmResult {
+  TimeNs TotalTime = 0;
+  std::vector<TimeNs> ThreadFinish;
+  /// Aborts from true data conflicts between overlapping transactions.
+  uint64_t ConflictAborts = 0;
+  /// Deterministic aborts from footprints exceeding Capacity.
+  uint64_t CapacityAborts = 0;
+  /// Retryable aborts from simulated interrupts.
+  uint64_t InterruptAborts = 0;
+  /// Sections that gave up speculation and took the lock.
+  uint64_t Fallbacks = 0;
+  /// Virtual time burned re-executing aborted transactions.
+  TimeNs WastedNs = 0;
+};
+
+/// Simulates HTM-style speculation (restricted transactional memory
+/// with a lock fallback) over \p Tr.  \p Index must be built from
+/// \p Tr.  Deterministic for a fixed seed.
+HtmResult simulateHtm(const Trace &Tr, const CsIndex &Index,
+                      const HtmOptions &Opts = HtmOptions());
+
 } // namespace perfplay
 
 #endif // PERFPLAY_SIM_LOCKELISION_H

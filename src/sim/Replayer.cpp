@@ -44,6 +44,10 @@ private:
     /// kept so the dynamic locking strategy can re-evaluate END flags
     /// as other threads' releases become known.
     LocksetId PendingLockset = InvalidId;
+    /// Whether the pending acquire is reader-side (rwlock Shared
+    /// mode): shared grants coexist with other shared holders and
+    /// only exclude exclusive ones.
+    bool PendingShared = false;
     TimeNs Arrival = 0;
     /// End of the last sync point; precursor-segment start of the next
     /// critical section.
@@ -58,6 +62,12 @@ private:
     bool Held = false;
     ThreadId Holder = InvalidId;
     TimeNs FreeAt = 0;
+    /// Current reader-side holders; an exclusive grant needs both
+    /// !Held and Shared == 0.
+    uint32_t Shared = 0;
+    /// Latest reader-side release so far; the earliest instant a
+    /// writer can be granted after readers drain.
+    TimeNs SharedFreeAt = 0;
     size_t Cursor = 0; // Into EnforcedOrder (granted entries skipped).
   };
 
@@ -83,6 +93,9 @@ private:
   std::vector<TimeNs> ReleaseTime;
   /// Locks actually acquired by each granted CS (for its release).
   std::vector<std::vector<LockId>> AcquiredLocks;
+  /// Whether each granted CS holds its locks in Shared mode (rwlock
+  /// reader); drives the release path's bookkeeping.
+  std::vector<uint8_t> SharedCs;
   /// RULE 2 predecessors per CS.
   std::vector<std::vector<uint32_t>> Preds;
   /// MEM-S cursor state.
@@ -123,6 +136,7 @@ Engine::Engine(const Trace &Tr, const ReplayOptions &Opts)
   GrantTime.assign(NumCs, NeverNs);
   ReleaseTime.assign(NumCs, NeverNs);
   AcquiredLocks.resize(NumCs);
+  SharedCs.assign(NumCs, 0);
   Preds.resize(NumCs);
   for (const OrderConstraint &C : Tr.Constraints)
     Preds[C.After].push_back(C.Before);
@@ -153,7 +167,7 @@ Engine::Engine(const Trace &Tr, const ReplayOptions &Opts)
       for (ThreadId T = 0; T != Tr.Threads.size(); ++T) {
         uint32_t Index = 0;
         for (const Event &E : Tr.Threads[T].Events)
-          if (E.Kind == EventKind::LockAcquire) {
+          if (isSectionOpen(E)) {
             uint32_t Id = Tr.globalCsId(CsRef{T, Index++});
             ByLock[E.Lock].push_back(Id);
           }
@@ -253,12 +267,23 @@ void Engine::advanceThread(ThreadId T) {
       ++TS.PC;
       continue;
 
-    case EventKind::LockAcquire: {
+    case EventKind::LockAcquire:
+    case EventKind::RwAcquireRead:
+    case EventKind::RwAcquireWrite:
+    case EventKind::TryAcquire: {
+      if (!isSectionOpen(E)) {
+        // Failed trylock: the recorded run paid the compare-exchange
+        // and took its fallback path — no blocking, no section.
+        TS.Clock += Opts.Costs.TryLockFail;
+        ++TS.PC;
+        continue;
+      }
       uint32_t Cs = Tr.globalCsId(CsRef{T, TS.NextCsIndex});
       ++TS.NextCsIndex;
       CsTiming &Timing = Result.Sections[Cs];
       Timing.PrecursorStart = TS.LastSyncEnd;
       TS.Arrival = TS.Clock;
+      TS.PendingShared = acquireModeOf(E) == AcquireMode::Shared;
       resolvePendingLocks(TS, E, Cs);
       if (TS.PendingLocks.empty()) {
         // Removed lock/unlock pair (null-lock or standalone node): the
@@ -289,12 +314,22 @@ void Engine::advanceThread(ThreadId T) {
       // mutual exclusion spans the full [Granted, Released] window.
       if (!AcquiredLocks[Cs].empty())
         TS.Clock += Opts.Costs.LockRelease;
-      for (LockId L : AcquiredLocks[Cs]) {
-        assert(Locks[L].Held && Locks[L].Holder == T &&
-               "releasing a lock this thread does not hold");
-        Locks[L].Held = false;
-        Locks[L].Holder = InvalidId;
-        Locks[L].FreeAt = TS.Clock;
+      if (SharedCs[Cs]) {
+        for (LockId L : AcquiredLocks[Cs]) {
+          assert(Locks[L].Shared > 0 &&
+                 "releasing a shared lock with no readers");
+          --Locks[L].Shared;
+          Locks[L].SharedFreeAt =
+              std::max(Locks[L].SharedFreeAt, TS.Clock);
+        }
+      } else {
+        for (LockId L : AcquiredLocks[Cs]) {
+          assert(Locks[L].Held && Locks[L].Holder == T &&
+                 "releasing a lock this thread does not hold");
+          Locks[L].Held = false;
+          Locks[L].Holder = InvalidId;
+          Locks[L].FreeAt = TS.Clock;
+        }
       }
       ReleaseTime[Cs] = TS.Clock;
       Result.Sections[Cs].Released = TS.Clock;
@@ -303,6 +338,19 @@ void Engine::advanceThread(ThreadId T) {
       ++TS.PC;
       continue;
     }
+
+    case EventKind::CondWait:
+      // The paired mutex release / re-acquire around the sleep is
+      // explicit in the trace; this event charges only the park cost.
+      TS.Clock += Opts.Costs.CondWait;
+      ++TS.PC;
+      continue;
+
+    case EventKind::CondSignal:
+    case EventKind::CondBroadcast:
+      TS.Clock += Opts.Costs.CondSignal;
+      ++TS.PC;
+      continue;
 
     case EventKind::ThreadEnd:
       flushSuccessors(TS, TS.Clock);
@@ -331,11 +379,16 @@ Engine::Candidate Engine::scanAcquires(bool IgnoreOrder) const {
     TimeNs When = TS.Arrival;
     bool Feasible = true;
     for (LockId L : TS.PendingLocks) {
-      if (Locks[L].Held) {
+      // An exclusive holder blocks everyone; reader-side holders block
+      // only exclusive waiters (shared grants coexist with them).
+      if (Locks[L].Held ||
+          (!TS.PendingShared && Locks[L].Shared != 0)) {
         Feasible = false;
         break;
       }
       When = std::max(When, Locks[L].FreeAt);
+      if (!TS.PendingShared)
+        When = std::max(When, Locks[L].SharedFreeAt);
       if (!IgnoreOrder && !EnforcedOrder[L].empty()) {
         uint32_t Head = orderHead(L);
         if (Head != InvalidId && Head != TS.PendingCs) {
@@ -408,8 +461,13 @@ void Engine::grantAcquire(ThreadId T, TimeNs When) {
   for (LockId L : TS.PendingLocks) {
     LockState &LS = Locks[L];
     assert(!LS.Held && "granting a held lock");
-    LS.Held = true;
-    LS.Holder = T;
+    if (TS.PendingShared) {
+      ++LS.Shared;
+    } else {
+      assert(LS.Shared == 0 && "exclusive grant with readers inside");
+      LS.Held = true;
+      LS.Holder = T;
+    }
     // Advance the enforced-order cursor past this grant (and any
     // entries granted earlier through other paths).
     const auto &Order = EnforcedOrder[L];
@@ -435,6 +493,7 @@ void Engine::grantAcquire(ThreadId T, TimeNs When) {
   GrantTime[Cs] = When;
   Result.Sections[Cs].Granted = When;
   AcquiredLocks[Cs] = TS.PendingLocks;
+  SharedCs[Cs] = TS.PendingShared ? 1 : 0;
   TS.OpenCs.push_back(Cs);
   TS.LastSyncEnd = TS.Clock;
   TS.Status = StatusKind::Running;
@@ -527,11 +586,25 @@ std::vector<TimeNs> perfplay::computeSoloArrivals(const Trace &Tr,
         Clock += Costs.MemAccess;
         break;
       case EventKind::LockAcquire:
-        Solo[Tr.globalCsId(CsRef{T, Index++})] = Clock;
-        Clock += Costs.LockAcquire;
+      case EventKind::RwAcquireRead:
+      case EventKind::RwAcquireWrite:
+      case EventKind::TryAcquire:
+        if (isSectionOpen(E)) {
+          Solo[Tr.globalCsId(CsRef{T, Index++})] = Clock;
+          Clock += Costs.LockAcquire;
+        } else {
+          Clock += Costs.TryLockFail;
+        }
         break;
       case EventKind::LockRelease:
         Clock += Costs.LockRelease;
+        break;
+      case EventKind::CondWait:
+        Clock += Costs.CondWait;
+        break;
+      case EventKind::CondSignal:
+      case EventKind::CondBroadcast:
+        Clock += Costs.CondSignal;
         break;
       case EventKind::ThreadStart:
       case EventKind::ThreadEnd:

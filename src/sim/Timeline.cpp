@@ -79,7 +79,7 @@ std::string perfplay::renderTimeline(const Trace &Tr,
     // Waiting style follows the section's lock (spin locks burn CPU).
     uint32_t Index = 0;
     for (const Event &E : Tr.Threads[Ref.Thread].Events)
-      if (E.Kind == EventKind::LockAcquire) {
+      if (isSectionOpen(E)) {
         if (Index++ == Ref.Index) {
           Spin = Tr.Locks[E.Lock].IsSpin;
           break;

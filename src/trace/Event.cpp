@@ -56,6 +56,64 @@ Event Event::compute(TimeNs Cost) {
   return E;
 }
 
+Event Event::rwAcquireRead(LockId Lock, CodeSiteId Site,
+                           LocksetId Lockset) {
+  Event E;
+  E.Kind = EventKind::RwAcquireRead;
+  E.Mode = AcquireMode::Shared;
+  E.Lock = Lock;
+  E.Site = Site;
+  E.Lockset = Lockset;
+  return E;
+}
+
+Event Event::rwAcquireWrite(LockId Lock, CodeSiteId Site,
+                            LocksetId Lockset) {
+  Event E;
+  E.Kind = EventKind::RwAcquireWrite;
+  E.Mode = AcquireMode::Exclusive;
+  E.Lock = Lock;
+  E.Site = Site;
+  E.Lockset = Lockset;
+  return E;
+}
+
+Event Event::tryAcquire(LockId Lock, CodeSiteId Site, bool Succeeded,
+                        AcquireMode Mode, LocksetId Lockset) {
+  Event E;
+  E.Kind = EventKind::TryAcquire;
+  E.Mode = Mode;
+  E.TrySucceeded = Succeeded;
+  E.Lock = Lock;
+  E.Site = Site;
+  E.Lockset = Lockset;
+  return E;
+}
+
+Event Event::condWait(LockId Cond, CodeSiteId Site) {
+  Event E;
+  E.Kind = EventKind::CondWait;
+  E.Lock = Cond;
+  E.Site = Site;
+  return E;
+}
+
+Event Event::condSignal(LockId Cond) {
+  Event E;
+  E.Kind = EventKind::CondSignal;
+  E.Lock = Cond;
+  return E;
+}
+
+Event Event::condBroadcast(LockId Cond) {
+  Event E;
+  E.Kind = EventKind::CondBroadcast;
+  E.Lock = Cond;
+  return E;
+}
+
+// Exhaustive on purpose (no default): adding an EventKind without a
+// mnemonic must fail the -Werror build, not silently print "?".
 const char *perfplay::eventKindName(EventKind Kind) {
   switch (Kind) {
   case EventKind::ThreadStart:
@@ -72,6 +130,28 @@ const char *perfplay::eventKindName(EventKind Kind) {
     return "wr";
   case EventKind::Compute:
     return "comp";
+  case EventKind::RwAcquireRead:
+    return "rwa";
+  case EventKind::RwAcquireWrite:
+    return "rww";
+  case EventKind::TryAcquire:
+    return "try";
+  case EventKind::CondWait:
+    return "cwait";
+  case EventKind::CondSignal:
+    return "csig";
+  case EventKind::CondBroadcast:
+    return "cbro";
+  }
+  return "?";
+}
+
+const char *perfplay::acquireModeName(AcquireMode Mode) {
+  switch (Mode) {
+  case AcquireMode::Exclusive:
+    return "exclusive";
+  case AcquireMode::Shared:
+    return "shared";
   }
   return "?";
 }

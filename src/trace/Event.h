@@ -18,6 +18,7 @@
 #ifndef PERFPLAY_TRACE_EVENT_H
 #define PERFPLAY_TRACE_EVENT_H
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 
@@ -53,7 +54,46 @@ enum class EventKind : uint8_t {
   Write,
   /// Computation of the given duration with no shared interaction.
   Compute,
+  /// Reader-side rwlock acquisition (pthread_rwlock_rdlock).  Opens a
+  /// critical section in AcquireMode::Shared: multiple readers hold
+  /// the lock concurrently, and reader-reader pairs are ULCP-free by
+  /// construction (the new static rule of ROADMAP item 3).
+  RwAcquireRead,
+  /// Writer-side rwlock acquisition (pthread_rwlock_wrlock).  Opens an
+  /// exclusive critical section — pairs like a plain LockAcquire.
+  RwAcquireWrite,
+  /// Trylock attempt (pthread_mutex_trylock / rwlock_try*lock).
+  /// Carries the lock, site, acquire mode and a success flag: a
+  /// successful try opens a critical section exactly like the
+  /// corresponding blocking acquire; a failed try opens nothing but
+  /// still witnesses real contention on the lock (the failure edge
+  /// detectors count without creating a section).
+  TryAcquire,
+  /// Condition-variable wait (pthread_cond_wait).  Carries the condvar
+  /// (registered in the lock table) and the code site.  The protecting
+  /// mutex's release / re-acquire around the sleep stays explicit in
+  /// the trace; this event only marks the ordering edge.
+  CondWait,
+  /// Condition-variable signal (pthread_cond_signal).
+  CondSignal,
+  /// Condition-variable broadcast (pthread_cond_broadcast).
+  CondBroadcast,
 };
+
+/// Number of EventKind enumerators (histogram sizing).
+inline constexpr size_t NumEventKinds =
+    static_cast<size_t>(EventKind::CondBroadcast) + 1;
+
+/// Acquisition mode of a section-opening event.
+enum class AcquireMode : uint8_t {
+  /// Mutual exclusion: one holder at a time (mutex, rwlock writer).
+  Exclusive,
+  /// Shared: concurrent holders allowed (rwlock reader).
+  Shared,
+};
+
+/// Returns "exclusive" or "shared".
+const char *acquireModeName(AcquireMode Mode);
 
 /// Write operators for the abstract memory machine.
 ///
@@ -84,12 +124,21 @@ struct Event {
   EventKind Kind = EventKind::Compute;
   /// Write operator (Write only).
   WriteOpKind Op = WriteOpKind::Store;
-  /// Code site opening the critical section (LockAcquire only).
+  /// Acquisition mode (section-opening kinds).  RwAcquireRead is
+  /// always Shared, LockAcquire / RwAcquireWrite always Exclusive;
+  /// TryAcquire carries whichever mode was attempted.
+  AcquireMode Mode = AcquireMode::Exclusive;
+  /// Whether a TryAcquire obtained the lock (TryAcquire only).
+  bool TrySucceeded = false;
+  /// Code site opening the critical section (section-opening kinds and
+  /// CondWait).
   CodeSiteId Site = InvalidId;
-  /// Lock operated on (LockAcquire / LockRelease).
+  /// Lock operated on (acquire/release kinds), or the condvar id for
+  /// CondWait / CondSignal / CondBroadcast (condvars live in the lock
+  /// table).
   LockId Lock = InvalidId;
-  /// Lockset id in transformed traces (LockAcquire only); InvalidId in
-  /// recorded traces, meaning "acquire exactly {Lock}".
+  /// Lockset id in transformed traces (section-opening kinds only);
+  /// InvalidId in recorded traces, meaning "acquire exactly {Lock}".
   LocksetId Lockset = InvalidId;
   /// Accessed address (Read / Write).
   AddrId Addr = 0;
@@ -108,7 +157,41 @@ struct Event {
   static Event write(AddrId Addr, uint64_t Value,
                      WriteOpKind Op = WriteOpKind::Store);
   static Event compute(TimeNs Cost);
+  static Event rwAcquireRead(LockId Lock, CodeSiteId Site,
+                             LocksetId Lockset = InvalidId);
+  static Event rwAcquireWrite(LockId Lock, CodeSiteId Site,
+                              LocksetId Lockset = InvalidId);
+  static Event tryAcquire(LockId Lock, CodeSiteId Site, bool Succeeded,
+                          AcquireMode Mode = AcquireMode::Exclusive,
+                          LocksetId Lockset = InvalidId);
+  static Event condWait(LockId Cond, CodeSiteId Site);
+  static Event condSignal(LockId Cond);
+  static Event condBroadcast(LockId Cond);
 };
+
+/// True iff \p E opens a critical section: a blocking acquire (mutex
+/// or either rwlock side) or a successful trylock.  Every consumer
+/// that pairs acquires with releases — CS indexing, validation,
+/// replay, per-thread acquire ordinals — must use this predicate so
+/// global CS ids stay consistent across the whole stack.
+inline bool isSectionOpen(const Event &E) {
+  switch (E.Kind) {
+  case EventKind::LockAcquire:
+  case EventKind::RwAcquireRead:
+  case EventKind::RwAcquireWrite:
+    return true;
+  case EventKind::TryAcquire:
+    return E.TrySucceeded;
+  default:
+    return false;
+  }
+}
+
+/// Acquisition mode of a section-opening event (Exclusive for plain
+/// mutex acquires).
+inline AcquireMode acquireModeOf(const Event &E) {
+  return E.Kind == EventKind::RwAcquireRead ? AcquireMode::Shared : E.Mode;
+}
 
 /// Returns a short mnemonic for \p Kind ("acq", "rel", "rd", "wr", ...).
 const char *eventKindName(EventKind Kind);

@@ -32,6 +32,16 @@ Trace perfplay::filterTraceByLocks(const Trace &Tr,
     for (const Event &E : Tr.Threads[T].Events) {
       switch (E.Kind) {
       case EventKind::LockAcquire:
+      case EventKind::RwAcquireRead:
+      case EventKind::RwAcquireWrite:
+      case EventKind::TryAcquire:
+        if (!isSectionOpen(E)) {
+          // A failed trylock opens no section; it survives iff its
+          // lock does.
+          if (Keep[E.Lock])
+            Thread.Events.push_back(E);
+          break;
+        }
         if (Keep[E.Lock]) {
           IndexMap[T].push_back(NewIndex++);
           Thread.Events.push_back(E);
@@ -95,8 +105,13 @@ Trace perfplay::sliceTraceByEvents(const Trace &Tr,
       case EventKind::ThreadEnd:
         continue; // Re-appended below.
       case EventKind::LockAcquire:
-        Open.push_back(E.Lock);
-        IndexMap[T].push_back(NewIndex++);
+      case EventKind::RwAcquireRead:
+      case EventKind::RwAcquireWrite:
+      case EventKind::TryAcquire:
+        if (isSectionOpen(E)) {
+          Open.push_back(E.Lock);
+          IndexMap[T].push_back(NewIndex++);
+        }
         break;
       case EventKind::LockRelease:
         assert(!Open.empty() && "unbalanced release in slice source");
@@ -109,7 +124,7 @@ Trace perfplay::sliceTraceByEvents(const Trace &Tr,
     }
     // Map any unsurveyed sections of this thread to "dropped".
     for (size_t I = Bound; I != Events.size(); ++I)
-      if (Events[I].Kind == EventKind::LockAcquire)
+      if (isSectionOpen(Events[I]))
         IndexMap[T].push_back(InvalidId);
     // Close still-open sections (innermost first) and end the thread.
     while (!Open.empty()) {

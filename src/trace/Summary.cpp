@@ -22,6 +22,7 @@ TraceSummary perfplay::summarizeTrace(const Trace &Tr) {
     unsigned Depth = 0;
     for (const Event &E : Tr.Threads[T].Events) {
       ++S.NumEvents;
+      ++S.KindCounts[static_cast<size_t>(E.Kind)];
       switch (E.Kind) {
       case EventKind::LockAcquire:
         ++S.NumCriticalSections;
@@ -29,6 +30,37 @@ TraceSummary perfplay::summarizeTrace(const Trace &Tr) {
         Users[E.Lock].insert(T);
         ++Depth;
         S.MaxNesting = std::max(S.MaxNesting, Depth);
+        break;
+      case EventKind::RwAcquireRead:
+      case EventKind::RwAcquireWrite:
+        ++S.NumCriticalSections;
+        ++Acquisitions[E.Lock];
+        Users[E.Lock].insert(T);
+        ++Depth;
+        S.MaxNesting = std::max(S.MaxNesting, Depth);
+        if (E.Kind == EventKind::RwAcquireRead)
+          ++S.RwReadAcquires;
+        else
+          ++S.RwWriteAcquires;
+        break;
+      case EventKind::TryAcquire:
+        if (E.TrySucceeded) {
+          ++S.TrySuccesses;
+          ++S.NumCriticalSections;
+          ++Acquisitions[E.Lock];
+          Users[E.Lock].insert(T);
+          ++Depth;
+          S.MaxNesting = std::max(S.MaxNesting, Depth);
+        } else {
+          ++S.TryFailures;
+        }
+        break;
+      case EventKind::CondWait:
+        ++S.CondWaits;
+        break;
+      case EventKind::CondSignal:
+      case EventKind::CondBroadcast:
+        ++S.CondSignals;
         break;
       case EventKind::LockRelease:
         --Depth;
@@ -77,6 +109,25 @@ std::string perfplay::renderSummary(const Trace &Tr,
      << ", max nesting: " << S.MaxNesting << "\n";
   OS << "computation: " << formatNs(S.TotalComputeNs) << " total, "
      << formatPercent(S.inCsFraction()) << " inside critical sections\n";
+
+  Table Hist;
+  Hist.addRow({"kind", "count"});
+  for (size_t K = 0; K != NumEventKinds; ++K) {
+    if (S.KindCounts[K] == 0)
+      continue;
+    Hist.addRow({eventKindName(static_cast<EventKind>(K)),
+                 std::to_string(S.KindCounts[K])});
+  }
+  OS << "\nevent kinds:\n" << Hist.render();
+  if (S.RwReadAcquires + S.RwWriteAcquires != 0)
+    OS << "rwlock acquires: " << S.RwReadAcquires << " read, "
+       << S.RwWriteAcquires << " write\n";
+  if (S.TrySuccesses + S.TryFailures != 0)
+    OS << "trylock attempts: " << S.TrySuccesses << " succeeded, "
+       << S.TryFailures << " failed\n";
+  if (S.CondWaits + S.CondSignals != 0)
+    OS << "condvar: " << S.CondWaits << " waits, " << S.CondSignals
+       << " signals\n";
 
   Table T;
   T.addRow({"lock", "acquisitions", "threads", "spin"});

@@ -40,6 +40,21 @@ struct TraceSummary {
   uint64_t NumReads = 0;
   uint64_t NumWrites = 0;
   uint64_t NumComputeEvents = 0;
+  /// Per-kind event histogram, indexed by EventKind's underlying
+  /// value (ThreadStart .. CondBroadcast).
+  uint64_t KindCounts[NumEventKinds] = {};
+  /// Reader-side rwlock acquisitions (RwAcquireRead events).
+  uint64_t RwReadAcquires = 0;
+  /// Writer-side rwlock acquisitions (RwAcquireWrite events).
+  uint64_t RwWriteAcquires = 0;
+  /// Successful trylock attempts (each opened a critical section).
+  uint64_t TrySuccesses = 0;
+  /// Failed trylock attempts (contention evidence without a section).
+  uint64_t TryFailures = 0;
+  /// Condition-variable waits and signals (broadcast counts as
+  /// signal).
+  uint64_t CondWaits = 0;
+  uint64_t CondSignals = 0;
   /// Total recorded computation (virtual ns).
   TimeNs TotalComputeNs = 0;
   /// Computation inside critical sections (by innermost containment).

@@ -21,7 +21,7 @@ size_t Trace::numCriticalSections() const {
   size_t N = 0;
   for (const auto &T : Threads)
     for (const auto &E : T.Events)
-      if (E.Kind == EventKind::LockAcquire)
+      if (isSectionOpen(E))
         ++N;
   return N;
 }
@@ -30,7 +30,7 @@ uint32_t Trace::numCriticalSections(ThreadId T) const {
   assert(T < Threads.size() && "thread out of range");
   uint32_t N = 0;
   for (const auto &E : Threads[T].Events)
-    if (E.Kind == EventKind::LockAcquire)
+    if (isSectionOpen(E))
       ++N;
   return N;
 }
@@ -105,14 +105,21 @@ std::string Trace::validateThread(size_t T, uint32_t &OutCs) const {
         return err(At + "thread ends holding a lock");
       break;
     case EventKind::LockAcquire:
+    case EventKind::RwAcquireRead:
+    case EventKind::RwAcquireWrite:
+    case EventKind::TryAcquire:
       if (E.Lock >= Locks.size())
         return err(At + "acquire of unknown lock");
       if (E.Site != InvalidId && E.Site >= Sites.size())
         return err(At + "unknown code site");
       if (E.Lockset != InvalidId && E.Lockset >= Locksets.size())
         return err(At + "unknown lockset");
-      HeldStack.push_back(E.Lock);
-      ++OutCs;
+      // A failed trylock opens nothing; every other acquire (and a
+      // successful try) opens a critical section.
+      if (isSectionOpen(E)) {
+        HeldStack.push_back(E.Lock);
+        ++OutCs;
+      }
       break;
     case EventKind::LockRelease:
       if (E.Lock >= Locks.size())
@@ -120,6 +127,17 @@ std::string Trace::validateThread(size_t T, uint32_t &OutCs) const {
       if (HeldStack.empty() || HeldStack.back() != E.Lock)
         return err(At + "release does not match innermost held lock");
       HeldStack.pop_back();
+      break;
+    case EventKind::CondWait:
+      if (E.Lock >= Locks.size())
+        return err(At + "wait on unknown condition variable");
+      if (E.Site != InvalidId && E.Site >= Sites.size())
+        return err(At + "unknown code site");
+      break;
+    case EventKind::CondSignal:
+    case EventKind::CondBroadcast:
+      if (E.Lock >= Locks.size())
+        return err(At + "signal of unknown condition variable");
       break;
     case EventKind::Read:
     case EventKind::Write:

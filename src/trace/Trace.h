@@ -150,7 +150,8 @@ public:
   /// Total number of events across all threads.
   size_t numEvents() const;
 
-  /// Total number of critical sections (LockAcquire events).
+  /// Total number of critical sections (section-opening events: mutex
+  /// and rwlock acquires plus successful trylocks; see isSectionOpen).
   size_t numCriticalSections() const;
 
   /// Number of critical sections in thread \p T.

@@ -53,6 +53,57 @@ void TraceBuilder::endCs(ThreadId T) {
   Result.Threads[T].Events.push_back(Event::lockRelease(Lock));
 }
 
+void TraceBuilder::beginCsShared(ThreadId T, LockId Lock, CodeSiteId Site) {
+  assert(T < Result.Threads.size() && "unknown thread");
+  assert(Lock < Result.Locks.size() && "unknown lock");
+  assert((Site == InvalidId || Site < Result.Sites.size()) &&
+         "unknown code site");
+  Result.Threads[T].Events.push_back(Event::rwAcquireRead(Lock, Site));
+  HeldStacks[T].push_back(Lock);
+}
+
+void TraceBuilder::beginCsWrite(ThreadId T, LockId Lock, CodeSiteId Site) {
+  assert(T < Result.Threads.size() && "unknown thread");
+  assert(Lock < Result.Locks.size() && "unknown lock");
+  assert((Site == InvalidId || Site < Result.Sites.size()) &&
+         "unknown code site");
+  Result.Threads[T].Events.push_back(Event::rwAcquireWrite(Lock, Site));
+  HeldStacks[T].push_back(Lock);
+}
+
+bool TraceBuilder::tryCs(ThreadId T, LockId Lock, CodeSiteId Site,
+                         bool Succeeded, AcquireMode Mode) {
+  assert(T < Result.Threads.size() && "unknown thread");
+  assert(Lock < Result.Locks.size() && "unknown lock");
+  assert((Site == InvalidId || Site < Result.Sites.size()) &&
+         "unknown code site");
+  Result.Threads[T].Events.push_back(
+      Event::tryAcquire(Lock, Site, Succeeded, Mode));
+  if (Succeeded)
+    HeldStacks[T].push_back(Lock);
+  return Succeeded;
+}
+
+void TraceBuilder::condWait(ThreadId T, LockId Cond, CodeSiteId Site) {
+  assert(T < Result.Threads.size() && "unknown thread");
+  assert(Cond < Result.Locks.size() && "unknown condition variable");
+  assert((Site == InvalidId || Site < Result.Sites.size()) &&
+         "unknown code site");
+  Result.Threads[T].Events.push_back(Event::condWait(Cond, Site));
+}
+
+void TraceBuilder::condSignal(ThreadId T, LockId Cond) {
+  assert(T < Result.Threads.size() && "unknown thread");
+  assert(Cond < Result.Locks.size() && "unknown condition variable");
+  Result.Threads[T].Events.push_back(Event::condSignal(Cond));
+}
+
+void TraceBuilder::condBroadcast(ThreadId T, LockId Cond) {
+  assert(T < Result.Threads.size() && "unknown thread");
+  assert(Cond < Result.Locks.size() && "unknown condition variable");
+  Result.Threads[T].Events.push_back(Event::condBroadcast(Cond));
+}
+
 void TraceBuilder::read(ThreadId T, AddrId Addr, uint64_t Value,
                         bool AllowUnlocked) {
   assert(T < Result.Threads.size() && "unknown thread");

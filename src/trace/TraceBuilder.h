@@ -52,6 +52,29 @@ public:
   /// Opens a critical section on \p Lock at \p Site.
   void beginCs(ThreadId T, LockId Lock, CodeSiteId Site = InvalidId);
 
+  /// Opens a reader-side (shared) rwlock critical section.  Closed by
+  /// endCs() like any other section.
+  void beginCsShared(ThreadId T, LockId Lock, CodeSiteId Site = InvalidId);
+
+  /// Opens a writer-side (exclusive) rwlock critical section.
+  void beginCsWrite(ThreadId T, LockId Lock, CodeSiteId Site = InvalidId);
+
+  /// Records a trylock attempt.  A successful try opens a critical
+  /// section (close with endCs()); a failed try emits only the failure
+  /// event.  Returns \p Succeeded for fluent use.
+  bool tryCs(ThreadId T, LockId Lock, CodeSiteId Site, bool Succeeded,
+             AcquireMode Mode = AcquireMode::Exclusive);
+
+  /// Records a condition-variable wait on \p Cond (registered via
+  /// addLock — condvars live in the lock table).
+  void condWait(ThreadId T, LockId Cond, CodeSiteId Site = InvalidId);
+
+  /// Records a condition-variable signal.
+  void condSignal(ThreadId T, LockId Cond);
+
+  /// Records a condition-variable broadcast.
+  void condBroadcast(ThreadId T, LockId Cond);
+
   /// Closes the innermost critical section of \p T.
   void endCs(ThreadId T);
 

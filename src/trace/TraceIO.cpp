@@ -138,6 +138,36 @@ std::string perfplay::writeTraceText(const Trace &Tr) {
       case EventKind::Compute:
         OS << "comp " << E.Cost << "\n";
         break;
+      case EventKind::RwAcquireRead:
+      case EventKind::RwAcquireWrite:
+        OS << (E.Kind == EventKind::RwAcquireRead ? "rwa " : "rww ")
+           << E.Lock << " "
+           << (E.Site == InvalidId ? -1 : static_cast<int64_t>(E.Site))
+           << " "
+           << (E.Lockset == InvalidId ? -1
+                                      : static_cast<int64_t>(E.Lockset))
+           << "\n";
+        break;
+      case EventKind::TryAcquire:
+        OS << "try " << E.Lock << " "
+           << (E.Site == InvalidId ? -1 : static_cast<int64_t>(E.Site))
+           << " "
+           << (E.Lockset == InvalidId ? -1
+                                      : static_cast<int64_t>(E.Lockset))
+           << " " << static_cast<unsigned>(E.Mode) << " "
+           << (E.TrySucceeded ? 1 : 0) << "\n";
+        break;
+      case EventKind::CondWait:
+        OS << "cwait " << E.Lock << " "
+           << (E.Site == InvalidId ? -1 : static_cast<int64_t>(E.Site))
+           << "\n";
+        break;
+      case EventKind::CondSignal:
+        OS << "csig " << E.Lock << "\n";
+        break;
+      case EventKind::CondBroadcast:
+        OS << "cbro " << E.Lock << "\n";
+        break;
       }
     }
   }
@@ -435,6 +465,54 @@ bool perfplay::parseTraceText(const std::string &Text, Trace &Out,
         if (!C.unsignedInt(Cost, Err))
           return false;
         TT.Events.push_back(Event::compute(Cost));
+      } else if (Kind == "rwa" || Kind == "rww") {
+        int64_t Lock, Site, LS;
+        if (!C.integer(Lock, Err) || !C.integer(Site, Err) ||
+            !C.integer(LS, Err))
+          return false;
+        CodeSiteId S = Site < 0 ? InvalidId : static_cast<CodeSiteId>(Site);
+        LocksetId L = LS < 0 ? InvalidId : static_cast<LocksetId>(LS);
+        TT.Events.push_back(
+            Kind == "rwa"
+                ? Event::rwAcquireRead(static_cast<LockId>(Lock), S, L)
+                : Event::rwAcquireWrite(static_cast<LockId>(Lock), S, L));
+      } else if (Kind == "try") {
+        int64_t Lock, Site, LS;
+        uint64_t Mode, Ok;
+        if (!C.integer(Lock, Err) || !C.integer(Site, Err) ||
+            !C.integer(LS, Err) || !C.unsignedInt(Mode, Err) ||
+            !C.unsignedInt(Ok, Err))
+          return false;
+        if (Mode > static_cast<uint64_t>(AcquireMode::Shared)) {
+          Err = "line " + std::to_string(C.line()) + ": bad acquire mode";
+          return false;
+        }
+        if (Ok > 1) {
+          Err = "line " + std::to_string(C.line()) + ": bad try flag";
+          return false;
+        }
+        TT.Events.push_back(Event::tryAcquire(
+            static_cast<LockId>(Lock),
+            Site < 0 ? InvalidId : static_cast<CodeSiteId>(Site), Ok != 0,
+            static_cast<AcquireMode>(Mode),
+            LS < 0 ? InvalidId : static_cast<LocksetId>(LS)));
+      } else if (Kind == "cwait") {
+        int64_t Cond, Site;
+        if (!C.integer(Cond, Err) || !C.integer(Site, Err))
+          return false;
+        TT.Events.push_back(Event::condWait(
+            static_cast<LockId>(Cond),
+            Site < 0 ? InvalidId : static_cast<CodeSiteId>(Site)));
+      } else if (Kind == "csig") {
+        int64_t Cond;
+        if (!C.integer(Cond, Err))
+          return false;
+        TT.Events.push_back(Event::condSignal(static_cast<LockId>(Cond)));
+      } else if (Kind == "cbro") {
+        int64_t Cond;
+        if (!C.integer(Cond, Err))
+          return false;
+        TT.Events.push_back(Event::condBroadcast(static_cast<LockId>(Cond)));
       } else {
         Err = "line " + std::to_string(C.line()) + ": unknown event '" +
               Kind + "'";
@@ -616,6 +694,27 @@ std::vector<uint8_t> perfplay::writeTraceBinary(const Trace &Tr) {
       case EventKind::Compute:
         W.u64(E.Cost);
         break;
+      case EventKind::RwAcquireRead:
+      case EventKind::RwAcquireWrite:
+        W.u32(E.Lock);
+        W.u32(E.Site);
+        W.u32(E.Lockset);
+        break;
+      case EventKind::TryAcquire:
+        W.u32(E.Lock);
+        W.u32(E.Site);
+        W.u32(E.Lockset);
+        W.u8(static_cast<uint8_t>(E.Mode));
+        W.u8(E.TrySucceeded ? 1 : 0);
+        break;
+      case EventKind::CondWait:
+        W.u32(E.Lock);
+        W.u32(E.Site);
+        break;
+      case EventKind::CondSignal:
+      case EventKind::CondBroadcast:
+        W.u32(E.Lock);
+        break;
       }
     }
   }
@@ -762,7 +861,7 @@ bool perfplay::parseTraceBinary(const uint8_t *Data, size_t Size,
       uint8_t KindByte;
       if (!R.u8(KindByte))
         return fail("truncated event");
-      if (KindByte > static_cast<uint8_t>(EventKind::Compute))
+      if (KindByte > static_cast<uint8_t>(EventKind::CondBroadcast))
         return fail("unknown event kind");
       Event E;
       E.Kind = static_cast<EventKind>(KindByte);
@@ -794,6 +893,35 @@ bool perfplay::parseTraceBinary(const uint8_t *Data, size_t Size,
       case EventKind::Compute:
         if (!R.u64(E.Cost))
           return fail("truncated compute");
+        break;
+      case EventKind::RwAcquireRead:
+      case EventKind::RwAcquireWrite:
+        if (!R.u32(E.Lock) || !R.u32(E.Site) || !R.u32(E.Lockset))
+          return fail("truncated rwlock acquire");
+        E.Mode = E.Kind == EventKind::RwAcquireRead ? AcquireMode::Shared
+                                                    : AcquireMode::Exclusive;
+        break;
+      case EventKind::TryAcquire: {
+        uint8_t Mode, Ok;
+        if (!R.u32(E.Lock) || !R.u32(E.Site) || !R.u32(E.Lockset) ||
+            !R.u8(Mode) || !R.u8(Ok))
+          return fail("truncated trylock");
+        if (Mode > static_cast<uint8_t>(AcquireMode::Shared))
+          return fail("unknown acquire mode");
+        if (Ok > 1)
+          return fail("bad trylock flag");
+        E.Mode = static_cast<AcquireMode>(Mode);
+        E.TrySucceeded = Ok != 0;
+        break;
+      }
+      case EventKind::CondWait:
+        if (!R.u32(E.Lock) || !R.u32(E.Site))
+          return fail("truncated condition wait");
+        break;
+      case EventKind::CondSignal:
+      case EventKind::CondBroadcast:
+        if (!R.u32(E.Lock))
+          return fail("truncated condition signal");
         break;
       }
       TT.Events.push_back(E);

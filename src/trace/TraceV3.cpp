@@ -6,7 +6,9 @@
 //   [8, SideOff)           chunks, back to back
 //   [SideOff, DirOff)      remainder lock/site entries + side tables
 //   [DirOff, Size - 48)    chunk directory (40 bytes per chunk)
-//   [Size - 48, Size)      footer, ending in "PFPLEND3"
+//   [Size - 48, Size)      footer, ending in "PFPLEND3" (minor 3.0,
+//                          mutex-only vocabulary) or "PFPLEN31"
+//                          (minor 3.1, rwlock/trylock/condvar kinds)
 //
 // Every count is validated against the byte budget that must contain
 // it before any container is sized (the v1 parser's hostile-input
@@ -31,6 +33,11 @@ using namespace perfplay;
 
 static const char V3Magic[8] = {'P', 'F', 'P', 'L', 'T', 'R', 'C', '3'};
 static const char V3EndMagic[8] = {'P', 'F', 'P', 'L', 'E', 'N', 'D', '3'};
+/// End magic of minor version 3.1, which extends the event vocabulary
+/// with rwlock/trylock/condvar kinds.  The writer emits it only when
+/// such an event actually appears, so mutex-only traces stay
+/// byte-identical to 3.0 and remain readable by 3.0-only consumers.
+static const char V3EndMagicV31[8] = {'P', 'F', 'P', 'L', 'E', 'N', '3', '1'};
 
 static constexpr size_t V3FooterSize = 48;
 static constexpr size_t V3DirEntrySize = 40;
@@ -180,6 +187,10 @@ struct V3Footer {
   uint32_t NumLocks = 0;
   uint32_t NumSites = 0;
   uint64_t TotalEvents = 0;
+  /// Minor format version, selected by the end magic: 0 for the
+  /// original mutex-only vocabulary, 1 when rwlock/trylock/condvar
+  /// kinds may appear in the event streams.
+  uint8_t Minor = 0;
 };
 
 struct V3DirEntry {
@@ -223,8 +234,14 @@ bool parseFooter(const uint8_t *FooterBytes, uint64_t FileSize,
   C.u32(F.NumLocks);
   C.u32(F.NumSites);
   C.u64(F.TotalEvents);
-  if (std::memcmp(FooterBytes + V3FooterSize - sizeof(V3EndMagic),
-                  V3EndMagic, sizeof(V3EndMagic)) != 0) {
+  const uint8_t *EndMagic =
+      FooterBytes + V3FooterSize - sizeof(V3EndMagic);
+  if (std::memcmp(EndMagic, V3EndMagic, sizeof(V3EndMagic)) == 0) {
+    F.Minor = 0;
+  } else if (std::memcmp(EndMagic, V3EndMagicV31,
+                         sizeof(V3EndMagicV31)) == 0) {
+    F.Minor = 1;
+  } else {
     Err = "bad v3 footer magic";
     return false;
   }
@@ -444,8 +461,12 @@ bool applyChunkDeltas(V3Cursor &C, const V3ChunkHeader &H,
 /// rescan elsewhere.
 bool decodeEventStream(const uint8_t *Bytes, size_t Size,
                        const V3ChunkHeader &H, uint32_t ExpectedAcquires,
-                       Event *Out, std::string &Err) {
+                       uint8_t Minor, Event *Out, std::string &Err) {
   V3Cursor C(Bytes, Size);
+  // 3.0 streams carry only the original mutex vocabulary; the extended
+  // kinds are legal input iff the footer declared minor version 1.
+  const uint8_t MaxKind = static_cast<uint8_t>(
+      Minor == 0 ? EventKind::Compute : EventKind::CondBroadcast);
   uint64_t Ts = H.FirstTs;
   uint64_t PrevAddr = 0;
   uint32_t Acquires = 0;
@@ -488,7 +509,7 @@ bool decodeEventStream(const uint8_t *Bytes, size_t Size,
       Err = "truncated event";
       return false;
     }
-    if (KindByte > static_cast<uint8_t>(EventKind::Compute)) {
+    if (KindByte > MaxKind) {
       Err = "unknown event kind";
       return false;
     }
@@ -530,6 +551,51 @@ bool decodeEventStream(const uint8_t *Bytes, size_t Size,
       if (!varint(E.Cost, "compute"))
         return false;
       Ts += E.Cost;
+      break;
+    case EventKind::RwAcquireRead:
+    case EventKind::RwAcquireWrite:
+      if (!eventId(E.Lock, "rwlock acquire") ||
+          !eventId(E.Site, "rwlock acquire") ||
+          !eventId(E.Lockset, "rwlock acquire"))
+        return false;
+      E.Mode = E.Kind == EventKind::RwAcquireRead ? AcquireMode::Shared
+                                                  : AcquireMode::Exclusive;
+      ++Acquires;
+      break;
+    case EventKind::TryAcquire: {
+      uint8_t Mode, Ok;
+      if (!eventId(E.Lock, "trylock") || !eventId(E.Site, "trylock") ||
+          !eventId(E.Lockset, "trylock"))
+        return false;
+      if (!C.u8(Mode) || !C.u8(Ok)) {
+        Err = "truncated trylock";
+        return false;
+      }
+      if (Mode > static_cast<uint8_t>(AcquireMode::Shared)) {
+        Err = "unknown acquire mode";
+        return false;
+      }
+      if (Ok > 1) {
+        Err = "bad trylock flag";
+        return false;
+      }
+      E.Mode = static_cast<AcquireMode>(Mode);
+      E.TrySucceeded = Ok != 0;
+      // Only a successful try opens a critical section, so only it
+      // participates in the directory's acquire accounting.
+      if (E.TrySucceeded)
+        ++Acquires;
+      break;
+    }
+    case EventKind::CondWait:
+      if (!eventId(E.Lock, "condition wait") ||
+          !eventId(E.Site, "condition wait"))
+        return false;
+      break;
+    case EventKind::CondSignal:
+    case EventKind::CondBroadcast:
+      if (!eventId(E.Lock, "condition signal"))
+        return false;
       break;
     }
     Out[I] = E;
@@ -803,6 +869,44 @@ void TraceV3Writer::append(const Event &E) {
     putUvarint(CurEvents, E.Cost);
     ThreadTs[CurThread] += E.Cost;
     break;
+  case EventKind::RwAcquireRead:
+  case EventKind::RwAcquireWrite:
+    referenceLock(E.Lock);
+    if (E.Site != InvalidId)
+      referenceSite(E.Site);
+    putUvarint(CurEvents, uid(E.Lock));
+    putUvarint(CurEvents, uid(E.Site));
+    putUvarint(CurEvents, uid(E.Lockset));
+    ++CurAcquireCount;
+    SawExtended = true;
+    break;
+  case EventKind::TryAcquire:
+    referenceLock(E.Lock);
+    if (E.Site != InvalidId)
+      referenceSite(E.Site);
+    putUvarint(CurEvents, uid(E.Lock));
+    putUvarint(CurEvents, uid(E.Site));
+    putUvarint(CurEvents, uid(E.Lockset));
+    CurEvents.push_back(static_cast<uint8_t>(E.Mode));
+    CurEvents.push_back(E.TrySucceeded ? 1 : 0);
+    if (E.TrySucceeded)
+      ++CurAcquireCount;
+    SawExtended = true;
+    break;
+  case EventKind::CondWait:
+    referenceLock(E.Lock);
+    if (E.Site != InvalidId)
+      referenceSite(E.Site);
+    putUvarint(CurEvents, uid(E.Lock));
+    putUvarint(CurEvents, uid(E.Site));
+    SawExtended = true;
+    break;
+  case EventKind::CondSignal:
+  case EventKind::CondBroadcast:
+    referenceLock(E.Lock);
+    putUvarint(CurEvents, uid(E.Lock));
+    SawExtended = true;
+    break;
   }
   ++CurEventCount;
   if (CurEvents.size() >= TargetChunkBytes)
@@ -925,8 +1029,11 @@ bool TraceV3Writer::finish(std::string &Err) {
   putU32(Footer, static_cast<uint32_t>(Locks.size()));
   putU32(Footer, static_cast<uint32_t>(Sites.size()));
   putU64(Footer, TotalEvents);
-  Footer.insert(Footer.end(), V3EndMagic,
-                V3EndMagic + sizeof(V3EndMagic));
+  // The end magic doubles as the minor-version tag: only a trace that
+  // actually used the extended vocabulary claims 3.1, so mutex-only
+  // output is byte-for-byte a 3.0 file.
+  const char *EndMagic = SawExtended ? V3EndMagicV31 : V3EndMagic;
+  Footer.insert(Footer.end(), EndMagic, EndMagic + sizeof(V3EndMagic));
   write(Footer.data(), Footer.size());
 
   if (SinkFailed) {
@@ -1095,7 +1202,8 @@ bool perfplay::parseTraceV3(const uint8_t *Data, size_t Size, Trace &Out,
     Event *Span =
         Out.Threads[D.Thread].Events.data() + Stats.SpanStart[I];
     decodeEventStream(Data + EventsOffset[I], Headers[I].EventBytes,
-                      Headers[I], D.AcquireCount, Span, ChunkErrs[I]);
+                      Headers[I], D.AcquireCount, F.Minor, Span,
+                      ChunkErrs[I]);
   };
 
   std::unique_ptr<ThreadPool> Pool;
@@ -1143,6 +1251,7 @@ void WindowedReader::close() {
   NextChunk = 0;
   FooterNumThreads = 0;
   FooterTotalEvents = 0;
+  FooterMinor = 0;
   ChunkBuf.clear();
   ChunkBuf.shrink_to_fit();
   ReaderTables.reset();
@@ -1194,6 +1303,7 @@ bool WindowedReader::open(const std::string &Path, std::string &Err) {
   }
   FooterNumThreads = F.NumThreads;
   FooterTotalEvents = F.TotalEvents;
+  FooterMinor = F.Minor;
 
   std::vector<V3DirEntry> Dir;
   V3DirStats Stats;
@@ -1287,7 +1397,8 @@ bool WindowedReader::next(Chunk &Buf, std::string &Err) {
   Buf.LastTs = H.LastTs;
   Buf.Events.resize(H.EventCount);
   if (!decodeEventStream(ChunkBuf.data() + C.pos(), H.EventBytes, H,
-                         D.AcquireCount, Buf.Events.data(), Err)) {
+                         D.AcquireCount, FooterMinor, Buf.Events.data(),
+                         Err)) {
     Err = Where + Err;
     return false;
   }

@@ -159,6 +159,9 @@ private:
   uint32_t NumThreads = 0;
   bool NumThreadsExplicit = false;
   uint64_t TotalEvents = 0;
+  /// Whether any rwlock/trylock/condvar event was appended; selects
+  /// the 3.1 end magic so mutex-only traces stay byte-identical 3.0.
+  bool SawExtended = false;
 
   // Chunk under construction.
   bool ChunkOpen = false;
@@ -284,6 +287,9 @@ private:
   size_t NextChunk = 0;
   uint32_t FooterNumThreads = 0;
   uint64_t FooterTotalEvents = 0;
+  /// Minor format version from the footer's end magic; gates which
+  /// event kinds the chunk decoder accepts.
+  uint8_t FooterMinor = 0;
   std::vector<uint8_t> ChunkBuf;
 };
 

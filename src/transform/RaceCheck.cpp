@@ -63,7 +63,7 @@ static std::vector<LockId> locksetLocks(const Trace &Tr, uint32_t Cs) {
   CsRef Ref = Tr.csRefOf(Cs);
   uint32_t Index = 0;
   for (const Event &E : Tr.Threads[Ref.Thread].Events)
-    if (E.Kind == EventKind::LockAcquire) {
+    if (isSectionOpen(E)) {
       if (Index++ != Ref.Index)
         continue;
       if (E.Lockset == InvalidId) {
@@ -92,7 +92,12 @@ std::vector<RaceReport> perfplay::checkRaces(const Trace &Transformed,
     for (const Event &E : Tr.Threads[T].Events) {
       switch (E.Kind) {
       case EventKind::LockAcquire:
-        Open.push_back(Tr.globalCsId(CsRef{T, NextIndex++}));
+      case EventKind::RwAcquireRead:
+      case EventKind::RwAcquireWrite:
+      case EventKind::TryAcquire:
+        // A failed trylock opens no section.
+        if (isSectionOpen(E))
+          Open.push_back(Tr.globalCsId(CsRef{T, NextIndex++}));
         break;
       case EventKind::LockRelease:
         assert(!Open.empty() && "unbalanced release");

@@ -56,11 +56,12 @@ TransformResult perfplay::transformTrace(const Trace &Tr,
     LocksetOfCs[Cs] = static_cast<LocksetId>(Out.Locksets.size() - 1);
   }
 
-  // Annotate every acquire with its lockset.
+  // Annotate every section-opening acquire (mutex, rwlock, successful
+  // trylock) with its lockset.
   for (ThreadId T = 0; T != Out.Threads.size(); ++T) {
     uint32_t NextIndex = 0;
     for (Event &E : Out.Threads[T].Events)
-      if (E.Kind == EventKind::LockAcquire) {
+      if (isSectionOpen(E)) {
         uint32_t Cs = Tr.globalCsId(CsRef{T, NextIndex++});
         E.Lockset = LocksetOfCs[Cs];
       }

@@ -346,6 +346,30 @@ WorkloadSpec perfplay::makeX264(unsigned Threads, double Scale) {
 }
 
 //===----------------------------------------------------------------------===//
+// Synthetic corpora
+//===----------------------------------------------------------------------===//
+
+// Not a Table 1 application: a mix dominated by the extended event
+// vocabulary.  Reader-heavy rwlock tables (the static shared-shared
+// rule fires), trylock-guarded caches (failure edges), a condvar
+// hand-off queue (causal wait/signal pairs), plus a plain read-read
+// group and a true-conflict group as controls.
+WorkloadSpec perfplay::makeRwMix(unsigned Threads, double Scale) {
+  return spec("rwmix", Threads, Scale, 1017, {
+      group("table_rw", GroupPatternKind::RwLock, 2, 16, 200, 600, 100,
+            300, 0.04),
+      group("cache_try", GroupPatternKind::Trylock, 2, 12, 150, 450,
+            200, 600),
+      group("queue_cv", GroupPatternKind::CondVar, 1, 6, 250, 700, 400,
+            1200),
+      group("meta_read", GroupPatternKind::ReadRead, 1, 8, 200, 600,
+            300, 900, 0.05),
+      group("state_mutex", GroupPatternKind::TrueConflict, 2, 4, 350,
+            950, 700, 2000),
+  });
+}
+
+//===----------------------------------------------------------------------===//
 // Registries
 //===----------------------------------------------------------------------===//
 
@@ -383,5 +407,12 @@ const std::vector<AppModel> &perfplay::allApps() {
     All.insert(All.end(), Parsec.begin(), Parsec.end());
     return All;
   }();
+  return Apps;
+}
+
+const std::vector<AppModel> &perfplay::syntheticApps() {
+  static const std::vector<AppModel> Apps = {
+      {"rwmix", makeRwMix},
+  };
   return Apps;
 }

@@ -50,6 +50,12 @@ WorkloadSpec makeSwaptions(unsigned Threads = 2, double Scale = 1.0);
 WorkloadSpec makeVips(unsigned Threads = 2, double Scale = 1.0);
 WorkloadSpec makeX264(unsigned Threads = 2, double Scale = 1.0);
 
+/// Synthetic rwlock / trylock / condvar mix: not one of the paper's
+/// sixteen applications, but the corpus that exercises the extended
+/// event vocabulary (shared sections, failed tries, wait/signal
+/// ordering) end-to-end.
+WorkloadSpec makeRwMix(unsigned Threads = 2, double Scale = 1.0);
+
 /// A named application model.
 struct AppModel {
   std::string Name;
@@ -64,6 +70,10 @@ const std::vector<AppModel> &parsecApps();
 
 /// All sixteen applications, in Table 1 order.
 const std::vector<AppModel> &allApps();
+
+/// Synthetic corpora outside the paper's evaluation set (kept out of
+/// allApps() so Table 1-shaped iterations stay sixteen-wide).
+const std::vector<AppModel> &syntheticApps();
 
 } // namespace perfplay
 

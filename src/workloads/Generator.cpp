@@ -33,7 +33,13 @@ struct Session {
   const LockGroup *Group = nullptr;
   LockId Lock = InvalidId;
   CodeSiteId Site = InvalidId;
+  /// Per-lock condvar (CondVar pattern only).
+  LockId Cond = InvalidId;
   bool Conflicting = false;
+  /// RwLock pattern: this session takes the lock exclusive.
+  bool Writer = false;
+  /// Trylock pattern: this attempt fails.
+  bool TryFail = false;
 };
 
 } // namespace
@@ -101,6 +107,35 @@ static void emitBody(TraceBuilder &B, Rng &R, ThreadId T,
     B.write(T, AddrLayout::privateCell(S.Lock, T), R.next() % 1000,
             WriteOpKind::Store);
     break;
+  case GroupPatternKind::RwLock:
+    if (S.Writer) {
+      // Writers update the pool head the readers scan, so
+      // reader-writer pairs truly conflict; reader-reader pairs share
+      // only reads and fall to the static shared-shared rule.
+      B.write(T, AddrLayout::readPool(S.Lock, 0), R.next() % 1000 + T,
+              WriteOpKind::Store);
+    } else {
+      for (unsigned I = 0; I != Accesses; ++I)
+        B.read(T, AddrLayout::readPool(S.Lock, I % 8), 7);
+    }
+    break;
+  case GroupPatternKind::Trylock:
+    // Only successful attempts reach here: a short read-only lookup.
+    for (unsigned I = 0; I != Accesses; ++I)
+      B.read(T, AddrLayout::readPool(S.Lock, I % 8), 7);
+    break;
+  case GroupPatternKind::CondVar:
+    if (T == 0) {
+      // Producer: publish, then signal the waiters.
+      B.write(T, AddrLayout::conflictCell(S.Lock), R.next() % 1000,
+              WriteOpKind::Store);
+      B.condSignal(T, S.Cond);
+    } else {
+      // Consumer: the wait marks the ordering edge, then consume.
+      B.condWait(T, S.Cond, S.Site);
+      B.read(T, AddrLayout::conflictCell(S.Lock), 7);
+    }
+    break;
   }
 }
 
@@ -108,16 +143,22 @@ Trace perfplay::generateWorkload(const WorkloadSpec &Spec) {
   assert(Spec.NumThreads >= 1 && "workload needs at least one thread");
   TraceBuilder B;
 
-  // Register locks and code sites per group.
+  // Register locks and code sites per group; CondVar groups get one
+  // condvar per lock (condvars share the lock table).
   std::vector<std::vector<LockId>> GroupLocks(Spec.Groups.size());
+  std::vector<std::vector<LockId>> GroupConds(Spec.Groups.size());
   std::vector<std::vector<CodeSiteId>> GroupSites(Spec.Groups.size());
   uint32_t NextLine = 100;
   for (size_t GI = 0; GI != Spec.Groups.size(); ++GI) {
     const LockGroup &G = Spec.Groups[GI];
-    for (unsigned L = 0; L != G.NumLocks; ++L)
+    for (unsigned L = 0; L != G.NumLocks; ++L) {
       GroupLocks[GI].push_back(
           B.addLock(Spec.Name + "." + G.Name + "#" + std::to_string(L),
                     G.IsSpin));
+      if (G.Pattern == GroupPatternKind::CondVar)
+        GroupConds[GI].push_back(B.addLock(
+            Spec.Name + "." + G.Name + "#" + std::to_string(L) + ".cv"));
+    }
     unsigned NumSites = std::max(G.SitesPerGroup, 1u);
     for (unsigned S = 0; S != NumSites; ++S) {
       GroupSites[GI].push_back(B.addSite(Spec.Name + ".cc", G.Name,
@@ -157,6 +198,15 @@ Trace perfplay::generateWorkload(const WorkloadSpec &Spec) {
           Sess.Lock = GroupLocks[GI][LI];
           Sess.Site = GroupSites[GI][(LI + S) % GroupSites[GI].size()];
           Sess.Conflicting = R.nextBool(G.ConflictFrac);
+          if (G.Pattern == GroupPatternKind::RwLock)
+            // Injected conflicts write, so they must hold the lock
+            // exclusive — reader sections stay read-only by
+            // construction.
+            Sess.Writer = Sess.Conflicting || R.nextBool(G.WriterFrac);
+          else if (G.Pattern == GroupPatternKind::Trylock)
+            Sess.TryFail = R.nextBool(G.TryFailFrac);
+          else if (G.Pattern == GroupPatternKind::CondVar)
+            Sess.Cond = GroupConds[GI][LI];
           Plan.push_back(Sess);
         }
       }
@@ -166,7 +216,21 @@ Trace perfplay::generateWorkload(const WorkloadSpec &Spec) {
 
       for (const Session &S : Plan) {
         B.compute(T, uniformCost(R, G.GapCostMin, G.GapCostMax));
-        B.beginCs(T, S.Lock, S.Site);
+        switch (G.Pattern) {
+        case GroupPatternKind::RwLock:
+          if (S.Writer)
+            B.beginCsWrite(T, S.Lock, S.Site);
+          else
+            B.beginCsShared(T, S.Lock, S.Site);
+          break;
+        case GroupPatternKind::Trylock:
+          if (!B.tryCs(T, S.Lock, S.Site, !S.TryFail))
+            continue; // Failed attempt: witness only, no section.
+          break;
+        default:
+          B.beginCs(T, S.Lock, S.Site);
+          break;
+        }
         emitBody(B, R, T, S);
         B.compute(T, uniformCost(R, G.CsCostMin, G.CsCostMax));
         B.endCs(T);

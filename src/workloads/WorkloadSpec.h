@@ -45,6 +45,20 @@ enum class GroupPatternKind : uint8_t {
   /// models thread-local locking that inflates the dynamic lock count
   /// without producing ULCPs.
   Private,
+  /// Reader/writer sections on an rwlock: most sessions take the lock
+  /// shared and scan the pool (reader-reader pairs are ULCP-free by
+  /// the static rule); WriterFrac of them take it exclusive and
+  /// update the pool head, truly conflicting with the readers.
+  RwLock,
+  /// Trylock-based sections: TryFailFrac of the attempts fail — a
+  /// contention witness with no section — and the rest open a short
+  /// read-only section.
+  Trylock,
+  /// Condvar hand-off: thread 0's sections publish and signal the
+  /// group's per-lock condvar, other threads' sections wait before
+  /// consuming — wait/signal pairs are causally ordered, so the
+  /// detector must never call them benign.
+  CondVar,
 };
 
 /// One group of locks sharing a behavior.
@@ -68,6 +82,10 @@ struct LockGroup {
   bool IsSpin = false;
   /// Distinct code sites the group's sections come from.
   unsigned SitesPerGroup = 2;
+  /// RwLock pattern: fraction of sessions that take the lock exclusive.
+  double WriterFrac = 0.25;
+  /// Trylock pattern: fraction of attempts that fail.
+  double TryFailFrac = 0.3;
   /// Fixed-input semantics (PARSEC): the group's total work is divided
   /// across threads, so SessionsPerThread (calibrated at two threads)
   /// scales by 2/NumThreads.  Server-style groups keep it constant

@@ -97,3 +97,83 @@ TEST(ConditionTest, TraceFeedsPipeline) {
   UlcpCounts C = detectUlcps(Tr, Index, Opts).Counts;
   EXPECT_GT(C.NullLock, 0u);
 }
+
+//===----------------------------------------------------------------------===//
+// Named (recorded) condvars
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// recordCondWait with a named condvar: waits and wakes additionally
+/// emit the ordering events.
+Trace recordNamedCondWait() {
+  Recorder R;
+  RecordingMutex Mu(R, "L");
+  RecordingCondition Cond(R, "cv");
+  SharedVar<uint64_t> Flag(R, "named_cond_flag");
+  std::atomic<bool> Ready{false};
+
+  std::thread Waiter([&] {
+    ThreadId T = R.registerThread();
+    Mu.lock(T, PERFPLAY_CODE_SITE(R, 30, 40));
+    Cond.wait(Mu, T, [&] { return Ready.load(); },
+              PERFPLAY_CODE_SITE(R, 35, 40));
+    Flag.load(T);
+    Mu.unlock(T);
+  });
+  std::thread Setter([&] {
+    ThreadId T = R.registerThread();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    Mu.lock(T, PERFPLAY_CODE_SITE(R, 50, 55));
+    Flag.store(T, 1);
+    Ready.store(true);
+    Mu.unlock(T);
+    Cond.notifyAll(T);
+  });
+  Waiter.join();
+  Setter.join();
+  return R.finish();
+}
+
+} // namespace
+
+TEST(ConditionTest, NamedCondvarEmitsOrderingEvents) {
+  Trace Tr = recordNamedCondWait();
+  ASSERT_EQ(Tr.validate(), "");
+
+  // The condvar is registered in the lock table.
+  bool HasCv = false;
+  for (LockId L = 0; L != Tr.Locks.size(); ++L)
+    HasCv |= Tr.lockName(L) == "cv";
+  EXPECT_TRUE(HasCv);
+
+  unsigned Waits = 0, Broadcasts = 0, Signals = 0;
+  for (const ThreadTrace &T : Tr.Threads)
+    for (const Event &E : T.Events) {
+      Waits += E.Kind == EventKind::CondWait;
+      Broadcasts += E.Kind == EventKind::CondBroadcast;
+      Signals += E.Kind == EventKind::CondSignal;
+    }
+  EXPECT_EQ(Waits, 1u);
+  EXPECT_EQ(Broadcasts, 1u);
+  EXPECT_EQ(Signals, 0u);
+}
+
+TEST(ConditionTest, NotifyOneEmitsSignal) {
+  Recorder R;
+  RecordingCondition Cond(R, "cv");
+  ThreadId T = R.registerThread();
+  Cond.notifyOne(T);
+  Trace Tr = R.finish();
+  ASSERT_EQ(Tr.validate(), "");
+  unsigned Signals = 0;
+  for (const Event &E : Tr.Threads[0].Events)
+    Signals += E.Kind == EventKind::CondSignal;
+  EXPECT_EQ(Signals, 1u);
+}
+
+TEST(ConditionTest, NamedCondvarTraceFeedsPipeline) {
+  Trace Tr = recordNamedCondWait();
+  PipelineResult R = runPerfPlay(Tr);
+  ASSERT_TRUE(R.ok()) << R.Error;
+}

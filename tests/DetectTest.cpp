@@ -362,6 +362,156 @@ TEST(DetectorTest, WithoutReversedReplayBenignCountsAsContention) {
 }
 
 //===----------------------------------------------------------------------===//
+// Extended vocabulary: rwlock modes, trylock edges, condvar ordering
+//===----------------------------------------------------------------------===//
+
+TEST(CsIndexTest, SharedAndTryModesExtracted) {
+  TraceBuilder B;
+  LockId Rw = B.addLock("rw");
+  ThreadId T0 = B.addThread();
+  B.beginCsShared(T0, Rw);
+  B.read(T0, 1, 0);
+  B.endCs(T0);
+  B.beginCsWrite(T0, Rw);
+  B.write(T0, 1, 1);
+  B.endCs(T0);
+  B.tryCs(T0, Rw, InvalidId, /*Succeeded=*/false);
+  B.tryCs(T0, Rw, InvalidId, /*Succeeded=*/true, AcquireMode::Shared);
+  B.read(T0, 1, 0);
+  B.endCs(T0);
+  CsIndex Index = CsIndex::build(B.finish());
+  // The failed try opens nothing: three sections, not four.
+  ASSERT_EQ(Index.size(), 3u);
+  EXPECT_EQ(Index.byGlobalId(0).Mode, AcquireMode::Shared);
+  EXPECT_EQ(Index.byGlobalId(1).Mode, AcquireMode::Exclusive);
+  EXPECT_EQ(Index.byGlobalId(2).Mode, AcquireMode::Shared);
+  EXPECT_EQ(Index.tryFailEdges(), 1u);
+  ASSERT_EQ(Index.tryFailPerLock().size(), 1u);
+  EXPECT_EQ(Index.tryFailPerLock()[Rw], 1u);
+}
+
+// Two reader-side sections never exclude each other, so the pair is
+// ULCP-free by the static rule alone — even when their memory
+// footprints conflict, and with the reversed replay disabled.
+TEST(DetectorTest, ReaderReaderPairsAreUlcpFreeStatically) {
+  TraceBuilder B;
+  LockId Rw = B.addLock("rw");
+  CodeSiteId S = B.addSite("r.cc", "reader", 1, 5);
+  ThreadId T0 = B.addThread();
+  ThreadId T1 = B.addThread();
+  B.beginCsShared(T0, Rw, S);
+  B.write(T0, 10, 1); // conflicting bodies on purpose
+  B.endCs(T0);
+  B.beginCsShared(T1, Rw, S);
+  B.write(T1, 10, 2);
+  B.endCs(T1);
+  Trace Tr = B.finish();
+  CsIndex Index = CsIndex::build(Tr);
+  EXPECT_EQ(classifyPairStatic(Index.byGlobalId(0), Index.byGlobalId(1)),
+            UlcpKind::ReadRead);
+  DetectOptions Opts;
+  Opts.PairMode = PairModeKind::AllCrossThread;
+  Opts.UseReversedReplay = false;
+  DetectResult R = detectUlcps(Tr, Index, Opts);
+  EXPECT_EQ(R.Counts.ReadRead, 1u);
+  EXPECT_EQ(R.Counts.TrueContention, 0u);
+}
+
+// A reader against a writer on the same rwlock is a real exclusion:
+// the shared-mode shortcut must not fire, and a conflicting footprint
+// classifies as contention like any mutex pair.
+TEST(DetectorTest, ReaderWriterPairsStillConflict) {
+  TraceBuilder B;
+  LockId Rw = B.addLock("rw");
+  ThreadId T0 = B.addThread();
+  ThreadId T1 = B.addThread();
+  B.beginCsShared(T0, Rw);
+  B.read(T0, 10, 0);
+  B.endCs(T0);
+  B.beginCsWrite(T1, Rw);
+  B.write(T1, 10, 1);
+  B.endCs(T1);
+  Trace Tr = B.finish();
+  CsIndex Index = CsIndex::build(Tr);
+  DetectOptions Opts;
+  Opts.PairMode = PairModeKind::AllCrossThread;
+  DetectResult R = detectUlcps(Tr, Index, Opts);
+  EXPECT_EQ(R.Counts.ReadRead, 0u);
+  EXPECT_EQ(R.Counts.TrueContention, 1u);
+}
+
+// Failed trylocks witness contention on the lock without opening
+// sections: they surface as per-lock edge counts and never perturb
+// pair classification.
+TEST(DetectorTest, FailedTrylocksCountEdgesWithoutSections) {
+  TraceBuilder B;
+  LockId Mu = B.addLock("mu");
+  LockId Other = B.addLock("other");
+  ThreadId T0 = B.addThread();
+  ThreadId T1 = B.addThread();
+  B.beginCs(T0, Mu);
+  B.read(T0, 5, 0);
+  B.endCs(T0);
+  B.tryCs(T1, Mu, InvalidId, /*Succeeded=*/false);
+  B.tryCs(T1, Mu, InvalidId, /*Succeeded=*/false);
+  B.tryCs(T1, Mu, InvalidId, /*Succeeded=*/true);
+  B.read(T1, 5, 0);
+  B.endCs(T1);
+  Trace Tr = B.finish();
+  CsIndex Index = CsIndex::build(Tr);
+  ASSERT_EQ(Index.size(), 2u);
+  DetectResult R = detectUlcps(Tr, Index);
+  EXPECT_EQ(R.TryFailEdges, 2u);
+  ASSERT_EQ(R.TryFailPerLock.size(), 2u);
+  EXPECT_EQ(R.TryFailPerLock[Mu], 2u);
+  EXPECT_EQ(R.TryFailPerLock[Other], 0u);
+  // The successful try pairs like a blocking acquire: one RR pair.
+  EXPECT_EQ(R.Counts.ReadRead, 1u);
+
+  // Mutex-only traces keep the edge counters at zero.
+  Trace Plain = pairTrace(
+      [](TraceBuilder &PB, ThreadId T) { PB.read(T, 1, 0); },
+      [](TraceBuilder &PB, ThreadId T) { PB.read(T, 1, 0); });
+  DetectResult P = detectUlcps(Plain, CsIndex::build(Plain));
+  EXPECT_EQ(P.TryFailEdges, 0u);
+}
+
+// A condvar wait/signal edge between two sections is a semantic
+// ordering: even a body the reversed replay would call benign
+// (identical stores) must stay TrueContention.
+TEST(DetectorTest, CondvarEdgeForcesTrueContention) {
+  auto build = [](bool WithCond) {
+    TraceBuilder B;
+    LockId Mu = B.addLock("mu");
+    LockId Cv = B.addLock("cv");
+    ThreadId T0 = B.addThread();
+    ThreadId T1 = B.addThread();
+    B.beginCs(T0, Mu);
+    B.write(T0, 10, 5);
+    if (WithCond)
+      B.condSignal(T0, Cv);
+    B.endCs(T0);
+    B.beginCs(T1, Mu);
+    B.write(T1, 10, 5);
+    if (WithCond)
+      B.condWait(T1, Cv);
+    B.endCs(T1);
+    return B.finish();
+  };
+  DetectOptions Opts;
+  Opts.PairMode = PairModeKind::AllCrossThread;
+
+  Trace Plain = build(false);
+  DetectResult P = detectUlcps(Plain, CsIndex::build(Plain), Opts);
+  EXPECT_EQ(P.Counts.Benign, 1u); // identical stores commute
+
+  Trace Cond = build(true);
+  DetectResult C = detectUlcps(Cond, CsIndex::build(Cond), Opts);
+  EXPECT_EQ(C.Counts.Benign, 0u);
+  EXPECT_EQ(C.Counts.TrueContention, 1u);
+}
+
+//===----------------------------------------------------------------------===//
 // Parameterized Algorithm-1 sweep: every combination of section shapes
 //===----------------------------------------------------------------------===//
 

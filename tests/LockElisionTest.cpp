@@ -141,3 +141,97 @@ TEST(LockElisionTest, UlcpRichAppBeatsLockedReplay) {
   EXPECT_LT(Le.TotalTime, Orig.TotalTime)
       << "eliding ULCP-dominated locks must help";
 }
+
+//===----------------------------------------------------------------------===//
+// HTM-style speculation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One section whose read footprint has \p Addrs distinct addresses.
+Trace wideFootprintTrace(unsigned Addrs) {
+  TraceBuilder B;
+  LockId Mu = B.addLock("mu");
+  ThreadId T0 = B.addThread();
+  B.beginCs(T0, Mu);
+  for (unsigned A = 0; A != Addrs; ++A)
+    B.read(T0, 100 + A, 0);
+  B.compute(T0, 500);
+  B.endCs(T0);
+  return B.finish();
+}
+
+} // namespace
+
+TEST(HtmTest, ReadersCommitWithoutAborts) {
+  Trace Tr = readersTrace();
+  recordGrantSchedule(Tr, 3);
+  CsIndex Index = CsIndex::build(Tr);
+  HtmResult Htm = simulateHtm(Tr, Index);
+  EXPECT_EQ(Htm.ConflictAborts, 0u);
+  EXPECT_EQ(Htm.CapacityAborts, 0u);
+  EXPECT_EQ(Htm.InterruptAborts, 0u); // default rate is 0
+  EXPECT_EQ(Htm.Fallbacks, 0u);
+  EXPECT_LT(Htm.TotalTime, replayTrace(Tr, ReplayOptions()).TotalTime);
+}
+
+TEST(HtmTest, CapacityAbortGoesStraightToFallback) {
+  Trace Tr = wideFootprintTrace(8);
+  recordGrantSchedule(Tr, 3);
+  CsIndex Index = CsIndex::build(Tr);
+  HtmOptions Opts;
+  Opts.Capacity = 4; // footprint 8 > 4: deterministic overflow
+  HtmResult Htm = simulateHtm(Tr, Index, Opts);
+  // Retrying a capacity abort is futile: exactly one wasted attempt,
+  // then the lock fallback — regardless of the retry budget.
+  EXPECT_EQ(Htm.CapacityAborts, 1u);
+  EXPECT_EQ(Htm.Fallbacks, 1u);
+  EXPECT_GT(Htm.WastedNs, 0u);
+
+  // The same trace under a big enough buffer commits first try.
+  Opts.Capacity = 64;
+  HtmResult Fits = simulateHtm(Tr, Index, Opts);
+  EXPECT_EQ(Fits.CapacityAborts, 0u);
+  EXPECT_EQ(Fits.Fallbacks, 0u);
+  EXPECT_LT(Fits.TotalTime, Htm.TotalTime);
+}
+
+TEST(HtmTest, ConflictRetriesThenFallsBack) {
+  Trace Tr = conflictTrace();
+  recordGrantSchedule(Tr, 3);
+  CsIndex Index = CsIndex::build(Tr);
+  HtmOptions Opts;
+  Opts.MaxRetries = 1; // first conflict abort already falls back
+  HtmResult Htm = simulateHtm(Tr, Index, Opts);
+  EXPECT_GT(Htm.ConflictAborts, 0u);
+  EXPECT_GT(Htm.Fallbacks, 0u);
+  EXPECT_EQ(Htm.CapacityAborts, 0u);
+}
+
+TEST(HtmTest, InterruptAbortsInjected) {
+  Trace Tr = readersTrace();
+  recordGrantSchedule(Tr, 3);
+  CsIndex Index = CsIndex::build(Tr);
+  HtmOptions Opts;
+  Opts.InterruptAbortRate = 1.0; // every attempt is interrupted
+  Opts.MaxRetries = 2;
+  HtmResult Htm = simulateHtm(Tr, Index, Opts);
+  EXPECT_GT(Htm.InterruptAborts, 0u);
+  EXPECT_EQ(Htm.Fallbacks, 2u); // both sections end up taking the lock
+}
+
+TEST(HtmTest, DeterministicForFixedSeed) {
+  Trace Tr = generateWorkload(makePbzip2(2, 0.5));
+  recordGrantSchedule(Tr, 3);
+  CsIndex Index = CsIndex::build(Tr);
+  HtmOptions Opts;
+  Opts.InterruptAbortRate = 0.05;
+  Opts.Seed = 77;
+  HtmResult A = simulateHtm(Tr, Index, Opts);
+  HtmResult B = simulateHtm(Tr, Index, Opts);
+  EXPECT_EQ(A.TotalTime, B.TotalTime);
+  EXPECT_EQ(A.ConflictAborts, B.ConflictAborts);
+  EXPECT_EQ(A.InterruptAborts, B.InterruptAborts);
+  EXPECT_EQ(A.Fallbacks, B.Fallbacks);
+  EXPECT_EQ(A.ThreadFinish, B.ThreadFinish);
+}

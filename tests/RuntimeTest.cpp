@@ -179,3 +179,78 @@ TEST(SharedVarTest, DistinctShadowAddresses) {
   R.registerThread();
   R.finish();
 }
+
+//===----------------------------------------------------------------------===//
+// Shared mutex and trylock recording
+//===----------------------------------------------------------------------===//
+
+TEST(RecorderTest, SharedMutexEventSequence) {
+  Recorder R;
+  RecordingSharedMutex Rw(R, "rw");
+  ThreadId T = R.registerThread();
+  Rw.lockShared(T);
+  Rw.unlockShared(T);
+  Rw.lock(T);
+  Rw.unlock(T);
+  bool Ok = Rw.tryLock(T);
+  EXPECT_TRUE(Ok);
+  if (Ok)
+    Rw.unlock(T);
+  Trace Tr = R.finish();
+  ASSERT_EQ(Tr.validate(), "");
+
+  std::vector<EventKind> Kinds;
+  for (const Event &E : Tr.Threads[0].Events)
+    if (E.Kind != EventKind::Compute)
+      Kinds.push_back(E.Kind);
+  EXPECT_EQ(Kinds,
+            (std::vector<EventKind>{
+                EventKind::ThreadStart, EventKind::RwAcquireRead,
+                EventKind::LockRelease, EventKind::RwAcquireWrite,
+                EventKind::LockRelease, EventKind::TryAcquire,
+                EventKind::LockRelease, EventKind::ThreadEnd}));
+  for (const Event &E : Tr.Threads[0].Events) {
+    if (E.Kind == EventKind::RwAcquireRead)
+      EXPECT_EQ(acquireModeOf(E), AcquireMode::Shared);
+    if (E.Kind == EventKind::TryAcquire) {
+      EXPECT_TRUE(E.TrySucceeded);
+      EXPECT_EQ(E.Mode, AcquireMode::Exclusive);
+    }
+  }
+}
+
+TEST(RecorderTest, FailedTryLockRecordedWithoutSection) {
+  Recorder R;
+  RecordingSharedMutex Rw(R, "rw");
+  ThreadId T0 = R.registerThread();
+  Rw.lock(T0);
+  std::thread Other([&] {
+    ThreadId T1 = R.registerThread();
+    // The writer above holds Rw: both try flavors must fail.
+    bool Excl = Rw.tryLock(T1);
+    EXPECT_FALSE(Excl);
+    if (Excl)
+      Rw.unlock(T1);
+    bool Shared = Rw.tryLockShared(T1);
+    EXPECT_FALSE(Shared);
+    if (Shared)
+      Rw.unlockShared(T1);
+  });
+  Other.join();
+  Rw.unlock(T0);
+  Trace Tr = R.finish();
+  ASSERT_EQ(Tr.validate(), "");
+
+  unsigned Fails = 0;
+  for (const Event &E : Tr.Threads[1].Events)
+    if (E.Kind == EventKind::TryAcquire) {
+      EXPECT_FALSE(E.TrySucceeded);
+      EXPECT_EQ(E.Mode, Fails == 0 ? AcquireMode::Exclusive
+                                   : AcquireMode::Shared);
+      ++Fails;
+    }
+  EXPECT_EQ(Fails, 2u);
+  // Failed tries open no sections: only the main thread's writer CS.
+  Tr.buildCsIndex();
+  EXPECT_EQ(CsIndex::build(Tr).size(), 1u);
+}

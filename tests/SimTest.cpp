@@ -549,3 +549,108 @@ TEST_P(ReplayPropertyTest, SchemesRankAsInFigure13) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ReplayPropertyTest,
                          testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
                                          89));
+
+//===----------------------------------------------------------------------===//
+// Extended vocabulary: reader concurrency, trylock, condvars
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Two threads each running one 1000ns section on the same rwlock,
+/// reader-side when \p Shared, writer-side otherwise.
+Trace rwPairTrace(bool Shared) {
+  TraceBuilder B;
+  LockId Rw = B.addLock("rw");
+  ThreadId T0 = B.addThread();
+  ThreadId T1 = B.addThread();
+  for (ThreadId T : {T0, T1}) {
+    if (Shared)
+      B.beginCsShared(T, Rw);
+    else
+      B.beginCsWrite(T, Rw);
+    B.read(T, 1, 0);
+    B.compute(T, 1000);
+    B.endCs(T);
+  }
+  return B.finish();
+}
+
+} // namespace
+
+TEST(ReplayerTest, SharedReadersOverlapWritersExclude) {
+  Trace Readers = rwPairTrace(/*Shared=*/true);
+  recordGrantSchedule(Readers, 7, freeCosts());
+  ReplayResult R = replayTrace(Readers, optionsFor(ScheduleKind::ElscS));
+  ASSERT_TRUE(R.ok()) << R.Error;
+  // Both readers hold the rwlock concurrently: wall time is one body.
+  EXPECT_EQ(R.TotalTime, 1000u);
+
+  Trace Writers = rwPairTrace(/*Shared=*/false);
+  recordGrantSchedule(Writers, 7, freeCosts());
+  ReplayResult W = replayTrace(Writers, optionsFor(ScheduleKind::ElscS));
+  ASSERT_TRUE(W.ok()) << W.Error;
+  // Writer-side sections exclude exactly like mutexes.
+  EXPECT_EQ(W.TotalTime, 2000u);
+}
+
+TEST(ReplayerTest, FailedTryPaysFailCostWithoutSection) {
+  TraceBuilder B;
+  LockId Mu = B.addLock("mu");
+  ThreadId T = B.addThread();
+  B.tryCs(T, Mu, InvalidId, /*Succeeded=*/false);
+  B.compute(T, 100);
+  Trace Tr = B.finish();
+
+  CostModel Costs = freeCosts();
+  Costs.TryLockFail = 20;
+  ReplayResult R =
+      replayTrace(Tr, optionsFor(ScheduleKind::OrigS, 1, Costs));
+  ASSERT_TRUE(R.ok()) << R.Error;
+  // The fallback path costs one failed compare-exchange; no section
+  // opens and nothing blocks.
+  EXPECT_EQ(R.TotalTime, 120u);
+  EXPECT_EQ(R.Sections.size(), 0u);
+}
+
+TEST(ReplayerTest, SuccessfulTryChargedLikeAcquire) {
+  TraceBuilder B;
+  LockId Mu = B.addLock("mu");
+  ThreadId T = B.addThread();
+  B.tryCs(T, Mu, InvalidId, /*Succeeded=*/true);
+  B.read(T, 1, 0);
+  B.endCs(T);
+  Trace Tr = B.finish();
+
+  CostModel Costs;
+  Costs.LockAcquire = 10;
+  Costs.LockRelease = 7;
+  Costs.MemAccess = 3;
+  ReplayResult R =
+      replayTrace(Tr, optionsFor(ScheduleKind::ElscS, 1, Costs));
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.TotalTime, 10u + 3 + 7);
+  EXPECT_EQ(R.Sections.size(), 1u);
+}
+
+TEST(ReplayerTest, CondEventCostsCharged) {
+  TraceBuilder B;
+  LockId Cv = B.addLock("cv");
+  ThreadId T0 = B.addThread();
+  ThreadId T1 = B.addThread();
+  B.condSignal(T0, Cv);
+  B.condBroadcast(T0, Cv);
+  B.condWait(T1, Cv);
+  B.compute(T1, 100);
+  Trace Tr = B.finish();
+
+  CostModel Costs = freeCosts();
+  Costs.CondSignal = 10;
+  Costs.CondWait = 50;
+  ReplayResult R =
+      replayTrace(Tr, optionsFor(ScheduleKind::OrigS, 1, Costs));
+  ASSERT_TRUE(R.ok()) << R.Error;
+  // T0: signal + broadcast = 20; T1: park + body = 150.
+  EXPECT_EQ(R.ThreadFinish[0], 20u);
+  EXPECT_EQ(R.ThreadFinish[1], 150u);
+  EXPECT_EQ(R.TotalTime, 150u);
+}

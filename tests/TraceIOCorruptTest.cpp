@@ -646,6 +646,113 @@ TEST(TraceIOCorruptTest, V3WindowedReaderRejectsCorruptFiles) {
 }
 
 //===----------------------------------------------------------------------===//
+// v3.1 extended-vocabulary corruption
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A small v3.1 trace carrying the extended vocabulary: a reader-side
+/// rwlock section, exactly one TryAcquire, and a condvar pairing.
+/// Small ids keep the trylock's byte encoding deterministic — kind 9,
+/// varint lock+1, varint site+1, varint 0 (no lockset), mode byte,
+/// success byte — so tests can locate and corrupt it.
+std::vector<uint8_t> extendedV3Bytes(size_t TargetChunkBytes = 4096) {
+  TraceBuilder B;
+  LockId Rw = B.addLock("rw");
+  LockId Cv = B.addLock("cv");
+  CodeSiteId S = B.addSite("ext.cc", "reader", 1, 2);
+  ThreadId T0 = B.addThread();
+  ThreadId T1 = B.addThread();
+  B.beginCsShared(T0, Rw, S);
+  B.read(T0, 100, 7);
+  B.endCs(T0);
+  B.tryCs(T0, Rw, S, /*Succeeded=*/true);
+  B.write(T0, 100, 9);
+  B.endCs(T0);
+  B.condSignal(T0, Cv);
+  B.condWait(T1, Cv, S);
+  return writeTraceV3(B.finish(), TargetChunkBytes);
+}
+
+/// Byte offset of the single TryAcquire event's kind tag inside
+/// extendedV3Bytes().  Asserts the encoded pattern occurs exactly once
+/// so the mutation below cannot silently hit an unrelated byte.
+size_t findTryAcquire(const std::vector<uint8_t> &Bytes) {
+  // kind 9, lock id 0 (+1), site id 0 (+1), no lockset, Exclusive,
+  // succeeded.
+  const uint8_t Pattern[] = {0x09, 0x01, 0x01, 0x00, 0x00, 0x01};
+  size_t Found = Bytes.size();
+  unsigned Count = 0;
+  for (size_t I = 0; I + sizeof(Pattern) <= Bytes.size(); ++I)
+    if (std::memcmp(Bytes.data() + I, Pattern, sizeof(Pattern)) == 0) {
+      Found = I;
+      ++Count;
+    }
+  EXPECT_EQ(Count, 1u);
+  return Found;
+}
+
+} // namespace
+
+// A stream whose footer claims minor version 3.0 must reject the
+// extended kinds: old-vocabulary files promise LockAcquire..Compute
+// only, and the decoder gates on that promise.
+TEST(TraceIOCorruptTest, V3ExtendedKindRejectedUnderMinor30Footer) {
+  std::vector<uint8_t> Bytes = extendedV3Bytes();
+  ASSERT_GE(Bytes.size(), 8u);
+  ASSERT_EQ(std::memcmp(Bytes.data() + Bytes.size() - 8, "PFPLEN31", 8), 0);
+  std::memcpy(Bytes.data() + Bytes.size() - 8, "PFPLEND3", 8);
+  Trace Out;
+  std::string Err;
+  EXPECT_FALSE(parseV3(Bytes, Out, Err));
+  EXPECT_NE(Err.find("unknown event kind"), std::string::npos) << Err;
+}
+
+// Corrupting the TryAcquire mode byte past AcquireMode::Shared is a
+// typed decode failure, not a silent mis-mode.
+TEST(TraceIOCorruptTest, V3BadTryModeByteIsTyped) {
+  std::vector<uint8_t> Bytes = extendedV3Bytes();
+  size_t Try = findTryAcquire(Bytes);
+  ASSERT_LT(Try, Bytes.size());
+  Bytes[Try + 4] = 0x02; // mode byte: neither Exclusive nor Shared
+  Trace Out;
+  std::string Err;
+  EXPECT_FALSE(parseV3(Bytes, Out, Err));
+  EXPECT_NE(Err.find("unknown acquire mode"), std::string::npos) << Err;
+}
+
+// Same for the success flag: anything beyond 0/1 is rejected.
+TEST(TraceIOCorruptTest, V3BadTryFlagIsTyped) {
+  std::vector<uint8_t> Bytes = extendedV3Bytes();
+  size_t Try = findTryAcquire(Bytes);
+  ASSERT_LT(Try, Bytes.size());
+  Bytes[Try + 5] = 0x02;
+  Trace Out;
+  std::string Err;
+  EXPECT_FALSE(parseV3(Bytes, Out, Err));
+  EXPECT_NE(Err.find("bad trylock flag"), std::string::npos) << Err;
+}
+
+// The truncation sweep repeated over an extended-vocabulary trace
+// split across many chunks: every prefix either parses to a valid
+// trace or fails with a diagnostic.
+TEST(TraceIOCorruptTest, V3ExtendedEveryTruncationFailsGracefully) {
+  const std::vector<uint8_t> Base = extendedV3Bytes(/*TargetChunkBytes=*/64);
+  ASSERT_GT(Base.size(), 64u);
+  for (size_t Len = 0; Len < Base.size(); Len += 3) {
+    std::vector<uint8_t> Prefix(Base.begin(),
+                                Base.begin() + static_cast<ptrdiff_t>(Len));
+    Trace Out;
+    std::string Err;
+    bool Ok = parseTraceV3(Prefix.data(), Prefix.size(), Out, Err);
+    if (Ok)
+      EXPECT_EQ(Out.validate(), "") << "prefix " << Len;
+    else
+      EXPECT_FALSE(Err.empty()) << "prefix " << Len;
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // MappedFile mechanics
 //===----------------------------------------------------------------------===//
 

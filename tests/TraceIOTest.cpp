@@ -51,6 +51,45 @@ Trace makeRichTrace() {
   return Tr;
 }
 
+/// A trace exercising the extended synchronization vocabulary: shared
+/// and exclusive rwlock acquires, successful and failed tries (both
+/// modes), and condvar wait/signal/broadcast.
+Trace makeExtendedTrace() {
+  TraceBuilder B;
+  LockId Rw = B.addLock("table_rw");
+  LockId Mu = B.addLock("cache_mu");
+  LockId Cv = B.addLock("queue_cv");
+  CodeSiteId S0 = B.addSite("ext.cc", "reader", 10, 19);
+  CodeSiteId S1 = B.addSite("ext.cc", "writer", 20, 29);
+  CodeSiteId S2 = B.addSite("ext.cc", "waiter", 30, 39);
+  ThreadId T0 = B.addThread();
+  ThreadId T1 = B.addThread();
+
+  B.beginCsShared(T0, Rw, S0);
+  B.read(T0, 100, 7);
+  B.endCs(T0);
+  B.beginCsWrite(T0, Rw, S1);
+  B.write(T0, 100, 9);
+  B.endCs(T0);
+  EXPECT_TRUE(B.tryCs(T0, Mu, S1, /*Succeeded=*/true));
+  B.write(T0, 200, 1, WriteOpKind::Add);
+  B.endCs(T0);
+  B.condSignal(T0, Cv);
+  B.condBroadcast(T0, Cv);
+
+  B.beginCsShared(T1, Rw, S0);
+  B.read(T1, 100, 7);
+  B.endCs(T1);
+  EXPECT_FALSE(B.tryCs(T1, Mu, S1, /*Succeeded=*/false));
+  EXPECT_TRUE(
+      B.tryCs(T1, Rw, S0, /*Succeeded=*/true, AcquireMode::Shared));
+  B.read(T1, 100, 7);
+  B.endCs(T1);
+  B.condWait(T1, Cv, S2);
+  B.compute(T1, 50);
+  return B.finish();
+}
+
 /// A mechanically generated trace big enough that a small v3 chunk
 /// target splits every thread across many chunks.
 Trace makeBigTrace(unsigned NumThreads, unsigned SectionsPerThread) {
@@ -90,6 +129,8 @@ void expectTracesEqual(const Trace &A, const Trace &B) {
       EXPECT_EQ(EA[I].Addr, EB[I].Addr);
       EXPECT_EQ(EA[I].Value, EB[I].Value);
       EXPECT_EQ(EA[I].Cost, EB[I].Cost);
+      EXPECT_EQ(EA[I].Mode, EB[I].Mode);
+      EXPECT_EQ(EA[I].TrySucceeded, EB[I].TrySucceeded);
     }
   }
   // Names are pooled; compare resolved content, not ids (two pools may
@@ -360,6 +401,77 @@ TEST(TraceIOTest, V3FileSaveAndAutoDetectLoad) {
     }
   }
   std::remove(Path.c_str());
+}
+
+// The extended vocabulary round-trips every format, and save → load →
+// save is byte-stable (the golden-twin discipline of
+// GoldenRoundTripAllFormats extended to kinds 7-12).
+TEST(TraceIOTest, ExtendedVocabularyGoldenRoundTripAllFormats) {
+  Trace Tr = makeExtendedTrace();
+  std::string Err;
+  for (TraceFormat Format :
+       {TraceFormat::Text, TraceFormat::Binary, TraceFormat::V3}) {
+    std::string Path = testing::TempDir() + "/perfplay_ext_golden.trace";
+    ASSERT_TRUE(saveTrace(Tr, Path, Err, Format)) << Err;
+    Trace Back;
+    ASSERT_TRUE(loadTrace(Path, Back, Err)) << Err;
+    expectTracesEqual(Tr, Back);
+    switch (Format) {
+    case TraceFormat::Text:
+      EXPECT_EQ(writeTraceText(Back), writeTraceText(Tr));
+      break;
+    case TraceFormat::Binary:
+      EXPECT_EQ(writeTraceBinary(Back), writeTraceBinary(Tr));
+      break;
+    case TraceFormat::V3:
+      EXPECT_EQ(writeTraceV3(Back), writeTraceV3(Tr));
+      break;
+    }
+    std::remove(Path.c_str());
+  }
+}
+
+// The v3 end magic doubles as the minor-version tag: mutex-only
+// traces keep the 3.0 magic byte-for-byte (old readers still accept
+// them), extended traces get tagged 3.1.
+TEST(TraceIOTest, V3MinorVersionTagFollowsVocabulary) {
+  auto endMagic = [](const std::vector<uint8_t> &Bytes) {
+    return std::string(Bytes.end() - 8, Bytes.end());
+  };
+  EXPECT_EQ(endMagic(writeTraceV3(makeRichTrace())), "PFPLEND3");
+  EXPECT_EQ(endMagic(writeTraceV3(makeExtendedTrace())), "PFPLEN31");
+}
+
+// Extended kinds split across tiny chunks must stitch back exactly,
+// and the re-encode is byte-stable.
+TEST(TraceIOTest, V3ExtendedRoundTripManyChunks) {
+  TraceBuilder B;
+  LockId Rw = B.addLock("many.rw");
+  LockId Cv = B.addLock("many.cv");
+  CodeSiteId S = B.addSite("many.cc", "loop", 1, 9);
+  ThreadId T0 = B.addThread();
+  ThreadId T1 = B.addThread();
+  for (unsigned I = 0; I != 400; ++I) {
+    B.beginCsShared(T0, Rw, S);
+    B.read(T0, 0x100 + I % 32, I);
+    B.endCs(T0);
+    if (B.tryCs(T1, Rw, S, /*Succeeded=*/I % 3 != 0,
+                AcquireMode::Exclusive)) {
+      B.write(T1, 0x100 + I % 32, I);
+      B.endCs(T1);
+    }
+    if (I % 5 == 0) {
+      B.condSignal(T0, Cv);
+      B.condWait(T1, Cv, S);
+    }
+  }
+  Trace Tr = B.finish();
+  std::vector<uint8_t> Bytes = writeTraceV3(Tr, /*TargetChunkBytes=*/512);
+  Trace Back;
+  std::string Err;
+  ASSERT_TRUE(parseTraceV3(Bytes.data(), Bytes.size(), Back, Err)) << Err;
+  expectTracesEqual(Tr, Back);
+  EXPECT_EQ(writeTraceV3(Back), writeTraceV3(Tr));
 }
 
 TEST(TraceIOTest, V3EmptyTraceRoundTrips) {

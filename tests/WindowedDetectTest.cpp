@@ -348,3 +348,36 @@ TEST(WindowedDetectTest, V3FileStreamMatchesWholeTrace) {
   }
   std::remove(Path.c_str());
 }
+
+// The extended vocabulary through the windowed path: an rwlock/
+// trylock/condvar-heavy generated workload must produce identical
+// verdicts — and identical trylock-failure edge counters — whether
+// detected whole-trace, via in-memory windows, or streamed from a
+// chunked v3 file.
+TEST(WindowedDetectTest, ExtendedVocabularyParity) {
+  Trace Tr = generateWorkload(makeRwMix(4, 0.5));
+  recordGrantSchedule(Tr, 42);
+  DetectOptions Opts;
+  Opts.PairMode = PairModeKind::AllCrossThread;
+  DetectResult Whole = detectUlcps(Tr, CsIndex::build(Tr), Opts);
+  // The corpus must actually exercise the new rules, or parity is
+  // vacuous.
+  ASSERT_GT(Whole.Counts.ReadRead, 0u);
+  ASSERT_GT(Whole.TryFailEdges, 0u);
+
+  for (size_t W : WindowSizes) {
+    DetectResult Got = runWindowed(Tr, Opts, W);
+    expectSameResult(Whole, Got, "extended window=" + std::to_string(W));
+    EXPECT_EQ(Whole.TryFailEdges, Got.TryFailEdges) << W;
+    EXPECT_EQ(Whole.TryFailPerLock, Got.TryFailPerLock) << W;
+  }
+
+  std::string Path = testing::TempDir() + "/perfplay_windowed_ext.v3trace";
+  std::string Err;
+  ASSERT_TRUE(saveTraceV3(Tr, Path, Err, /*TargetChunkBytes=*/1024)) << Err;
+  DetectResult Streamed = runFromFile(Path, Opts, 7);
+  expectSameResult(Whole, Streamed, "extended v3 stream");
+  EXPECT_EQ(Whole.TryFailEdges, Streamed.TryFailEdges);
+  EXPECT_EQ(Whole.TryFailPerLock, Streamed.TryFailPerLock);
+  std::remove(Path.c_str());
+}

@@ -323,3 +323,72 @@ TEST(CaseStudyTest, InputScaleGrowsWork) {
   EXPECT_GT(makePbzip2Consumer(Large).numEvents(),
             makePbzip2Consumer(Small).numEvents());
 }
+
+//===----------------------------------------------------------------------===//
+// Synthetic (non-Table-1) apps: the rwlock/trylock/condvar corpus
+//===----------------------------------------------------------------------===//
+
+TEST(SyntheticAppTest, RegistryHoldsRwMixBesideTableOne) {
+  // rwmix lives in its own registry so the Table-1 roster stays 16.
+  ASSERT_GE(syntheticApps().size(), 1u);
+  bool Found = false;
+  for (const AppModel &App : syntheticApps())
+    Found |= App.Name == "rwmix";
+  EXPECT_TRUE(Found);
+  for (const AppModel &App : allApps())
+    EXPECT_NE(App.Name, "rwmix");
+}
+
+TEST(SyntheticAppTest, RwMixGeneratesExtendedVocabulary) {
+  Trace Tr = generateWorkload(makeRwMix(4, 1.0));
+  ASSERT_EQ(Tr.validate(), "");
+  EXPECT_EQ(Tr.numThreads(), 4u);
+  uint64_t RwReads = 0, RwWrites = 0, TryOk = 0, TryFail = 0, Waits = 0,
+           Signals = 0;
+  for (const ThreadTrace &T : Tr.Threads)
+    for (const Event &E : T.Events)
+      switch (E.Kind) {
+      case EventKind::RwAcquireRead:
+        ++RwReads;
+        break;
+      case EventKind::RwAcquireWrite:
+        ++RwWrites;
+        break;
+      case EventKind::TryAcquire:
+        ++(E.TrySucceeded ? TryOk : TryFail);
+        break;
+      case EventKind::CondWait:
+        ++Waits;
+        break;
+      case EventKind::CondSignal:
+      case EventKind::CondBroadcast:
+        ++Signals;
+        break;
+      default:
+        break;
+      }
+  // The corpus must exercise every new kind, including failed tries.
+  EXPECT_GT(RwReads, 0u);
+  EXPECT_GT(RwWrites, 0u);
+  EXPECT_GT(TryOk, 0u);
+  EXPECT_GT(TryFail, 0u);
+  EXPECT_GT(Waits, 0u);
+  EXPECT_GT(Signals, 0u);
+}
+
+TEST(SyntheticAppTest, RwMixReplaysAndDetects) {
+  Trace Tr = generateWorkload(makeRwMix(4, 0.5));
+  ReplayResult Rec = recordGrantSchedule(Tr, 5);
+  ASSERT_TRUE(Rec.ok()) << Rec.Error;
+  ReplayResult R = replayTrace(Tr, ReplayOptions());
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_GT(R.TotalTime, 0u);
+
+  CsIndex Index = CsIndex::build(Tr);
+  DetectOptions Opts;
+  Opts.PairMode = PairModeKind::AllCrossThread;
+  DetectResult D = detectUlcps(Tr, Index, Opts);
+  // Reader-reader pairs and trylock-failure edges both surface.
+  EXPECT_GT(D.Counts.ReadRead, 0u);
+  EXPECT_GT(D.TryFailEdges, 0u);
+}

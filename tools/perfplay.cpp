@@ -11,8 +11,10 @@
 //                    [--races] [--threads N] [--detect-threads N]
 //                    [--no-dedup] [--set-repr auto|sorted|bitset]
 //                    [--window-events N]
-//   perfplay replay <trace> [--scheme orig|elsc|sync|mem] [--seed N]
-//                   [--replays K]
+//   perfplay replay <trace> [--scheme orig|elsc|sync|mem|sle|htm]
+//                   [--seed N] [--replays K] [--htm-capacity N]
+//                   [--htm-retries N] [--abort-penalty NS]
+//                   [--abort-rate R]
 //   perfplay casestudy <bug1|bug2|mysql> [--threads N] [--scale S]
 //   perfplay convert <trace> [--out FILE]
 //   perfplay stats <trace> [--verbose]
@@ -21,6 +23,8 @@
 
 #include "core/Engine.h"
 #include "core/PerfPlay.h"
+#include "detect/CriticalSection.h"
+#include "sim/LockElision.h"
 #include "sim/Timeline.h"
 #include "support/Format.h"
 #include "support/MappedFile.h"
@@ -139,9 +143,12 @@ int usage() {
       " [--mmap|--no-mmap]\n"
       "                  [--set-repr auto|sorted|bitset]"
       " [--window-events N]\n"
-      "  perfplay replay <trace> [--scheme orig|elsc|sync|mem]"
-      " [--seed N] [--replays K]\n"
-      "                 [--mmap|--no-mmap]\n"
+      "  perfplay replay <trace> [--scheme orig|elsc|sync|mem|sle|htm]"
+      " [--seed N]\n"
+      "                 [--replays K] [--mmap|--no-mmap]\n"
+      "                 [--htm-capacity N] [--htm-retries N]"
+      " [--abort-penalty NS]\n"
+      "                 [--abort-rate R]\n"
       "  perfplay casestudy <bug1|bug2|mysql> [--threads N] [--scale S]\n"
       "  perfplay convert <trace> [--out FILE] [--mmap|--no-mmap]\n"
       "  perfplay stats <trace> [--verbose] [--mmap|--no-mmap]\n"
@@ -153,7 +160,12 @@ int usage() {
       " bounded-memory\n"
       "windowed detection (detection only; 0 = one chunk per window);\n"
       "convert rewrites any trace as chunked v3, in place unless --out"
-      " is given\n");
+      " is given;\n"
+      "replay --scheme sle/htm run the speculation baselines instead of"
+      " a lock\n"
+      "replay (sle: flat --abort-rate false aborts; htm: deterministic\n"
+      "capacity aborts above --htm-capacity addresses, straight to lock"
+      " fallback)\n");
   return 2;
 }
 
@@ -224,6 +236,8 @@ int cmdListApps() {
     T.addRow({App.Name, "real-world"});
   for (const AppModel &App : parsecApps())
     T.addRow({App.Name, "PARSEC"});
+  for (const AppModel &App : syntheticApps())
+    T.addRow({App.Name, "synthetic"});
   std::printf("%s", T.render().c_str());
   return 0;
 }
@@ -245,6 +259,9 @@ int cmdGenerate(ArgList &Args) {
     return usage();
   const AppModel *App = nullptr;
   for (const AppModel &A : allApps())
+    if (A.Name == Name)
+      App = &A;
+  for (const AppModel &A : syntheticApps())
     if (A.Name == Name)
       App = &A;
   if (!App) {
@@ -499,16 +516,100 @@ int cmdAnalyze(ArgList &Args) {
   return 0;
 }
 
+/// The sle/htm arms of `perfplay replay`: speculation baselines that
+/// run over the loaded trace's critical-section index rather than
+/// through the schedule-kind replayer.  Empty knob strings keep each
+/// model's own default (sle and htm differ on every one).
+int replaySpeculation(const std::string &SchemeName, const std::string &Path,
+                      TraceLoadMode Mode, uint64_t Seed, unsigned Replays,
+                      const std::string &Capacity, const std::string &Retries,
+                      const std::string &Penalty, const std::string &Rate) {
+  Trace Tr;
+  std::string Err;
+  if (!loadTrace(Path, Tr, Err, Mode)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  CsIndex Index = CsIndex::build(Tr);
+
+  RunningStats Stats;
+  if (SchemeName == "htm") {
+    HtmOptions Opts;
+    if (!Capacity.empty())
+      Opts.Capacity =
+          static_cast<unsigned>(std::strtoul(Capacity.c_str(), nullptr, 10));
+    if (!Retries.empty())
+      Opts.MaxRetries =
+          static_cast<unsigned>(std::strtoul(Retries.c_str(), nullptr, 10));
+    if (!Penalty.empty())
+      Opts.AbortPenalty = std::strtoull(Penalty.c_str(), nullptr, 10);
+    if (!Rate.empty())
+      Opts.InterruptAbortRate = std::atof(Rate.c_str());
+    HtmResult Last;
+    for (unsigned I = 0; I != std::max(Replays, 1u); ++I) {
+      Opts.Seed = Seed + I;
+      Last = simulateHtm(Tr, Index, Opts);
+      Stats.add(static_cast<double>(Last.TotalTime));
+    }
+    std::printf("htm: %s mean over %llu replay(s), spread %s\n",
+                formatNs(static_cast<TimeNs>(Stats.mean())).c_str(),
+                static_cast<unsigned long long>(Stats.count()),
+                formatNs(static_cast<TimeNs>(Stats.range())).c_str());
+    std::printf("aborts: %llu conflict, %llu capacity, %llu interrupt; "
+                "%llu lock fallbacks, wasted %s\n",
+                static_cast<unsigned long long>(Last.ConflictAborts),
+                static_cast<unsigned long long>(Last.CapacityAborts),
+                static_cast<unsigned long long>(Last.InterruptAborts),
+                static_cast<unsigned long long>(Last.Fallbacks),
+                formatNs(Last.WastedNs).c_str());
+    return 0;
+  }
+
+  LockElisionOptions Opts;
+  if (!Retries.empty())
+    Opts.MaxRetries =
+        static_cast<unsigned>(std::strtoul(Retries.c_str(), nullptr, 10));
+  if (!Penalty.empty())
+    Opts.AbortPenalty = std::strtoull(Penalty.c_str(), nullptr, 10);
+  if (!Rate.empty())
+    Opts.FalseAbortRate = std::atof(Rate.c_str());
+  LockElisionResult Last;
+  for (unsigned I = 0; I != std::max(Replays, 1u); ++I) {
+    Opts.Seed = Seed + I;
+    Last = simulateLockElision(Tr, Index, Opts);
+    Stats.add(static_cast<double>(Last.TotalTime));
+  }
+  std::printf("sle: %s mean over %llu replay(s), spread %s\n",
+              formatNs(static_cast<TimeNs>(Stats.mean())).c_str(),
+              static_cast<unsigned long long>(Stats.count()),
+              formatNs(static_cast<TimeNs>(Stats.range())).c_str());
+  std::printf("aborts: %llu conflict, %llu false; %llu lock fallbacks, "
+              "wasted %s\n",
+              static_cast<unsigned long long>(Last.ConflictAborts),
+              static_cast<unsigned long long>(Last.FalseAborts),
+              static_cast<unsigned long long>(Last.Fallbacks),
+              formatNs(Last.WastedNs).c_str());
+  return 0;
+}
+
 int cmdReplay(ArgList &Args) {
   std::string SchemeName = Args.option("--scheme", "elsc");
   uint64_t Seed =
       std::strtoull(Args.option("--seed", "1").c_str(), nullptr, 10);
   unsigned Replays =
       static_cast<unsigned>(std::atoi(Args.option("--replays", "1").c_str()));
+  std::string Capacity = Args.option("--htm-capacity", "");
+  std::string Retries = Args.option("--htm-retries", "");
+  std::string Penalty = Args.option("--abort-penalty", "");
+  std::string Rate = Args.option("--abort-rate", "");
   TraceLoadMode Mode = loadModeFromArgs(Args);
   std::string Path = Args.positional();
   if (Path.empty())
     return usage();
+
+  if (SchemeName == "sle" || SchemeName == "htm")
+    return replaySpeculation(SchemeName, Path, Mode, Seed, Replays,
+                             Capacity, Retries, Penalty, Rate);
 
   ScheduleKind Scheme;
   if (!parseScheduleKind(SchemeName, Scheme)) {
