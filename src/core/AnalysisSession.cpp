@@ -24,6 +24,10 @@ const char *perfplay::errorCodeName(ErrorCode Code) {
     return "incompatible-options";
   case ErrorCode::TraceIOFailed:
     return "trace-io-failed";
+  case ErrorCode::ProtocolError:
+    return "protocol-error";
+  case ErrorCode::ServerOverloaded:
+    return "server-overloaded";
   }
   return "?";
 }

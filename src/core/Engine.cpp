@@ -50,6 +50,10 @@ Engine::openSessionFromFile(const std::string &Path,
   return openFileSession(Path, Mode, Defaults, Progress);
 }
 
+Expected<PipelineResult> Engine::analyzeTrace(Trace Tr) const {
+  return openSession(std::move(Tr)).analyze();
+}
+
 Expected<DetectResult>
 Engine::detectWindowed(const std::string &Path) const {
   WindowedReader Reader;

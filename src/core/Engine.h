@@ -57,6 +57,13 @@ public:
   openSessionFromFile(const std::string &Path,
                       TraceLoadMode Mode = TraceLoadMode::Auto) const;
 
+  /// Runs the full pipeline over an already-parsed \p Tr — the session
+  /// reuse hook for callers that hold traces beyond one analysis (the
+  /// serve daemon's TraceCache hands out copies of cached parses and
+  /// analyzes them through this).  Equivalent to
+  /// openSession(Tr).analyze() with the engine's options.
+  Expected<PipelineResult> analyzeTrace(Trace Tr) const;
+
   /// Out-of-core detection over the chunked v3 trace at \p Path:
   /// streams chunks through a WindowedReader into a WindowedDetector
   /// in bounded-memory windows of options().WindowEvents events

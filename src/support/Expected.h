@@ -51,6 +51,14 @@ enum class ErrorCode : uint8_t {
   /// or a corrupt/truncated body.  The message carries the loader's
   /// diagnostic.
   TraceIOFailed,
+  /// A `perfplay serve` wire-protocol failure: malformed frame, an
+  /// oversized length prefix, an unknown request type, or a socket
+  /// error between client and daemon (serve/Protocol.h).
+  ProtocolError,
+  /// The serve daemon's admission control rejected the request because
+  /// its connection queue was full; the client should back off and
+  /// retry (serve/Server.h).
+  ServerOverloaded,
 };
 
 /// Returns a stable identifier for \p Code ("invalid-trace", ...).

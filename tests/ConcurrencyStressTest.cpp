@@ -13,13 +13,19 @@
 #include "detect/Detector.h"
 #include "runtime/Instrument.h"
 #include "runtime/Recorder.h"
+#include "serve/Server.h"
+#include "serve/TraceCache.h"
 #include "support/ThreadPool.h"
 #include "trace/TraceBuilder.h"
+#include "trace/TraceIO.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <string>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 using namespace perfplay;
@@ -325,6 +331,194 @@ TEST(ConcurrencyStressTest, RecorderConcurrentRegistrationAndLogging) {
   ASSERT_EQ(Tr.LockSchedule.size(), 1u);
   EXPECT_EQ(Tr.LockSchedule[0].size(),
             static_cast<size_t>(NumThreads) * EventsPerThread);
+}
+
+//===----------------------------------------------------------------------===//
+// serve::TraceCache (src/serve/TraceCache.h)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Writes tinyTrace(Salt) to a temp binary file; distinct salts give
+/// distinct contents and therefore distinct content hashes.
+std::string cacheTraceFile(unsigned Salt) {
+  std::string Path = testing::TempDir() + "pp_cache_" +
+                     std::to_string(::getpid()) + "_" +
+                     std::to_string(Salt) + ".btrace";
+  std::string Err;
+  EXPECT_TRUE(
+      saveTrace(tinyTrace(Salt), Path, Err, TraceFormat::Binary))
+      << Err;
+  return Path;
+}
+
+} // namespace
+
+// Exactly-once parse per content hash: N threads hammering the same
+// few files must trigger one parse per distinct content, with every
+// other request served by a cache hit or by waiting on the in-flight
+// parse (FlightMu/FlightCv), never by a duplicate parse.
+TEST(ConcurrencyStressTest, TraceCacheExactlyOnceParse) {
+  constexpr unsigned NumFiles = 4;
+  constexpr unsigned NumThreads = 8;
+  constexpr unsigned Iterations = 50;
+  std::vector<std::string> Paths;
+  for (unsigned I = 0; I != NumFiles; ++I)
+    Paths.push_back(cacheTraceFile(I));
+
+  serve::TraceCache Cache(/*BudgetBytes=*/64u << 20);
+  std::atomic<unsigned> Parses{0};
+  Cache.setParserForTesting(
+      [&](const uint8_t *Data, size_t Size, Trace &Out, std::string &Err) {
+        Parses.fetch_add(1);
+        return parseTraceBuffer(Data, Size, Out, Err);
+      });
+
+  std::atomic<unsigned> Failures{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (unsigned I = 0; I != Iterations; ++I) {
+        uint64_t Hash = 0;
+        bool FromCache = false;
+        Expected<Trace> TrOr = Cache.getTrace(
+            Paths[(T + I) % NumFiles], Hash, FromCache);
+        if (!TrOr.ok() || TrOr->numEvents() == 0)
+          Failures.fetch_add(1);
+      }
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+
+  EXPECT_EQ(Failures.load(), 0u);
+  EXPECT_EQ(Parses.load(), NumFiles)
+      << "a content hash was parsed more than once";
+
+  serve::ServeStats S;
+  Cache.fillStats(S);
+  EXPECT_EQ(S.TraceCacheMisses, NumFiles);
+  EXPECT_EQ(S.TraceCacheHits + S.TraceCacheMisses,
+            static_cast<uint64_t>(NumThreads) * Iterations);
+
+  for (const std::string &P : Paths)
+    std::remove(P.c_str());
+}
+
+// Concurrent hit/miss/evict under a budget that fits roughly one
+// entry: every lookup still returns a correct trace (or a clean
+// error), eviction counters move, and the byte bound holds — under
+// TSan this is the lock-discipline proof for CacheMu + FlightMu.
+TEST(ConcurrencyStressTest, TraceCacheEvictionChurn) {
+  constexpr unsigned NumFiles = 6;
+  constexpr unsigned NumThreads = 8;
+  constexpr unsigned Iterations = 30;
+  std::vector<std::string> Paths;
+  std::vector<size_t> ExpectEvents;
+  for (unsigned I = 0; I != NumFiles; ++I) {
+    Paths.push_back(cacheTraceFile(100 + I));
+    Trace Tr;
+    std::string Err;
+    ASSERT_TRUE(loadTrace(Paths.back(), Tr, Err)) << Err;
+    ExpectEvents.push_back(Tr.numEvents());
+  }
+
+  // Budget ~ one file: every insert evicts something else.
+  serve::TraceCache Cache(/*BudgetBytes=*/600);
+  std::atomic<unsigned> Failures{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (unsigned I = 0; I != Iterations; ++I) {
+        unsigned F = (T * 3 + I) % NumFiles;
+        uint64_t Hash = 0;
+        bool FromCache = false;
+        Expected<Trace> TrOr = Cache.getTrace(Paths[F], Hash, FromCache);
+        if (!TrOr.ok() || TrOr->numEvents() != ExpectEvents[F])
+          Failures.fetch_add(1);
+        // The result cache churns alongside.
+        serve::ResultSummary Sum;
+        Sum.NullLock = F;
+        Cache.storeResult(Hash, 0, Sum);
+        serve::ResultSummary Got;
+        if (Cache.lookupResult(Hash, 0, Got) && Got.NullLock != F)
+          Failures.fetch_add(1);
+      }
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+
+  EXPECT_EQ(Failures.load(), 0u);
+  serve::ServeStats S;
+  Cache.fillStats(S);
+  EXPECT_GT(S.CacheEvictions, 0u);
+  EXPECT_LE(S.CacheBytes, 600u);
+
+  for (const std::string &P : Paths)
+    std::remove(P.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// serve::Server shutdown drain
+//===----------------------------------------------------------------------===//
+
+// Shutdown while requests are in flight: clients hammer the daemon as
+// a shutdown lands in the middle.  Every response must be either a
+// complete correct result or a clean connection-level failure — never
+// a torn frame — and stop() must join every thread (a hang here is
+// the failure).
+TEST(ConcurrencyStressTest, ServerShutdownWhileRequestsInFlight) {
+  std::string Socket = testing::TempDir() + "pp_drain_" +
+                       std::to_string(::getpid()) + ".sock";
+  std::string Path = cacheTraceFile(7777);
+
+  serve::ServerOptions Opts;
+  Opts.SocketPath = Socket;
+  Opts.NumWorkers = 2;
+  serve::Server Daemon(Opts);
+  Expected<void> Ok = Daemon.start();
+  ASSERT_TRUE(Ok.ok()) << Ok.message();
+
+  constexpr unsigned NumClients = 6;
+  std::atomic<unsigned> Completed{0};
+  std::atomic<unsigned> Torn{0};
+  std::atomic<bool> Stop{false};
+  std::vector<std::thread> Clients;
+  for (unsigned C = 0; C != NumClients; ++C)
+    Clients.emplace_back([&] {
+      while (!Stop.load()) {
+        serve::ServeClient Client;
+        if (!Client.connect(Socket).ok())
+          break; // Daemon gone: the socket is down, that's a clean end.
+        serve::AnalyzeRequest Req;
+        Req.Path = Path;
+        Expected<serve::ResultSummary> Sum = Client.analyze(Req);
+        if (Sum.ok()) {
+          Completed.fetch_add(1);
+          if (Sum->NullLock + Sum->ReadRead + Sum->DisjointWrite +
+                  Sum->Benign + Sum->TrueContention ==
+              0)
+            Torn.fetch_add(1); // tinyTrace always has pairs
+        }
+        // !ok is fine: a connection dropped during drain.
+      }
+    });
+
+  // Let some requests complete, then shut down mid-stream.
+  while (Completed.load() < 4)
+    std::this_thread::yield();
+  {
+    serve::ServeClient Shut;
+    if (Shut.connect(Socket).ok())
+      Shut.shutdown();
+  }
+  Daemon.stop(); // Must drain and join without hanging.
+  Stop.store(true);
+  for (std::thread &T : Clients)
+    T.join();
+
+  EXPECT_GE(Completed.load(), 4u);
+  EXPECT_EQ(Torn.load(), 0u);
+  std::remove(Path.c_str());
 }
 
 // Recorded traces gathered under contention must analyze end to end.

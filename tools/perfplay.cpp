@@ -18,11 +18,17 @@
 //   perfplay casestudy <bug1|bug2|mysql> [--threads N] [--scale S]
 //   perfplay convert <trace> [--out FILE]
 //   perfplay stats <trace> [--verbose]
+//   perfplay serve --socket PATH [--workers N] [--cache-budget BYTES]
+//                  [--max-queue N] [--idle-timeout MS]
+//   perfplay client --socket PATH analyze <trace> [--pairs adjacent|all]
+//                   [--no-cache]
+//   perfplay client --socket PATH stats|shutdown
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/Engine.h"
 #include "core/PerfPlay.h"
+#include "serve/Server.h"
 #include "detect/CriticalSection.h"
 #include "sim/LockElision.h"
 #include "sim/Timeline.h"
@@ -152,6 +158,13 @@ int usage() {
       "  perfplay casestudy <bug1|bug2|mysql> [--threads N] [--scale S]\n"
       "  perfplay convert <trace> [--out FILE] [--mmap|--no-mmap]\n"
       "  perfplay stats <trace> [--verbose] [--mmap|--no-mmap]\n"
+      "  perfplay serve --socket PATH [--workers N]"
+      " [--cache-budget BYTES]\n"
+      "                [--max-queue N] [--idle-timeout MS]\n"
+      "  perfplay client --socket PATH analyze <trace>"
+      " [--pairs adjacent|all]\n"
+      "                 [--no-cache]\n"
+      "  perfplay client --socket PATH stats|shutdown\n"
       "options accept both '--name value' and '--name=value';\n"
       "trace files are memory-mapped by default (zero-copy for binary"
       " traces),\n"
@@ -788,6 +801,140 @@ int cmdCaseStudy(ArgList &Args) {
   return 0;
 }
 
+/// `perfplay serve`: run the resident analysis daemon until a client
+/// sends shutdown (perfplay client --socket PATH shutdown).
+int cmdServe(ArgList &Args) {
+  serve::ServerOptions Opts;
+  Opts.SocketPath = Args.option("--socket", "");
+  if (Opts.SocketPath.empty()) {
+    std::fprintf(stderr, "error: serve requires --socket PATH\n");
+    return 2;
+  }
+  if (!parseThreadCount(Args.option("--workers", "0"), "--workers",
+                        Opts.NumWorkers))
+    return 2;
+  Opts.CacheBudgetBytes = static_cast<size_t>(std::strtoull(
+      Args.option("--cache-budget", "67108864").c_str(), nullptr, 10));
+  unsigned MaxQueue;
+  if (!parseThreadCount(Args.option("--max-queue", "64"), "--max-queue",
+                        MaxQueue))
+    return 2;
+  Opts.MaxQueueDepth = MaxQueue;
+  Opts.IdleTimeoutMs =
+      std::atoi(Args.option("--idle-timeout", "0").c_str());
+
+  serve::Server Daemon(Opts);
+  Expected<void> StartOr = Daemon.start();
+  if (!StartOr) {
+    std::fprintf(stderr, "error: %s [%s]\n", StartOr.message().c_str(),
+                 errorCodeName(StartOr.code()));
+    return 1;
+  }
+  std::printf("serving on %s: %u worker(s), %u detect thread(s)/request, "
+              "cache budget %zu bytes\n",
+              Opts.SocketPath.c_str(), Daemon.workers(),
+              Daemon.detectThreadsPerRequest(), Opts.CacheBudgetBytes);
+  std::fflush(stdout);
+  Daemon.wait();
+  Daemon.stop();
+  std::printf("daemon stopped\n");
+  return 0;
+}
+
+void printServeStats(const serve::ServeStats &S) {
+  std::printf("requests: %llu served, %llu failed, %llu protocol errors, "
+              "%llu rejected\n",
+              static_cast<unsigned long long>(S.RequestsServed),
+              static_cast<unsigned long long>(S.RequestsFailed),
+              static_cast<unsigned long long>(S.ProtocolErrors),
+              static_cast<unsigned long long>(S.RequestsRejected));
+  std::printf("trace cache: %llu hits, %llu misses; result cache: "
+              "%llu hits, %llu misses; %llu evictions\n",
+              static_cast<unsigned long long>(S.TraceCacheHits),
+              static_cast<unsigned long long>(S.TraceCacheMisses),
+              static_cast<unsigned long long>(S.ResultCacheHits),
+              static_cast<unsigned long long>(S.ResultCacheMisses),
+              static_cast<unsigned long long>(S.CacheEvictions));
+  std::printf("resident: %llu traces + %llu results (%llu bytes), queue "
+              "depth %llu\n",
+              static_cast<unsigned long long>(S.CachedTraces),
+              static_cast<unsigned long long>(S.CachedResults),
+              static_cast<unsigned long long>(S.CacheBytes),
+              static_cast<unsigned long long>(S.QueueDepth));
+  std::printf("latency: p50 %llu us, p99 %llu us\n",
+              static_cast<unsigned long long>(S.P50Micros),
+              static_cast<unsigned long long>(S.P99Micros));
+}
+
+/// `perfplay client`: one request against a running daemon.
+int cmdClient(ArgList &Args) {
+  std::string Socket = Args.option("--socket", "");
+  std::string PairMode = Args.option("--pairs", "adjacent");
+  bool NoCache = Args.flag("--no-cache");
+  std::string Action = Args.positional();
+  if (Socket.empty() || Action.empty()) {
+    std::fprintf(stderr, "error: client requires --socket PATH and an "
+                         "action (analyze|stats|shutdown)\n");
+    return 2;
+  }
+
+  serve::ServeClient Client;
+  Expected<void> ConnOr = Client.connect(Socket);
+  if (!ConnOr) {
+    std::fprintf(stderr, "error: %s [%s]\n", ConnOr.message().c_str(),
+                 errorCodeName(ConnOr.code()));
+    return 1;
+  }
+
+  if (Action == "analyze") {
+    serve::AnalyzeRequest Req;
+    Req.Path = Args.positional();
+    if (Req.Path.empty())
+      return usage();
+    Req.PairMode = PairMode == "all" ? 1 : 0;
+    Req.NoCache = NoCache ? 1 : 0;
+    Expected<serve::ResultSummary> SumOr = Client.analyze(Req);
+    if (!SumOr) {
+      std::fprintf(stderr, "error: %s [%s]\n", SumOr.message().c_str(),
+                   errorCodeName(SumOr.code()));
+      return 1;
+    }
+    const serve::ResultSummary &S = *SumOr;
+    uint64_t Total = S.NullLock + S.ReadRead + S.DisjointWrite + S.Benign;
+    std::printf("ULCPs: %llu (NL=%llu RR=%llu DW=%llu benign=%llu), "
+                "true contention: %llu%s\n",
+                static_cast<unsigned long long>(Total),
+                static_cast<unsigned long long>(S.NullLock),
+                static_cast<unsigned long long>(S.ReadRead),
+                static_cast<unsigned long long>(S.DisjointWrite),
+                static_cast<unsigned long long>(S.Benign),
+                static_cast<unsigned long long>(S.TrueContention),
+                S.FromResultCache ? " [cached]"
+                : S.FromTraceCache ? " [trace cached]"
+                                   : "");
+    std::printf("transform: %llu causal edges, %llu auxiliary locks, "
+                "%llu standalone sections removed\n",
+                static_cast<unsigned long long>(S.TopologyEdges),
+                static_cast<unsigned long long>(S.NumAuxLocks),
+                static_cast<unsigned long long>(S.NumStandalone));
+    return 0;
+  }
+  if (Action == "stats" || Action == "shutdown") {
+    Expected<serve::ServeStats> StatsOr =
+        Action == "stats" ? Client.stats() : Client.shutdown();
+    if (!StatsOr) {
+      std::fprintf(stderr, "error: %s [%s]\n", StatsOr.message().c_str(),
+                   errorCodeName(StatsOr.code()));
+      return 1;
+    }
+    printServeStats(*StatsOr);
+    return 0;
+  }
+  std::fprintf(stderr, "error: unknown client action '%s'\n",
+               Action.c_str());
+  return 2;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -809,5 +956,9 @@ int main(int Argc, char **Argv) {
     return cmdStats(Args);
   if (Cmd == "convert")
     return cmdConvert(Args);
+  if (Cmd == "serve")
+    return cmdServe(Args);
+  if (Cmd == "client")
+    return cmdClient(Args);
   return usage();
 }
