@@ -1,0 +1,471 @@
+//===- record/PreloadShim.cpp - pthread interposition shim ----------------===//
+//
+// Part of the PerfPlay reproduction of "On Performance Debugging of
+// Unnecessary Lock Contentions on Multicore Processors" (CGO 2015).
+//
+//===----------------------------------------------------------------------===//
+//
+// The LD_PRELOAD half of the recorder: extern "C" definitions of the
+// pthread locking API that wrap the real libc implementations
+// (resolved with dlsym(RTLD_NEXT); condvar entry points with dlvsym at
+// GLIBC_2.3.2, since the unversioned lookup can land on the
+// incompatible pre-NPTL symbols) and report each completed operation
+// to a process-global RecordRuntime.
+//
+// Reentrancy is the whole game here.  The runtime's own locking
+// (std::mutex, std::condition_variable in libstdc++) funnels back
+// through these very interposers, so every path that may touch the
+// runtime first sets the thread-local InShim flag; interposed calls
+// made while it is set go straight to the real function and are never
+// recorded.  The flusher thread sets it permanently at birth.
+//
+// This file is deliberately not part of perfplay_core: it defines
+// global pthread symbols and must only ever exist inside
+// libperfplay_preload.so.
+//
+//===----------------------------------------------------------------------===//
+
+#include "record/Preload.h"
+
+#ifndef _GNU_SOURCE
+#define _GNU_SOURCE
+#endif
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <dlfcn.h>
+#include <pthread.h>
+#include <unistd.h>
+
+using perfplay::record::RecordOptions;
+using perfplay::record::RecordRuntime;
+
+namespace {
+
+// -- Real-function table --------------------------------------------------
+
+struct RealFns {
+  int (*MutexLock)(pthread_mutex_t *);
+  int (*MutexTrylock)(pthread_mutex_t *);
+  int (*MutexUnlock)(pthread_mutex_t *);
+  int (*RwRdlock)(pthread_rwlock_t *);
+  int (*RwWrlock)(pthread_rwlock_t *);
+  int (*RwTryRdlock)(pthread_rwlock_t *);
+  int (*RwTryWrlock)(pthread_rwlock_t *);
+  int (*RwTimedRdlock)(pthread_rwlock_t *, const struct timespec *);
+  int (*RwTimedWrlock)(pthread_rwlock_t *, const struct timespec *);
+  int (*RwUnlock)(pthread_rwlock_t *);
+  int (*CondWait)(pthread_cond_t *, pthread_mutex_t *);
+  int (*CondTimedwait)(pthread_cond_t *, pthread_mutex_t *,
+                       const struct timespec *);
+  int (*CondSignal)(pthread_cond_t *);
+  int (*CondBroadcast)(pthread_cond_t *);
+};
+
+RealFns Real;
+pthread_once_t RealOnce = PTHREAD_ONCE_INIT;
+
+void *condSym(const char *Name) {
+  // Modern condvars live at GLIBC_2.3.2; the unversioned RTLD_NEXT
+  // lookup is the fallback for non-glibc libcs (e.g. musl).
+  void *P = dlvsym(RTLD_NEXT, Name, "GLIBC_2.3.2");
+  return P ? P : dlsym(RTLD_NEXT, Name);
+}
+
+void resolveReal() {
+  Real.MutexLock = reinterpret_cast<int (*)(pthread_mutex_t *)>(
+      dlsym(RTLD_NEXT, "pthread_mutex_lock"));
+  Real.MutexTrylock = reinterpret_cast<int (*)(pthread_mutex_t *)>(
+      dlsym(RTLD_NEXT, "pthread_mutex_trylock"));
+  Real.MutexUnlock = reinterpret_cast<int (*)(pthread_mutex_t *)>(
+      dlsym(RTLD_NEXT, "pthread_mutex_unlock"));
+  Real.RwRdlock = reinterpret_cast<int (*)(pthread_rwlock_t *)>(
+      dlsym(RTLD_NEXT, "pthread_rwlock_rdlock"));
+  Real.RwWrlock = reinterpret_cast<int (*)(pthread_rwlock_t *)>(
+      dlsym(RTLD_NEXT, "pthread_rwlock_wrlock"));
+  Real.RwTryRdlock = reinterpret_cast<int (*)(pthread_rwlock_t *)>(
+      dlsym(RTLD_NEXT, "pthread_rwlock_tryrdlock"));
+  Real.RwTryWrlock = reinterpret_cast<int (*)(pthread_rwlock_t *)>(
+      dlsym(RTLD_NEXT, "pthread_rwlock_trywrlock"));
+  Real.RwTimedRdlock =
+      reinterpret_cast<int (*)(pthread_rwlock_t *, const struct timespec *)>(
+          dlsym(RTLD_NEXT, "pthread_rwlock_timedrdlock"));
+  Real.RwTimedWrlock =
+      reinterpret_cast<int (*)(pthread_rwlock_t *, const struct timespec *)>(
+          dlsym(RTLD_NEXT, "pthread_rwlock_timedwrlock"));
+  Real.RwUnlock = reinterpret_cast<int (*)(pthread_rwlock_t *)>(
+      dlsym(RTLD_NEXT, "pthread_rwlock_unlock"));
+  Real.CondWait = reinterpret_cast<int (*)(pthread_cond_t *, pthread_mutex_t *)>(
+      condSym("pthread_cond_wait"));
+  Real.CondTimedwait = reinterpret_cast<int (*)(
+      pthread_cond_t *, pthread_mutex_t *, const struct timespec *)>(
+      condSym("pthread_cond_timedwait"));
+  Real.CondSignal = reinterpret_cast<int (*)(pthread_cond_t *)>(
+      condSym("pthread_cond_signal"));
+  Real.CondBroadcast = reinterpret_cast<int (*)(pthread_cond_t *)>(
+      condSym("pthread_cond_broadcast"));
+}
+
+const RealFns &real() {
+  pthread_once(&RealOnce, &resolveReal);
+  return Real;
+}
+
+// -- Runtime singleton ----------------------------------------------------
+
+/// Reentrancy guard: while set, interposers pass straight through.
+/// initial-exec keeps the TLS access free of __tls_get_addr, which can
+/// malloc (and thus lock) on first touch.
+__thread bool InShim __attribute__((tls_model("initial-exec"))) = false;
+
+RecordRuntime *GRuntime = nullptr;
+pthread_once_t RuntimeOnce = PTHREAD_ONCE_INIT;
+
+// The prepare/parent/child trio deliberately holds the runtime's
+// mutexes across fork(); static analysis cannot see the pairing across
+// the three callbacks.
+void atforkPrepare() NO_THREAD_SAFETY_ANALYSIS {
+  const bool Saved = InShim;
+  InShim = true;
+  if (GRuntime)
+    GRuntime->prepareFork();
+  InShim = Saved;
+}
+
+void atforkParent() NO_THREAD_SAFETY_ANALYSIS {
+  const bool Saved = InShim;
+  InShim = true;
+  if (GRuntime)
+    GRuntime->parentAfterFork();
+  InShim = Saved;
+}
+
+void atforkChild() NO_THREAD_SAFETY_ANALYSIS {
+  const bool Saved = InShim;
+  InShim = true;
+  if (GRuntime)
+    GRuntime->childAfterFork();
+  InShim = Saved;
+}
+
+size_t envSize(const char *Name, size_t Default) {
+  const char *V = getenv(Name);
+  if (!V || !*V)
+    return Default;
+  char *End = nullptr;
+  unsigned long long N = strtoull(V, &End, 10);
+  return (End && *End == '\0' && N > 0) ? static_cast<size_t>(N) : Default;
+}
+
+/// Builds the runtime from PERFPLAY_* env vars.  Callers must hold
+/// InShim; runs via pthread_once so nested interposed calls made while
+/// the runtime constructs (pthread_create, fopen, ...) pass through
+/// instead of re-entering the once.
+void initRuntime() {
+  const char *Out = getenv("PERFPLAY_TRACE_OUT");
+  if (!Out || !*Out)
+    return; // Preloaded but not asked to record: pure pass-through.
+
+  RecordOptions Opts;
+  Opts.OutPath = Out;
+
+  // `perfplay record` stamps the root pid so exec'd descendants that
+  // inherit the environment divert to their own file instead of
+  // clobbering (or racing) the root recording.
+  char PidBuf[32];
+  snprintf(PidBuf, sizeof(PidBuf), "%ld", static_cast<long>(getpid()));
+  const char *RootPid = getenv("PERFPLAY_RECORD_PID");
+  if (!RootPid || !*RootPid) {
+    setenv("PERFPLAY_RECORD_PID", PidBuf, 1);
+  } else if (strcmp(RootPid, PidBuf) != 0) {
+    Opts.OutPath += ".";
+    Opts.OutPath += PidBuf;
+  }
+
+  if (const char *Stats = getenv("PERFPLAY_RECORD_STATS")) {
+    // Only the root recorder reports stats; a diverted descendant
+    // writing the same sidecar would corrupt the wrapper's readback.
+    if (*Stats && (!RootPid || !*RootPid || strcmp(RootPid, PidBuf) == 0))
+      Opts.StatsPath = Stats;
+  }
+
+  Opts.RingCapacity = envSize("PERFPLAY_RING_CAPACITY", Opts.RingCapacity);
+  Opts.FlusherThreadInit = [] { InShim = true; };
+
+  GRuntime = new RecordRuntime(Opts);
+  pthread_atfork(&atforkPrepare, &atforkParent, &atforkChild);
+}
+
+/// The process runtime, or null when recording is disabled.  Callers
+/// must already hold InShim.
+RecordRuntime *runtime() {
+  pthread_once(&RuntimeOnce, &initRuntime);
+  return GRuntime;
+}
+
+/// RAII for the pass-through guard on the hook path.
+struct ShimScope {
+  ShimScope() { InShim = true; }
+  ~ShimScope() { InShim = false; }
+};
+
+__attribute__((constructor)) void shimInit() {
+  // Resolve and start recording before main so the program's first
+  // lock operation is already covered.
+  real();
+  const bool Saved = InShim;
+  InShim = true;
+  runtime();
+  InShim = Saved;
+}
+
+__attribute__((destructor)) void shimFini() {
+  // Process teardown: finalize the trace and free the runtime so the
+  // recorded program stays LeakSanitizer-clean.  InShim stays set —
+  // nothing after this point should be recorded.
+  InShim = true;
+  if (GRuntime) {
+    RecordRuntime *RT = GRuntime;
+    GRuntime = nullptr;
+    RT->finalize();
+    delete RT;
+  }
+}
+
+} // namespace
+
+// -- Interposers ----------------------------------------------------------
+
+extern "C" {
+
+int pthread_mutex_lock(pthread_mutex_t *M) {
+  int (*Fn)(pthread_mutex_t *) = real().MutexLock;
+  if (InShim)
+    return Fn(M);
+  ShimScope Guard;
+  RecordRuntime *RT = runtime();
+  if (!RT)
+    return Fn(M);
+  const uint64_t T0 = RecordRuntime::nowNs();
+  const int Rc = Fn(M);
+  if (Rc == 0)
+    RT->mutexAcquired(reinterpret_cast<uintptr_t>(M),
+                      __builtin_return_address(0), T0, RecordRuntime::nowNs());
+  return Rc;
+}
+
+int pthread_mutex_trylock(pthread_mutex_t *M) {
+  int (*Fn)(pthread_mutex_t *) = real().MutexTrylock;
+  if (InShim)
+    return Fn(M);
+  ShimScope Guard;
+  RecordRuntime *RT = runtime();
+  if (!RT)
+    return Fn(M);
+  const uint64_t T0 = RecordRuntime::nowNs();
+  const int Rc = Fn(M);
+  RT->tryAcquire(reinterpret_cast<uintptr_t>(M), /*Shared=*/false,
+                 /*Succeeded=*/Rc == 0, __builtin_return_address(0), T0,
+                 RecordRuntime::nowNs());
+  return Rc;
+}
+
+int pthread_mutex_unlock(pthread_mutex_t *M) {
+  int (*Fn)(pthread_mutex_t *) = real().MutexUnlock;
+  if (InShim)
+    return Fn(M);
+  ShimScope Guard;
+  RecordRuntime *RT = runtime();
+  if (!RT)
+    return Fn(M);
+  const int Rc = Fn(M);
+  if (Rc == 0)
+    RT->released(reinterpret_cast<uintptr_t>(M), /*Rwlock=*/false,
+                 RecordRuntime::nowNs());
+  return Rc;
+}
+
+int pthread_rwlock_rdlock(pthread_rwlock_t *L) {
+  int (*Fn)(pthread_rwlock_t *) = real().RwRdlock;
+  if (InShim)
+    return Fn(L);
+  ShimScope Guard;
+  RecordRuntime *RT = runtime();
+  if (!RT)
+    return Fn(L);
+  const uint64_t T0 = RecordRuntime::nowNs();
+  const int Rc = Fn(L);
+  if (Rc == 0)
+    RT->rwAcquired(reinterpret_cast<uintptr_t>(L), /*Shared=*/true,
+                   __builtin_return_address(0), T0, RecordRuntime::nowNs());
+  return Rc;
+}
+
+int pthread_rwlock_wrlock(pthread_rwlock_t *L) {
+  int (*Fn)(pthread_rwlock_t *) = real().RwWrlock;
+  if (InShim)
+    return Fn(L);
+  ShimScope Guard;
+  RecordRuntime *RT = runtime();
+  if (!RT)
+    return Fn(L);
+  const uint64_t T0 = RecordRuntime::nowNs();
+  const int Rc = Fn(L);
+  if (Rc == 0)
+    RT->rwAcquired(reinterpret_cast<uintptr_t>(L), /*Shared=*/false,
+                   __builtin_return_address(0), T0, RecordRuntime::nowNs());
+  return Rc;
+}
+
+int pthread_rwlock_tryrdlock(pthread_rwlock_t *L) {
+  int (*Fn)(pthread_rwlock_t *) = real().RwTryRdlock;
+  if (InShim)
+    return Fn(L);
+  ShimScope Guard;
+  RecordRuntime *RT = runtime();
+  if (!RT)
+    return Fn(L);
+  const uint64_t T0 = RecordRuntime::nowNs();
+  const int Rc = Fn(L);
+  RT->tryAcquire(reinterpret_cast<uintptr_t>(L), /*Shared=*/true,
+                 /*Succeeded=*/Rc == 0, __builtin_return_address(0), T0,
+                 RecordRuntime::nowNs());
+  return Rc;
+}
+
+int pthread_rwlock_trywrlock(pthread_rwlock_t *L) {
+  int (*Fn)(pthread_rwlock_t *) = real().RwTryWrlock;
+  if (InShim)
+    return Fn(L);
+  ShimScope Guard;
+  RecordRuntime *RT = runtime();
+  if (!RT)
+    return Fn(L);
+  const uint64_t T0 = RecordRuntime::nowNs();
+  const int Rc = Fn(L);
+  RT->tryAcquire(reinterpret_cast<uintptr_t>(L), /*Shared=*/false,
+                 /*Succeeded=*/Rc == 0, __builtin_return_address(0), T0,
+                 RecordRuntime::nowNs());
+  return Rc;
+}
+
+int pthread_rwlock_timedrdlock(pthread_rwlock_t *L,
+                               const struct timespec *Abs) {
+  int (*Fn)(pthread_rwlock_t *, const struct timespec *) =
+      real().RwTimedRdlock;
+  if (InShim)
+    return Fn(L, Abs);
+  ShimScope Guard;
+  RecordRuntime *RT = runtime();
+  if (!RT)
+    return Fn(L, Abs);
+  const uint64_t T0 = RecordRuntime::nowNs();
+  const int Rc = Fn(L, Abs);
+  if (Rc == 0)
+    RT->rwAcquired(reinterpret_cast<uintptr_t>(L), /*Shared=*/true,
+                   __builtin_return_address(0), T0, RecordRuntime::nowNs());
+  return Rc;
+}
+
+int pthread_rwlock_timedwrlock(pthread_rwlock_t *L,
+                               const struct timespec *Abs) {
+  int (*Fn)(pthread_rwlock_t *, const struct timespec *) =
+      real().RwTimedWrlock;
+  if (InShim)
+    return Fn(L, Abs);
+  ShimScope Guard;
+  RecordRuntime *RT = runtime();
+  if (!RT)
+    return Fn(L, Abs);
+  const uint64_t T0 = RecordRuntime::nowNs();
+  const int Rc = Fn(L, Abs);
+  if (Rc == 0)
+    RT->rwAcquired(reinterpret_cast<uintptr_t>(L), /*Shared=*/false,
+                   __builtin_return_address(0), T0, RecordRuntime::nowNs());
+  return Rc;
+}
+
+int pthread_rwlock_unlock(pthread_rwlock_t *L) {
+  int (*Fn)(pthread_rwlock_t *) = real().RwUnlock;
+  if (InShim)
+    return Fn(L);
+  ShimScope Guard;
+  RecordRuntime *RT = runtime();
+  if (!RT)
+    return Fn(L);
+  const int Rc = Fn(L);
+  if (Rc == 0)
+    RT->released(reinterpret_cast<uintptr_t>(L), /*Rwlock=*/true,
+                 RecordRuntime::nowNs());
+  return Rc;
+}
+
+int pthread_cond_wait(pthread_cond_t *C, pthread_mutex_t *M) {
+  int (*Fn)(pthread_cond_t *, pthread_mutex_t *) = real().CondWait;
+  if (InShim)
+    return Fn(C, M);
+  ShimScope Guard;
+  RecordRuntime *RT = runtime();
+  if (!RT)
+    return Fn(C, M);
+  const uint64_t T0 = RecordRuntime::nowNs();
+  const int Rc = Fn(C, M);
+  if (Rc == 0)
+    RT->condWaited(reinterpret_cast<uintptr_t>(C),
+                   reinterpret_cast<uintptr_t>(M), __builtin_return_address(0),
+                   T0, RecordRuntime::nowNs());
+  return Rc;
+}
+
+int pthread_cond_timedwait(pthread_cond_t *C, pthread_mutex_t *M,
+                           const struct timespec *Abs) {
+  int (*Fn)(pthread_cond_t *, pthread_mutex_t *, const struct timespec *) =
+      real().CondTimedwait;
+  if (InShim)
+    return Fn(C, M, Abs);
+  ShimScope Guard;
+  RecordRuntime *RT = runtime();
+  if (!RT)
+    return Fn(C, M, Abs);
+  const uint64_t T0 = RecordRuntime::nowNs();
+  const int Rc = Fn(C, M, Abs);
+  // ETIMEDOUT still re-acquired the mutex: the wait dance happened.
+  if (Rc == 0 || Rc == ETIMEDOUT)
+    RT->condWaited(reinterpret_cast<uintptr_t>(C),
+                   reinterpret_cast<uintptr_t>(M), __builtin_return_address(0),
+                   T0, RecordRuntime::nowNs());
+  return Rc;
+}
+
+int pthread_cond_signal(pthread_cond_t *C) {
+  int (*Fn)(pthread_cond_t *) = real().CondSignal;
+  if (InShim)
+    return Fn(C);
+  ShimScope Guard;
+  RecordRuntime *RT = runtime();
+  if (!RT)
+    return Fn(C);
+  const int Rc = Fn(C);
+  if (Rc == 0)
+    RT->condSignaled(reinterpret_cast<uintptr_t>(C), /*Broadcast=*/false,
+                     RecordRuntime::nowNs());
+  return Rc;
+}
+
+int pthread_cond_broadcast(pthread_cond_t *C) {
+  int (*Fn)(pthread_cond_t *) = real().CondBroadcast;
+  if (InShim)
+    return Fn(C);
+  ShimScope Guard;
+  RecordRuntime *RT = runtime();
+  if (!RT)
+    return Fn(C);
+  const int Rc = Fn(C);
+  if (Rc == 0)
+    RT->condSignaled(reinterpret_cast<uintptr_t>(C), /*Broadcast=*/true,
+                     RecordRuntime::nowNs());
+  return Rc;
+}
+
+} // extern "C"

@@ -37,6 +37,7 @@
 #ifndef PERFPLAY_SUPPORT_THREADANNOTATIONS_H
 #define PERFPLAY_SUPPORT_THREADANNOTATIONS_H
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -220,6 +221,17 @@ public:
   void wait(Mutex &M) REQUIRES(M) {
     std::unique_lock<std::mutex> Inner(M.Mu, std::adopt_lock);
     Cv.wait(Inner);
+    Inner.release(); // Ownership stays with the caller's guard.
+  }
+
+  /// Blocks until notified or \p Timeout elapses, whichever comes
+  /// first (the record-flusher's periodic-drain idiom: sleep one
+  /// interval, wake early on shutdown).  Same locking contract as
+  /// wait(); spurious wakeups are possible, so callers re-check their
+  /// guarded condition either way.
+  void waitFor(Mutex &M, std::chrono::milliseconds Timeout) REQUIRES(M) {
+    std::unique_lock<std::mutex> Inner(M.Mu, std::adopt_lock);
+    Cv.wait_for(Inner, Timeout);
     Inner.release(); // Ownership stays with the caller's guard.
   }
 

@@ -11,6 +11,7 @@
 
 #include "core/Engine.h"
 #include "detect/Detector.h"
+#include "record/Preload.h"
 #include "runtime/Instrument.h"
 #include "runtime/Recorder.h"
 #include "serve/Server.h"
@@ -23,6 +24,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <random>
 #include <string>
 #include <thread>
 #include <unistd.h>
@@ -544,4 +546,209 @@ TEST(ConcurrencyStressTest, RecordedTraceAnalyzesCleanly) {
   Expected<const DetectResult &> Detected = Session.detect();
   ASSERT_TRUE(Detected.ok());
   EXPECT_GT(Detected->Counts.total(), 0u);
+}
+
+// -----------------------------------------------------------------------------
+// LD_PRELOAD recorder runtime (record/Preload.h)
+//
+// The preload shim itself cannot run under TSan (its interceptors
+// shadow the interposition), so the ring/flusher pipeline is stressed
+// here through the same RecordRuntime the shim drives — every lane
+// exercises the lock-free SPSC rings, the address-interning tables and
+// the background flusher under real contention.
+// -----------------------------------------------------------------------------
+
+// Multi-producer stress with rings sized above the per-thread volume:
+// every attempt must land, the counters must balance exactly, and the
+// streamed trace must be structurally valid.
+TEST(ConcurrencyStressTest, RecordRuntimeNoDropExactCounts) {
+  const std::string Out =
+      testing::TempDir() + "perfplay_stress_nodrop.v3";
+  record::RecordOptions Opts;
+  Opts.OutPath = Out;
+  Opts.RingCapacity = 1u << 14;
+  record::RecordRuntime RT(Opts);
+
+  constexpr unsigned NumThreads = 4;
+  constexpr unsigned Rounds = 2000;
+  std::vector<std::thread> Workers;
+  for (unsigned W = 0; W != NumThreads; ++W)
+    Workers.emplace_back([&RT, W] {
+      const uintptr_t Own = 0x1000 + W * 0x100;
+      const uintptr_t Hot = 0xbeef0;
+      uint64_t Ts = 1;
+      for (unsigned I = 0; I != Rounds; ++I) {
+        RT.mutexAcquired(Own, nullptr, Ts, Ts + 1);
+        RT.released(Own, false, Ts + 2);
+        RT.mutexAcquired(Hot, nullptr, Ts + 3, Ts + 4);
+        RT.released(Hot, false, Ts + 5);
+        Ts += 10;
+      }
+    });
+  for (std::thread &T : Workers)
+    T.join();
+
+  record::RecordSummary S = RT.finalize();
+  ASSERT_TRUE(S.Ok) << S.Error;
+  // 4 ops per round, plus each worker's ThreadEnd from the TLS
+  // destructor.
+  EXPECT_EQ(S.Attempts, NumThreads * (Rounds * 4ull + 1));
+  EXPECT_EQ(S.Drops, 0u);
+  EXPECT_EQ(S.Records, S.Attempts);
+  EXPECT_EQ(S.Sections, NumThreads * Rounds * 2ull);
+  EXPECT_EQ(S.UnmatchedReleases, 0u);
+  EXPECT_EQ(S.SynthesizedReleases, 0u);
+
+  Trace Tr;
+  std::string Err;
+  ASSERT_TRUE(loadTrace(Out, Tr, Err)) << Err;
+  EXPECT_EQ(Tr.numThreads(), NumThreads);
+  EXPECT_EQ(Tr.numCriticalSections(), NumThreads * Rounds * 2ull);
+  std::remove(Out.c_str());
+}
+
+// An undersized ring with a sleepy flusher must shed load: drops are
+// counted exactly (attempts == records + drops) and the survivors
+// still stream into a structurally valid trace.
+TEST(ConcurrencyStressTest, RecordRuntimeUndersizedRingCountsDrops) {
+  const std::string Out =
+      testing::TempDir() + "perfplay_stress_drops.v3";
+  record::RecordOptions Opts;
+  Opts.OutPath = Out;
+  Opts.RingCapacity = 64;
+  Opts.FlushIntervalMs = 1000; // Starve the drain so the ring fills.
+  record::RecordRuntime RT(Opts);
+
+  constexpr unsigned Rounds = 5000;
+  std::thread Producer([&RT] {
+    uint64_t Ts = 1;
+    for (unsigned I = 0; I != Rounds; ++I) {
+      RT.mutexAcquired(0x1000, nullptr, Ts, Ts + 1);
+      RT.released(0x1000, false, Ts + 2);
+      Ts += 10;
+    }
+  });
+  Producer.join();
+
+  record::RecordSummary S = RT.finalize();
+  ASSERT_TRUE(S.Ok) << S.Error;
+  EXPECT_GT(S.Drops, 0u);
+  EXPECT_EQ(S.Attempts, S.Records + S.Drops);
+
+  // Dropped opens/releases may leave dangling state, but the fixups
+  // must still deliver a loadable trace.
+  Trace Tr;
+  std::string Err;
+  ASSERT_TRUE(loadTrace(Out, Tr, Err)) << Err;
+  std::remove(Out.c_str());
+}
+
+// Seeded random hook streams — arbitrarily broken nesting, unmatched
+// releases, interleaved cond traffic — must always translate into a
+// trace that loads and validates: the flusher owns structural
+// validity, whatever the producers feed it.
+TEST(ConcurrencyStressTest, RecordRuntimeRandomOpsAlwaysValid) {
+  for (uint32_t Seed = 1; Seed <= 3; ++Seed) {
+    const std::string Out = testing::TempDir() +
+                            "perfplay_stress_random" +
+                            std::to_string(Seed) + ".v3";
+    record::RecordOptions Opts;
+    Opts.OutPath = Out;
+    Opts.RingCapacity = 256; // Small enough to force mid-run drains.
+    Opts.FlushIntervalMs = 1;
+    record::RecordRuntime RT(Opts);
+
+    constexpr unsigned NumThreads = 4;
+    std::vector<std::thread> Workers;
+    for (unsigned W = 0; W != NumThreads; ++W)
+      Workers.emplace_back([&RT, W, Seed] {
+        std::minstd_rand Rng(Seed * 97 + W);
+        uint64_t Ts = 1;
+        for (unsigned I = 0; I != 2000; ++I) {
+          const uintptr_t L = 0x1000 + (Rng() % 8) * 0x40;
+          const uintptr_t C = 0x9000 + (Rng() % 2) * 0x40;
+          switch (Rng() % 8) {
+          case 0:
+            RT.mutexAcquired(L, nullptr, Ts, Ts + 1);
+            break;
+          case 1:
+            RT.rwAcquired(L, (Rng() & 1) != 0, nullptr, Ts, Ts + 1);
+            break;
+          case 2:
+            RT.tryAcquire(L, false, (Rng() & 1) != 0, nullptr, Ts, Ts + 1);
+            break;
+          case 3:
+          case 4:
+          case 5:
+            RT.released(L, false, Ts);
+            break;
+          case 6:
+            RT.condWaited(C, L, nullptr, Ts, Ts + 1);
+            break;
+          default:
+            RT.condSignaled(C, (Rng() & 1) != 0, Ts);
+            break;
+          }
+          Ts += 3;
+        }
+      });
+    for (std::thread &T : Workers)
+      T.join();
+
+    record::RecordSummary S = RT.finalize();
+    ASSERT_TRUE(S.Ok) << S.Error;
+    EXPECT_EQ(S.Attempts, S.Records + S.Drops);
+
+    Trace Tr;
+    std::string Err;
+    ASSERT_TRUE(loadTrace(Out, Tr, Err)) << "seed " << Seed << ": " << Err;
+    EXPECT_EQ(Tr.numThreads(), NumThreads);
+    std::remove(Out.c_str());
+  }
+}
+
+// Interning churn: many threads race to intern overlapping address
+// sets; ids must be dense, stable and consistent across threads.
+TEST(ConcurrencyStressTest, AddrTableConcurrentInterning) {
+  record::AddrTable Table(1024);
+  constexpr unsigned NumThreads = 8;
+  constexpr unsigned NumAddrs = 300;
+  std::vector<std::vector<uint32_t>> Ids(NumThreads);
+  std::vector<std::thread> Workers;
+  for (unsigned W = 0; W != NumThreads; ++W)
+    Workers.emplace_back([&Table, &Ids, W] {
+      Ids[W].resize(NumAddrs);
+      for (unsigned I = 0; I != NumAddrs; ++I) {
+        // Walk the shared set in a thread-specific rotation.
+        unsigned A = (I + W * 37) % NumAddrs;
+        Ids[W][A] = Table.intern(0x10000 + A * 0x10, record::LockTagMutex);
+      }
+    });
+  for (std::thread &T : Workers)
+    T.join();
+
+  EXPECT_EQ(Table.count(), NumAddrs);
+  for (unsigned W = 1; W != NumThreads; ++W)
+    EXPECT_EQ(Ids[W], Ids[0]);
+  // Every id maps back to its address.
+  for (unsigned A = 0; A != NumAddrs; ++A) {
+    uintptr_t Addr = 0;
+    uint8_t Tag = 0;
+    Table.entry(Ids[0][A], Addr, Tag);
+    EXPECT_EQ(Addr, 0x10000 + A * 0x10);
+    EXPECT_EQ(Tag, record::LockTagMutex);
+  }
+}
+
+// A full AddrTable refuses new addresses instead of corrupting state.
+TEST(ConcurrencyStressTest, AddrTableFullReturnsInvalid) {
+  record::AddrTable Table(64); // Rounds to 64 slots.
+  unsigned Interned = 0;
+  for (unsigned A = 0; A != 200; ++A)
+    if (Table.intern(0x1000 + A * 0x20, 0) != record::InvalidRecId)
+      ++Interned;
+  EXPECT_EQ(Interned, 64u);
+  EXPECT_EQ(Table.count(), 64u);
+  // Known addresses still resolve after the table fills.
+  EXPECT_NE(Table.intern(0x1000, 0), record::InvalidRecId);
 }

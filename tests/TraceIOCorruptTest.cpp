@@ -13,6 +13,7 @@
 
 #include "trace/TraceIO.h"
 
+#include "record/Preload.h"
 #include "sim/Replayer.h"
 #include "support/MappedFile.h"
 #include "trace/TraceBuilder.h"
@@ -787,4 +788,101 @@ TEST(TraceIOCorruptTest, MappedFileBasics) {
   Moved.close();
   EXPECT_EQ(Moved.data(), nullptr);
   std::remove(Small.c_str());
+}
+
+// -----------------------------------------------------------------------------
+// LD_PRELOAD recorder corpses (record/Flusher.h streams v3 through a
+// `<out>.tmp` + rename protocol, so a killed recorder leaves exactly
+// the bytes below: chunks flushed mid-stream, no footer).
+// -----------------------------------------------------------------------------
+
+// A recorder killed mid-flush leaves a chunk stream without footer or
+// directory; both loaders must fail with a typed diagnostic and the
+// windowed reader must reject it without over-allocating.
+TEST(TraceIOCorruptTest, V3RecorderKilledMidFlushIsTyped) {
+  std::string Path = tempPath("recorder_killed.v3.tmp");
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr);
+  {
+    // A tiny chunk target forces chunk flushes long before finish(),
+    // exactly like the recorder's streaming writer under load.
+    TraceV3Writer W(
+        [&](const void *Data, size_t Size) {
+          return std::fwrite(Data, 1, Size, F) == Size;
+        },
+        /*TargetChunkBytes=*/128);
+    uint32_t L = W.addLock(false, "mutex@0xdead");
+    W.beginThread(0);
+    W.append(Event::threadStart());
+    for (int I = 0; I != 200; ++I) {
+      W.append(Event::compute(5));
+      W.append(Event::lockAcquire(L, InvalidId));
+      W.append(Event::lockRelease(L));
+    }
+    // No finish(): the "process" dies here.
+  }
+  std::fclose(F);
+
+  Trace Tr;
+  std::string Err;
+  EXPECT_FALSE(loadTrace(Path, Tr, Err));
+  EXPECT_FALSE(Err.empty());
+
+  WindowedReader Reader;
+  std::string WinErr;
+  EXPECT_FALSE(Reader.open(Path, WinErr));
+  EXPECT_FALSE(WinErr.empty());
+  EXPECT_FALSE(Reader.isOpen());
+  std::remove(Path.c_str());
+}
+
+// A recording with zero events (a program that never touched a lock)
+// must round-trip as a structurally valid empty trace.
+TEST(TraceIOCorruptTest, RecorderZeroEventTraceRoundTrips) {
+  std::string Path = tempPath("recorder_empty.v3");
+  {
+    perfplay::record::RecordOptions Opts;
+    Opts.OutPath = Path;
+    perfplay::record::RecordRuntime RT(Opts);
+    perfplay::record::RecordSummary S = RT.finalize();
+    ASSERT_TRUE(S.Ok) << S.Error;
+    EXPECT_EQ(S.TraceEvents, 0u);
+    EXPECT_EQ(S.Sections, 0u);
+  }
+  Trace Tr;
+  std::string Err;
+  ASSERT_TRUE(loadTrace(Path, Tr, Err)) << Err;
+  EXPECT_EQ(Tr.numThreads(), 0u);
+  EXPECT_EQ(Tr.numEvents(), 0u);
+  EXPECT_EQ(Tr.validate(), "");
+  // The temporary never survives a clean finalize.
+  std::FILE *Tmp = std::fopen((Path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(Tmp, nullptr);
+  if (Tmp)
+    std::fclose(Tmp);
+  std::remove(Path.c_str());
+}
+
+// A recorder whose finalize never ran (crash before exit handlers)
+// leaves no file at the advertised path at all — only the .tmp corpse.
+TEST(TraceIOCorruptTest, RecorderTmpNeverShadowsFinalPath) {
+  std::string Path = tempPath("recorder_unfinalized.v3");
+  std::remove(Path.c_str());
+  {
+    perfplay::record::RecordOptions Opts;
+    Opts.OutPath = Path;
+    perfplay::record::RecordRuntime RT(Opts);
+    RT.mutexAcquired(0x1000, nullptr, 10, 20);
+    // Mid-recording: the advertised path must not exist yet.
+    std::FILE *Final = std::fopen(Path.c_str(), "rb");
+    EXPECT_EQ(Final, nullptr);
+    if (Final)
+      std::fclose(Final);
+    RT.finalize();
+  }
+  std::FILE *Final = std::fopen(Path.c_str(), "rb");
+  EXPECT_NE(Final, nullptr);
+  if (Final)
+    std::fclose(Final);
+  std::remove(Path.c_str());
 }

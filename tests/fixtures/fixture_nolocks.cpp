@@ -1,0 +1,34 @@
+// Lock-free control fixture: threads compute without any pthread
+// locking, so a recording must finalize into a structurally valid
+// trace with zero lock events and zero critical sections.
+
+#include <cstdio>
+#include <pthread.h>
+
+namespace {
+
+long Results[2];
+
+void *worker(void *Arg) {
+  long *Out = static_cast<long *>(Arg);
+  long Acc = 1;
+  for (int I = 1; I < 50000; ++I)
+    Acc = (Acc * 31 + I) % 1000003;
+  *Out = Acc;
+  return nullptr;
+}
+
+} // namespace
+
+int main() {
+  pthread_t T[2];
+  for (int I = 0; I < 2; ++I)
+    pthread_create(&T[I], nullptr, &worker, &Results[I]);
+  long Total = 0;
+  for (int I = 0; I < 2; ++I) {
+    pthread_join(T[I], nullptr);
+    Total += Results[I];
+  }
+  std::printf("nolocks done (%ld)\n", Total);
+  return 0;
+}

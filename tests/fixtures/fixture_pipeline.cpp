@@ -1,0 +1,80 @@
+// pbzip2-style producer/consumer pipeline: one producer feeds a
+// bounded queue guarded by a single mutex + condvars, three consumers
+// drain it.  The queue mutex protects disjoint slots most of the time
+// — the shape the paper's pbzip2 case study flags as unnecessary
+// contention — so analyzing a recording of this program must surface
+// NullLock pairs on the queue mutex.
+
+#include <cstdio>
+#include <pthread.h>
+
+namespace {
+
+constexpr int NumConsumers = 3;
+constexpr int NumItems = 120;
+constexpr int QueueCap = 8;
+
+pthread_mutex_t QueueMu = PTHREAD_MUTEX_INITIALIZER;
+pthread_cond_t NotEmpty = PTHREAD_COND_INITIALIZER;
+pthread_cond_t NotFull = PTHREAD_COND_INITIALIZER;
+int Queue[QueueCap];
+int Head = 0, Count = 0;
+bool Done = false;
+long Consumed[NumConsumers];
+
+void *producer(void *) {
+  for (int I = 1; I <= NumItems; ++I) {
+    pthread_mutex_lock(&QueueMu);
+    while (Count == QueueCap)
+      pthread_cond_wait(&NotFull, &QueueMu);
+    Queue[(Head + Count) % QueueCap] = I;
+    ++Count;
+    pthread_cond_signal(&NotEmpty);
+    pthread_mutex_unlock(&QueueMu);
+  }
+  pthread_mutex_lock(&QueueMu);
+  Done = true;
+  pthread_cond_broadcast(&NotEmpty);
+  pthread_mutex_unlock(&QueueMu);
+  return nullptr;
+}
+
+void *consumer(void *Arg) {
+  long *Total = static_cast<long *>(Arg);
+  for (;;) {
+    pthread_mutex_lock(&QueueMu);
+    while (Count == 0 && !Done)
+      pthread_cond_wait(&NotEmpty, &QueueMu);
+    if (Count == 0) {
+      pthread_mutex_unlock(&QueueMu);
+      return nullptr;
+    }
+    const int Item = Queue[Head];
+    Head = (Head + 1) % QueueCap;
+    --Count;
+    pthread_cond_signal(&NotFull);
+    pthread_mutex_unlock(&QueueMu);
+    // "Compress" the block outside the lock.
+    long Acc = Item;
+    for (int K = 0; K < 2000; ++K)
+      Acc = Acc * 1103515245 + 12345;
+    *Total += Acc & 0xff;
+  }
+}
+
+} // namespace
+
+int main() {
+  pthread_t Prod, Cons[NumConsumers];
+  pthread_create(&Prod, nullptr, &producer, nullptr);
+  for (int I = 0; I < NumConsumers; ++I)
+    pthread_create(&Cons[I], nullptr, &consumer, &Consumed[I]);
+  pthread_join(Prod, nullptr);
+  long Total = 0;
+  for (int I = 0; I < NumConsumers; ++I) {
+    pthread_join(Cons[I], nullptr);
+    Total += Consumed[I];
+  }
+  std::printf("pipeline done (%ld)\n", Total);
+  return 0;
+}

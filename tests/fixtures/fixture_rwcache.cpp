@@ -1,0 +1,64 @@
+// Reader-heavy rwlock cache: four readers hammer a table under
+// rdlock while one writer occasionally refreshes entries under
+// wrlock, with a trylock fast path.  Recording this program must
+// yield overlapping shared sections — the ReadRead verdict shape —
+// plus genuine writer contention.
+
+#include <cstdio>
+#include <pthread.h>
+
+namespace {
+
+constexpr int NumReaders = 4;
+constexpr int Lookups = 400;
+constexpr int Refreshes = 25;
+
+pthread_rwlock_t CacheLock = PTHREAD_RWLOCK_INITIALIZER;
+long Cache[64];
+long ReadSum[NumReaders];
+
+void *reader(void *Arg) {
+  long *Sum = static_cast<long *>(Arg);
+  for (int I = 0; I < Lookups; ++I) {
+    if (I % 2 == 0) {
+      pthread_rwlock_rdlock(&CacheLock);
+    } else {
+      // Opportunistic read; fall back to blocking when a writer is in.
+      if (pthread_rwlock_tryrdlock(&CacheLock) != 0)
+        pthread_rwlock_rdlock(&CacheLock);
+    }
+    *Sum += Cache[I % 64];
+    pthread_rwlock_unlock(&CacheLock);
+  }
+  return nullptr;
+}
+
+void *writer(void *) {
+  for (int I = 0; I < Refreshes; ++I) {
+    pthread_rwlock_wrlock(&CacheLock);
+    for (int K = 0; K < 64; ++K)
+      Cache[K] += I + K;
+    pthread_rwlock_unlock(&CacheLock);
+    // Leave the readers a window between refreshes.
+    for (volatile int Spin = 0; Spin < 5000; ++Spin) {
+    }
+  }
+  return nullptr;
+}
+
+} // namespace
+
+int main() {
+  pthread_t Readers[NumReaders], Writer;
+  pthread_create(&Writer, nullptr, &writer, nullptr);
+  for (int I = 0; I < NumReaders; ++I)
+    pthread_create(&Readers[I], nullptr, &reader, &ReadSum[I]);
+  long Total = 0;
+  for (int I = 0; I < NumReaders; ++I) {
+    pthread_join(Readers[I], nullptr);
+    Total += ReadSum[I];
+  }
+  pthread_join(Writer, nullptr);
+  std::printf("rwcache done (%ld)\n", Total);
+  return 0;
+}

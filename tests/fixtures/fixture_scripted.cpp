@@ -1,0 +1,105 @@
+// Deterministic two-thread pthread workload for the recorder's
+// differential test.  Semaphores (not interposed) sequence every lock
+// operation, so each run produces the exact same operation schedule:
+//
+//   T1: lock M1 --------- post S1, wait S2 ---- unlock M1
+//       wrlock RW / unlock; rdlock RW / unlock
+//       wait S4; trylock M1 (succeeds, M1 free) / unlock
+//       wait S3; lock MC; Ready = 1; signal CV; unlock MC
+//       lock M1 { lock MC / unlock MC } unlock M1        (nesting = 2)
+//   T2: wait S1; trylock M1 (fails, T1 holds it); post S2
+//       lock M1 / unlock; rdlock RW / unlock; post S4
+//       lock MC; post S3; while (!Ready) cond_wait(CV, MC); unlock MC
+//
+// tests/RecordPreloadTest.cpp mirrors this script on the in-process
+// recording runtime and requires the two traces to agree profile for
+// profile; keep both sides in sync when editing.
+
+#include <cstdio>
+#include <pthread.h>
+#include <semaphore.h>
+
+namespace {
+
+pthread_mutex_t M1 = PTHREAD_MUTEX_INITIALIZER;
+pthread_mutex_t MC = PTHREAD_MUTEX_INITIALIZER;
+pthread_rwlock_t RW = PTHREAD_RWLOCK_INITIALIZER;
+pthread_cond_t CV = PTHREAD_COND_INITIALIZER;
+sem_t S1, S2, S3, S4;
+int Ready = 0;
+volatile int Sink = 0;
+
+void *thread1(void *) {
+  pthread_mutex_lock(&M1);
+  sem_post(&S1);
+  sem_wait(&S2); // T2's trylock has failed against us by now.
+  Sink += 1;
+  pthread_mutex_unlock(&M1);
+
+  pthread_rwlock_wrlock(&RW);
+  Sink += 1;
+  pthread_rwlock_unlock(&RW);
+  pthread_rwlock_rdlock(&RW);
+  Sink += 1;
+  pthread_rwlock_unlock(&RW);
+
+  sem_wait(&S4); // M1 is free again: this trylock must succeed.
+  if (pthread_mutex_trylock(&M1) == 0) {
+    Sink += 1;
+    pthread_mutex_unlock(&M1);
+  }
+
+  sem_wait(&S3); // T2 holds MC; blocks until its cond_wait releases it.
+  pthread_mutex_lock(&MC);
+  Ready = 1;
+  pthread_cond_signal(&CV);
+  pthread_mutex_unlock(&MC);
+
+  pthread_mutex_lock(&M1);
+  pthread_mutex_lock(&MC);
+  Sink += 1;
+  pthread_mutex_unlock(&MC);
+  pthread_mutex_unlock(&M1);
+  return nullptr;
+}
+
+void *thread2(void *) {
+  sem_wait(&S1); // T1 holds M1: this trylock must fail.
+  if (pthread_mutex_trylock(&M1) == 0) {
+    std::fprintf(stderr, "fixture_scripted: unexpected trylock success\n");
+    pthread_mutex_unlock(&M1);
+  }
+  sem_post(&S2);
+
+  pthread_mutex_lock(&M1);
+  Sink += 1;
+  pthread_mutex_unlock(&M1);
+
+  pthread_rwlock_rdlock(&RW);
+  Sink += 1;
+  pthread_rwlock_unlock(&RW);
+  sem_post(&S4);
+
+  pthread_mutex_lock(&MC);
+  sem_post(&S3);
+  while (!Ready)
+    pthread_cond_wait(&CV, &MC);
+  pthread_mutex_unlock(&MC);
+  return nullptr;
+}
+
+} // namespace
+
+int main() {
+  sem_init(&S1, 0, 0);
+  sem_init(&S2, 0, 0);
+  sem_init(&S3, 0, 0);
+  sem_init(&S4, 0, 0);
+  pthread_t T1, T2;
+  pthread_create(&T1, nullptr, &thread1, nullptr);
+  pthread_create(&T2, nullptr, &thread2, nullptr);
+  pthread_join(T1, nullptr);
+  pthread_join(T2, nullptr);
+  std::printf("scripted done (%d)\n", Sink);
+  return 0;
+}

@@ -15,6 +15,9 @@
 //                   [--seed N] [--replays K] [--htm-capacity N]
 //                   [--htm-retries N] [--abort-penalty NS]
 //                   [--abort-rate R]
+//   perfplay record [-o FILE] [--stats FILE] [--ring N]
+//                   [--preload-lib PATH] [--fail-on-drops]
+//                   [--require-sections] [--quiet] -- <program> [args...]
 //   perfplay casestudy <bug1|bug2|mysql> [--threads N] [--scale S]
 //   perfplay convert <trace> [--out FILE]
 //   perfplay stats <trace> [--verbose]
@@ -39,15 +42,20 @@
 #include "debug/CsvExport.h"
 #include "trace/Summary.h"
 #include "trace/TraceIO.h"
+#include "trace/TraceV3.h"
 #include "workloads/Apps.h"
 #include "workloads/CaseStudies.h"
 
 #include <cctype>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstddef>
 #include <cstring>
+#include <map>
 #include <string>
+#include <sys/wait.h>
+#include <unistd.h>
 #include <utility>
 #include <vector>
 
@@ -155,6 +163,11 @@ int usage() {
       "                 [--htm-capacity N] [--htm-retries N]"
       " [--abort-penalty NS]\n"
       "                 [--abort-rate R]\n"
+      "  perfplay record [-o FILE] [--stats FILE] [--ring N]"
+      " [--preload-lib PATH]\n"
+      "                 [--fail-on-drops] [--require-sections] [--quiet]"
+      " --\n"
+      "                 <program> [args...]\n"
       "  perfplay casestudy <bug1|bug2|mysql> [--threads N] [--scale S]\n"
       "  perfplay convert <trace> [--out FILE] [--mmap|--no-mmap]\n"
       "  perfplay stats <trace> [--verbose] [--mmap|--no-mmap]\n"
@@ -744,6 +757,244 @@ int cmdConvert(ArgList &Args) {
   return 0;
 }
 
+/// Absolute form of \p Path (the recorded child may chdir, and the
+/// shim resolves its output relative to its own cwd).
+std::string absolutePath(const std::string &Path) {
+  if (!Path.empty() && Path[0] == '/')
+    return Path;
+  char Cwd[PATH_MAX];
+  if (!getcwd(Cwd, sizeof(Cwd)))
+    return Path;
+  return std::string(Cwd) + "/" + Path;
+}
+
+/// Locates libperfplay_preload.so: --preload-lib flag, then the
+/// PERFPLAY_PRELOAD_LIB env var, then next to this executable (the
+/// build tree layout).
+std::string findPreloadLib(const std::string &FlagValue) {
+  if (!FlagValue.empty())
+    return FlagValue;
+  if (const char *Env = getenv("PERFPLAY_PRELOAD_LIB"))
+    if (*Env)
+      return Env;
+  char Exe[PATH_MAX];
+  ssize_t N = readlink("/proc/self/exe", Exe, sizeof(Exe) - 1);
+  if (N > 0) {
+    Exe[N] = '\0';
+    std::string Dir(Exe);
+    size_t Slash = Dir.rfind('/');
+    if (Slash != std::string::npos)
+      return Dir.substr(0, Slash + 1) + "libperfplay_preload.so";
+  }
+  return "libperfplay_preload.so";
+}
+
+/// Reads the recorder's key/value stats sidecar back.
+bool readStatsFile(const std::string &Path,
+                   std::map<std::string, std::string> &Out) {
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  if (!F)
+    return false;
+  char Line[4096];
+  while (std::fgets(Line, sizeof(Line), F)) {
+    std::string S(Line);
+    while (!S.empty() && (S.back() == '\n' || S.back() == '\r'))
+      S.pop_back();
+    size_t Space = S.find(' ');
+    if (Space == std::string::npos || Space == 0)
+      continue;
+    Out[S.substr(0, Space)] = S.substr(Space + 1);
+  }
+  std::fclose(F);
+  return true;
+}
+
+uint64_t statValue(const std::map<std::string, std::string> &Stats,
+                   const char *Key) {
+  auto It = Stats.find(Key);
+  return It == Stats.end() ? 0 : std::strtoull(It->second.c_str(), nullptr, 10);
+}
+
+/// `perfplay record`: runs a program under the LD_PRELOAD pthread
+/// recorder and reports what the shim captured.  Parses raw argv
+/// because everything after `--` belongs to the recorded program
+/// (ArgList would treat it as a flag).
+int cmdRecord(int Argc, char **Argv) {
+  std::string Out = "trace.v3";
+  std::string StatsPath;
+  std::string Lib;
+  std::string Ring;
+  bool FailOnDrops = false, RequireSections = false, Quiet = false;
+  int I = 2; // Argv[1] == "record".
+  for (; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto Value = [&](const char *Name) -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s expects a value\n", Name);
+        return nullptr;
+      }
+      return Argv[++I];
+    };
+    if (A == "--")
+      break;
+    if (A == "-o" || A == "--out") {
+      const char *V = Value(A.c_str());
+      if (!V)
+        return 2;
+      Out = V;
+    } else if (A.rfind("--out=", 0) == 0) {
+      Out = A.substr(6);
+    } else if (A == "--stats") {
+      const char *V = Value("--stats");
+      if (!V)
+        return 2;
+      StatsPath = V;
+    } else if (A.rfind("--stats=", 0) == 0) {
+      StatsPath = A.substr(8);
+    } else if (A == "--ring") {
+      const char *V = Value("--ring");
+      if (!V)
+        return 2;
+      Ring = V;
+    } else if (A.rfind("--ring=", 0) == 0) {
+      Ring = A.substr(7);
+    } else if (A == "--preload-lib") {
+      const char *V = Value("--preload-lib");
+      if (!V)
+        return 2;
+      Lib = V;
+    } else if (A.rfind("--preload-lib=", 0) == 0) {
+      Lib = A.substr(14);
+    } else if (A == "--fail-on-drops") {
+      FailOnDrops = true;
+    } else if (A == "--require-sections") {
+      RequireSections = true;
+    } else if (A == "--quiet") {
+      Quiet = true;
+    } else {
+      std::fprintf(stderr, "error: unknown record option '%s'\n", A.c_str());
+      return usage();
+    }
+  }
+  if (I >= Argc || ++I >= Argc) {
+    std::fprintf(stderr, "error: record needs '-- <program> [args...]'\n");
+    return usage();
+  }
+
+  Out = absolutePath(Out);
+  if (StatsPath.empty())
+    StatsPath = Out + ".stats";
+  StatsPath = absolutePath(StatsPath);
+  Lib = absolutePath(findPreloadLib(Lib));
+  if (access(Lib.c_str(), R_OK) != 0) {
+    std::fprintf(stderr,
+                 "error: preload library not found at %s "
+                 "(use --preload-lib or PERFPLAY_PRELOAD_LIB)\n",
+                 Lib.c_str());
+    return 1;
+  }
+  // A stale sidecar would masquerade as this run's result if the child
+  // dies before the shim finalizes.
+  std::remove(StatsPath.c_str());
+
+  pid_t Pid = fork();
+  if (Pid < 0) {
+    std::fprintf(stderr, "error: fork: %s\n", std::strerror(errno));
+    return 1;
+  }
+  if (Pid == 0) {
+    setenv("PERFPLAY_TRACE_OUT", Out.c_str(), 1);
+    setenv("PERFPLAY_RECORD_STATS", StatsPath.c_str(), 1);
+    if (!Ring.empty())
+      setenv("PERFPLAY_RING_CAPACITY", Ring.c_str(), 1);
+    unsetenv("PERFPLAY_RECORD_PID"); // The child is the root recorder.
+    std::string Preload = Lib;
+    if (const char *Existing = getenv("LD_PRELOAD"))
+      if (*Existing)
+        Preload += std::string(":") + Existing;
+    setenv("LD_PRELOAD", Preload.c_str(), 1);
+    execvp(Argv[I], &Argv[I]);
+    std::fprintf(stderr, "error: exec %s: %s\n", Argv[I],
+                 std::strerror(errno));
+    _exit(127);
+  }
+
+  int Status = 0;
+  if (waitpid(Pid, &Status, 0) < 0) {
+    std::fprintf(stderr, "error: waitpid: %s\n", std::strerror(errno));
+    return 1;
+  }
+  int ChildRc = 0;
+  if (WIFSIGNALED(Status)) {
+    ChildRc = 128 + WTERMSIG(Status);
+    std::fprintf(stderr, "record: %s killed by signal %d\n", Argv[I],
+                 WTERMSIG(Status));
+  } else if (WIFEXITED(Status)) {
+    ChildRc = WEXITSTATUS(Status);
+  }
+
+  std::map<std::string, std::string> Stats;
+  if (!readStatsFile(StatsPath, Stats)) {
+    std::fprintf(stderr,
+                 "error: recorder wrote no stats (%s); did the shim "
+                 "initialize?\n",
+                 StatsPath.c_str());
+    return ChildRc != 0 ? ChildRc : 1;
+  }
+  if (statValue(Stats, "ok") != 1) {
+    auto It = Stats.find("error");
+    std::fprintf(stderr, "error: recording failed: %s\n",
+                 It == Stats.end() ? "unknown" : It->second.c_str());
+    return ChildRc != 0 ? ChildRc : 1;
+  }
+
+  // The shim renamed the trace into place; prove it loads before
+  // advertising it.
+  {
+    WindowedReader Reader;
+    std::string Err;
+    if (!Reader.open(Out, Err)) {
+      std::fprintf(stderr, "error: recorded trace is unreadable: %s\n",
+                   Err.c_str());
+      return 1;
+    }
+  }
+
+  const uint64_t Drops = statValue(Stats, "drops");
+  const uint64_t Sections = statValue(Stats, "sections");
+  if (!Quiet) {
+    std::printf("recorded %s: %llu threads, %llu events, %llu critical "
+                "sections\n",
+                Out.c_str(),
+                static_cast<unsigned long long>(statValue(Stats, "threads")),
+                static_cast<unsigned long long>(
+                    statValue(Stats, "trace_events")),
+                static_cast<unsigned long long>(Sections));
+    std::printf("recorder: %llu attempts, %llu records, %llu drops, "
+                "%llu synthesized releases, %llu unmatched releases\n",
+                static_cast<unsigned long long>(statValue(Stats, "attempts")),
+                static_cast<unsigned long long>(statValue(Stats, "records")),
+                static_cast<unsigned long long>(Drops),
+                static_cast<unsigned long long>(
+                    statValue(Stats, "synth_releases")),
+                static_cast<unsigned long long>(
+                    statValue(Stats, "unmatched_releases")));
+  }
+  if (FailOnDrops && Drops > 0) {
+    std::fprintf(stderr, "error: recorder dropped %llu records "
+                         "(--fail-on-drops); raise --ring\n",
+                 static_cast<unsigned long long>(Drops));
+    return 1;
+  }
+  if (RequireSections && Sections == 0) {
+    std::fprintf(stderr,
+                 "error: recording contains no critical sections "
+                 "(--require-sections)\n");
+    return 1;
+  }
+  return ChildRc;
+}
+
 int cmdCaseStudy(ArgList &Args) {
   CaseStudyParams P;
   P.NumThreads =
@@ -950,6 +1201,8 @@ int main(int Argc, char **Argv) {
     return cmdAnalyze(Args);
   if (Cmd == "replay")
     return cmdReplay(Args);
+  if (Cmd == "record")
+    return cmdRecord(Argc, Argv);
   if (Cmd == "casestudy")
     return cmdCaseStudy(Args);
   if (Cmd == "stats")
